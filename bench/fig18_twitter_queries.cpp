@@ -1,0 +1,14 @@
+// Figure 18: Twitter query times (Q1 COUNT(*), Q2 GROUP/ORDER by avg tweet
+// length, Q3 EXISTS popular hashtag, Q4 SELECT * ORDER BY timestamp) across
+// open/closed/inferred x {uncompressed, compressed} x {SATA, NVMe}.
+//
+// Paper result shape: on SATA, times track on-disk sizes (IO-bound) so
+// inferred <= closed < open; compression helps the big scans; on NVMe the CPU
+// cost of decompression shows; Q3 is fastest on inferred thanks to the
+// consolidated access pushed through the unnest (hashtag texts, not objects).
+#include "bench/query_bench.h"
+
+int main() {
+  tc::bench::RunQueryFigure("Figure 18", "twitter");
+  return 0;
+}

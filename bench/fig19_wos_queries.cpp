@@ -1,0 +1,12 @@
+// Figure 19: WoS query times (Q1 COUNT(*), Q2 top subjects, Q3 USA
+// co-publications, Q4 top country pairs) across schemas/codecs/devices.
+//
+// Paper result shape: Q1/Q2 track storage size; Q3/Q4 are substantially
+// faster on inferred — field-access consolidation + pushdown shrink the
+// deeply nested address extraction; open/closed stay slow even compressed.
+#include "bench/query_bench.h"
+
+int main() {
+  tc::bench::RunQueryFigure("Figure 19", "wos");
+  return 0;
+}

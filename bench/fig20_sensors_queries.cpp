@@ -1,0 +1,13 @@
+// Figure 20: Sensors query times (Q1 COUNT of readings, Q2 MIN/MAX reading,
+// Q3 top sensors by average reading, Q4 = Q3 within a selective time window).
+//
+// Paper result shape: Q2/Q3 much faster on inferred (pushdown extracts arrays
+// of doubles instead of reading objects); Q4's highly selective predicate
+// favors delayed field access — inferred's eager consolidated access makes it
+// comparable to open rather than faster (see also Figure 23).
+#include "bench/query_bench.h"
+
+int main() {
+  tc::bench::RunQueryFigure("Figure 20", "sensors");
+  return 0;
+}

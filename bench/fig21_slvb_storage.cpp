@@ -1,0 +1,36 @@
+// Figure 21: impact of the vector-based format itself, isolated from
+// compaction — SL-VB is the vector-based format *without* schema inference or
+// field-name stripping.
+//
+// Paper result shape: open > SL-VB > closed > inferred for Twitter (about
+// half of inferred's savings come from the format's offset-free encoding of
+// nested values, half from compacting names); for Sensors SL-VB is already
+// smaller than closed (no 4-byte offsets for the many small nested readings).
+#include "bench/bench_util.h"
+
+using namespace tc;
+using namespace tc::bench;
+
+int main() {
+  PrintBanner("Figure 21", "vector-based format storage impact (SL-VB)");
+  int64_t mb = BenchMegabytes();
+  for (const char* workload : {"twitter", "sensors"}) {
+    std::printf("%-8s %-10s %10s %10s\n", "dataset", "schema", "size(MiB)",
+                "vs open");
+    double open_size = 0;
+    for (SchemaMode mode : {SchemaMode::kOpen, SchemaMode::kClosed,
+                            SchemaMode::kSchemalessVB, SchemaMode::kInferred}) {
+      BenchConfig cfg;
+      cfg.workload = workload;
+      cfg.mode = mode;
+      auto bd = OpenBench(cfg);
+      (void)IngestFeed(bd.get(), mb);
+      double size = MiB(bd->dataset->TotalPhysicalBytes());
+      if (mode == SchemaMode::kOpen) open_size = size;
+      std::printf("%-8s %-10s %10.2f %9.0f%%\n", workload, SchemaModeName(mode),
+                  size, 100.0 * size / open_size);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 25: scale-out storage size and ingestion time. Nodes are simulated
+// as thread groups (one parallel data feed per node, two data partitions per
+// node as in the paper's NCs); weak scaling — each node ingests the same data
+// volume, so total data grows with the node count. Compressed datasets, as in
+// the paper (EC2 instance storage was too small for uncompressed).
+//
+// Paper result shape: size and ingest time grow ~linearly with nodes for all
+// three schemas; inferred keeps the lowest footprint and the fastest feed at
+// every cluster size.
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+
+using namespace tc;
+using namespace tc::bench;
+
+int main() {
+  PrintBanner("Figure 25", "scale-out storage + ingestion (simulated nodes)");
+  int64_t per_node_mb = std::max<int64_t>(2, BenchMegabytes() / 8);
+  std::printf("(%lld raw MiB per node, 2 partitions per node, compressed)\n\n",
+              static_cast<long long>(per_node_mb));
+  std::printf("%-7s %-10s %12s %12s %12s\n", "nodes", "schema", "size(MiB)",
+              "ingest(s)", "records");
+  for (size_t nodes : {1, 2, 4, 8}) {
+    for (SchemaMode mode :
+         {SchemaMode::kOpen, SchemaMode::kClosed, SchemaMode::kInferred}) {
+      BenchConfig cfg;
+      cfg.mode = mode;
+      cfg.compression = true;
+      cfg.partitions = 1;  // unused; the harness opens its own dataset
+      auto bd = OpenBench(cfg);
+      bd->dataset.reset();  // replaced by the cluster-managed dataset
+
+      DatasetOptions o;
+      o.name = "bench";
+      o.dir = bd->dir;
+      o.mode = mode;
+      o.compression = true;
+      o.page_size = cfg.page_size;
+      o.memtable_budget_bytes = cfg.memtable_mb << 20;
+      o.wal_sync_every = 0;
+      o.fs = bd->fs;
+      o.cache = bd->cache.get();
+      if (mode == SchemaMode::kClosed) {
+        o.type = MakeGenerator("twitter", 1)->ClosedType();
+      }
+      auto harness =
+          ClusterHarness::Create(ClusterTopology{nodes, 2}, std::move(o));
+      TC_CHECK(harness.ok());
+      ClusterHarness* h = harness.value().get();
+
+      // Records per node targeting per_node_mb of raw data (~2.7 KB/tweet).
+      uint64_t records_per_node =
+          static_cast<uint64_t>(per_node_mb) * 1024 * 1024 / 2700;
+      double secs = TimeIt([&] {
+        Status st = h->IngestParallel("twitter", records_per_node, 7);
+        TC_CHECK(st.ok());
+      });
+      Status st = h->dataset()->FlushAll();
+      TC_CHECK(st.ok());
+      std::printf("%-7zu %-10s %12.2f %12.2f %12llu\n", nodes,
+                  SchemaModeName(mode), MiB(h->dataset()->TotalPhysicalBytes()),
+                  secs,
+                  static_cast<unsigned long long>(records_per_node * nodes));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 26: scale-out query performance (Twitter Q1-Q4) on simulated
+// clusters. Q2/Q3 repartition data for the parallel aggregation, so each
+// partition's schema is broadcast at query start (§3.4.1); the paper's
+// observation is that performance is essentially unaffected by the broadcast
+// and inferred stays fastest at every cluster size.
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+
+using namespace tc;
+using namespace tc::bench;
+
+int main() {
+  PrintBanner("Figure 26", "scale-out query times (Twitter Q1-Q4)");
+  int64_t per_node_mb = std::max<int64_t>(2, BenchMegabytes() / 8);
+  std::printf("%-7s %-10s %10s %10s %10s %10s %14s\n", "nodes", "schema", "Q1(s)",
+              "Q2(s)", "Q3(s)", "Q4(s)", "broadcast(B)");
+  for (size_t nodes : {1, 2, 4, 8}) {
+    for (SchemaMode mode :
+         {SchemaMode::kOpen, SchemaMode::kClosed, SchemaMode::kInferred}) {
+      BenchConfig cfg;
+      cfg.mode = mode;
+      cfg.compression = true;
+      auto bd = OpenBench(cfg);
+      bd->dataset.reset();
+
+      DatasetOptions o;
+      o.name = "bench";
+      o.dir = bd->dir;
+      o.mode = mode;
+      o.compression = true;
+      o.page_size = cfg.page_size;
+      o.memtable_budget_bytes = cfg.memtable_mb << 20;
+      o.wal_sync_every = 0;
+      o.fs = bd->fs;
+      o.cache = bd->cache.get();
+      if (mode == SchemaMode::kClosed) {
+        o.type = MakeGenerator("twitter", 1)->ClosedType();
+      }
+      auto harness =
+          ClusterHarness::Create(ClusterTopology{nodes, 2}, std::move(o));
+      TC_CHECK(harness.ok());
+      ClusterHarness* h = harness.value().get();
+      uint64_t records_per_node =
+          static_cast<uint64_t>(per_node_mb) * 1024 * 1024 / 2700;
+      Status st = h->IngestParallel("twitter", records_per_node, 7);
+      TC_CHECK(st.ok());
+      st = h->dataset()->FlushAll();
+      TC_CHECK(st.ok());
+
+      double times[4];
+      size_t broadcast = 0;
+      for (int q = 1; q <= 4; ++q) {
+        QueryOptions qo;
+        auto warm = RunPaperQuery("twitter", q, h->dataset(), qo);
+        TC_CHECK(warm.ok());
+        auto res = RunPaperQuery("twitter", q, h->dataset(), qo);
+        TC_CHECK(res.ok());
+        times[q - 1] = res.value().stats.wall_seconds;
+        broadcast = std::max(broadcast, res.value().stats.schema_broadcast_bytes);
+      }
+      std::printf("%-7zu %-10s %10.3f %10.3f %10.3f %10.3f %14zu\n", nodes,
+                  SchemaModeName(mode), times[0], times[1], times[2], times[3],
+                  broadcast);
+    }
+  }
+  return 0;
+}

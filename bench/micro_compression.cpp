@@ -1,0 +1,69 @@
+// Micro-benchmarks for the snappy-like page compressor on realistic page
+// contents (packed workload records), the data that page-level compression
+// (§2.4) actually sees.
+#include <benchmark/benchmark.h>
+
+#include "format/adm_format.h"
+#include "storage/compressor.h"
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+Buffer MakePage(const std::string& workload, size_t page_size) {
+  auto gen = MakeGenerator(workload, 3);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  Buffer page;
+  while (page.size() < page_size) {
+    Status st = EncodeAdmRecord(gen->NextRecord(), type, &page);
+    TC_CHECK(st.ok());
+  }
+  page.resize(page_size);
+  return page;
+}
+
+void BM_Compress(benchmark::State& state, const std::string& workload) {
+  size_t page_size = static_cast<size_t>(state.range(0));
+  Buffer page = MakePage(workload, page_size);
+  auto codec = GetCompressor(CompressionKind::kSnappy);
+  Buffer out;
+  for (auto _ : state) {
+    out.clear();
+    Status st = codec->Compress(page.data(), page.size(), &out);
+    TC_CHECK(st.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page_size));
+  state.counters["ratio"] =
+      static_cast<double>(page.size()) / static_cast<double>(out.size());
+}
+BENCHMARK_CAPTURE(BM_Compress, twitter, std::string("twitter"))
+    ->Arg(4096)->Arg(32768)->Arg(131072);
+BENCHMARK_CAPTURE(BM_Compress, sensors, std::string("sensors"))
+    ->Arg(32768);
+
+void BM_Decompress(benchmark::State& state, const std::string& workload) {
+  size_t page_size = static_cast<size_t>(state.range(0));
+  Buffer page = MakePage(workload, page_size);
+  auto codec = GetCompressor(CompressionKind::kSnappy);
+  Buffer compressed;
+  TC_CHECK(codec->Compress(page.data(), page.size(), &compressed).ok());
+  Buffer out(page_size);
+  size_t n = 0;
+  for (auto _ : state) {
+    Status st = codec->Decompress(compressed.data(), compressed.size(), out.data(),
+                                  out.size(), &n);
+    TC_CHECK(st.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page_size));
+}
+BENCHMARK_CAPTURE(BM_Decompress, twitter, std::string("twitter"))
+    ->Arg(4096)->Arg(32768)->Arg(131072);
+
+}  // namespace
+}  // namespace tc
+
+BENCHMARK_MAIN();

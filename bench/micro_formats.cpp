@@ -1,0 +1,229 @@
+// Micro-benchmarks (google-benchmark): record encode/decode/compaction and
+// field-access costs across formats. These isolate the per-record CPU costs
+// underlying the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "adm/printer.h"
+#include "format/adm_format.h"
+#include "format/bson_format.h"
+#include "format/pax_page.h"
+#include "format/vector_format.h"
+#include "query/field_access.h"
+#include "schema/inference.h"
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+std::vector<AdmValue> SampleRecords(const std::string& workload, int n) {
+  auto gen = MakeGenerator(workload, 7);
+  std::vector<AdmValue> out;
+  for (int i = 0; i < n; ++i) out.push_back(gen->NextRecord());
+  return out;
+}
+
+void BM_EncodeVector(benchmark::State& state, const std::string& workload) {
+  auto records = SampleRecords(workload, 64);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  Buffer out;
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    out.clear();
+    Status st = EncodeVectorRecord(records[i++ % records.size()], type, &out);
+    TC_CHECK(st.ok());
+    bytes += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK_CAPTURE(BM_EncodeVector, twitter, std::string("twitter"));
+BENCHMARK_CAPTURE(BM_EncodeVector, sensors, std::string("sensors"));
+
+void BM_EncodeAdm(benchmark::State& state, const std::string& workload) {
+  auto records = SampleRecords(workload, 64);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  Buffer out;
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    out.clear();
+    Status st = EncodeAdmRecord(records[i++ % records.size()], type, &out);
+    TC_CHECK(st.ok());
+    bytes += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK_CAPTURE(BM_EncodeAdm, twitter, std::string("twitter"));
+BENCHMARK_CAPTURE(BM_EncodeAdm, sensors, std::string("sensors"));
+
+void BM_EncodeBson(benchmark::State& state, const std::string& workload) {
+  auto records = SampleRecords(workload, 64);
+  Buffer out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    Status st = EncodeBsonRecord(records[i++ % records.size()], &out);
+    TC_CHECK(st.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_EncodeBson, twitter, std::string("twitter"));
+
+void BM_InferAndCompact(benchmark::State& state, const std::string& workload) {
+  auto records = SampleRecords(workload, 64);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  std::vector<Buffer> raw(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    TC_CHECK(EncodeVectorRecord(records[i], type, &raw[i]).ok());
+  }
+  Schema schema;
+  Buffer out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    const Buffer& b = raw[i++ % raw.size()];
+    Status st = InferAndCompactVectorRecord(VectorRecordView(b.data(), b.size()),
+                                            type, &schema, &out);
+    TC_CHECK(st.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_InferAndCompact, twitter, std::string("twitter"));
+BENCHMARK_CAPTURE(BM_InferAndCompact, wos, std::string("wos"));
+BENCHMARK_CAPTURE(BM_InferAndCompact, sensors, std::string("sensors"));
+
+void BM_InferOnly(benchmark::State& state, const std::string& workload) {
+  auto records = SampleRecords(workload, 64);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  std::vector<Buffer> raw(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    TC_CHECK(EncodeVectorRecord(records[i], type, &raw[i]).ok());
+  }
+  Schema schema;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Buffer& b = raw[i++ % raw.size()];
+    Status st =
+        InferVectorRecord(VectorRecordView(b.data(), b.size()), type, &schema);
+    TC_CHECK(st.ok());
+  }
+}
+BENCHMARK_CAPTURE(BM_InferOnly, twitter, std::string("twitter"));
+
+// Field access by position: the linear-scan cost of the vector-based format
+// vs the offset navigation of the ADM format (micro version of Figure 22).
+void BM_FieldAccess(benchmark::State& state, bool vector_format, int position) {
+  DatasetType type = DatasetType::OpenWithPk("id");
+  AdmValue rec = AdmValue::Object();
+  rec.AddField("id", AdmValue::BigInt(1));
+  for (int i = 0; i < 136; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "w%03d", i);
+    rec.AddField(name, AdmValue::BigInt(i));
+  }
+  Buffer bytes;
+  TC_CHECK((vector_format ? EncodeVectorRecord(rec, type, &bytes)
+                          : EncodeAdmRecord(rec, type, &bytes))
+               .ok());
+  char target[8];
+  std::snprintf(target, sizeof(target), "w%03d", position);
+  std::vector<FieldPath> paths = {FieldPath::Parse(target)};
+  std::vector<AdmValue> out;
+  for (auto _ : state) {
+    Status st = vector_format
+                    ? GetValuesVector(VectorRecordView(bytes.data(), bytes.size()),
+                                      type, nullptr, paths, &out)
+                    : GetValuesAdm(bytes.data(), bytes.size(), type, paths, &out);
+    TC_CHECK(st.ok());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK_CAPTURE(BM_FieldAccess, vector_pos1, true, 0);
+BENCHMARK_CAPTURE(BM_FieldAccess, vector_pos68, true, 67);
+BENCHMARK_CAPTURE(BM_FieldAccess, vector_pos135, true, 135);
+BENCHMARK_CAPTURE(BM_FieldAccess, adm_pos1, false, 0);
+BENCHMARK_CAPTURE(BM_FieldAccess, adm_pos135, false, 135);
+
+// PAX future-work prototype (paper §6): summing one column over a page of
+// records, columnar layout vs row-wise vector format. The PAX layout reads
+// one contiguous minipage; the vector format walks every record linearly.
+void BM_PaxColumnScan(benchmark::State& state, bool pax) {
+  const int kRecords = 1000;
+  Rng rng(12);
+  std::vector<AdmValue> records;
+  for (int i = 0; i < kRecords; ++i) {
+    AdmValue rec = AdmValue::Object();
+    rec.AddField("id", AdmValue::BigInt(i));
+    for (int f = 0; f < 20; ++f) {
+      rec.AddField("m" + std::to_string(f), AdmValue::Double(rng.NextDouble()));
+    }
+    rec.AddField("target", AdmValue::Double(rng.NextDouble()));
+    records.push_back(std::move(rec));
+  }
+  if (pax) {
+    std::vector<std::pair<std::string, AdmTag>> cols = {{"id", AdmTag::kBigInt},
+                                                        {"target", AdmTag::kDouble}};
+    for (int f = 0; f < 20; ++f) cols.emplace_back("m" + std::to_string(f), AdmTag::kDouble);
+    PaxPageBuilder builder(cols);
+    for (const auto& r : records) TC_CHECK(builder.Add(r).ok());
+    Buffer page;
+    builder.Finish(&page);
+    PaxPageView view(page.data(), page.size());
+    int col = view.FindColumn("target");
+    for (auto _ : state) {
+      auto sum = view.SumColumn(col);
+      TC_CHECK(sum.ok());
+      benchmark::DoNotOptimize(sum.value());
+    }
+  } else {
+    DatasetType type = DatasetType::OpenWithPk("id");
+    std::vector<Buffer> rows(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      TC_CHECK(EncodeVectorRecord(records[i], type, &rows[i]).ok());
+    }
+    std::vector<FieldPath> paths = {FieldPath::Parse("target")};
+    std::vector<AdmValue> out;
+    for (auto _ : state) {
+      double sum = 0;
+      for (const Buffer& b : rows) {
+        TC_CHECK(GetValuesVector(VectorRecordView(b.data(), b.size()), type,
+                                 nullptr, paths, &out)
+                     .ok());
+        sum += out[0].double_value();
+      }
+      benchmark::DoNotOptimize(sum);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRecords);
+}
+BENCHMARK_CAPTURE(BM_PaxColumnScan, pax_columnar, true);
+BENCHMARK_CAPTURE(BM_PaxColumnScan, vector_rowwise, false);
+
+// Consolidated vs unconsolidated multi-path access (micro Figure 23).
+void BM_GetValues3Paths(benchmark::State& state, bool consolidate) {
+  auto records = SampleRecords("sensors", 8);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  Buffer bytes;
+  TC_CHECK(EncodeVectorRecord(records[0], type, &bytes).ok());
+  std::vector<FieldPath> paths = {FieldPath::Parse("sensor_id"),
+                                  FieldPath::Parse("readings[*].temp"),
+                                  FieldPath::Parse("report_time")};
+  std::vector<AdmValue> out;
+  VectorRecordView view(bytes.data(), bytes.size());
+  for (auto _ : state) {
+    Status st = consolidate
+                    ? GetValuesVector(view, type, nullptr, paths, &out)
+                    : GetValuesVectorUnconsolidated(view, type, nullptr, paths, &out);
+    TC_CHECK(st.ok());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK_CAPTURE(BM_GetValues3Paths, consolidated, true);
+BENCHMARK_CAPTURE(BM_GetValues3Paths, unconsolidated, false);
+
+}  // namespace
+}  // namespace tc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// Micro-benchmarks for the LSM engine: memtable inserts, point lookups,
+// scans, and the flush-time cost of the tuple compactor (the design-choice
+// ablation called out in DESIGN.md: flush-time inference keeps the ingest
+// path free of schema work — compare BM_MemtableInsert with
+// BM_MemtableInsertEagerInference).
+#include <benchmark/benchmark.h>
+
+#include "core/tuple_compactor.h"
+#include "format/vector_format.h"
+#include "lsm/lsm_tree.h"
+#include "schema/inference.h"
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+std::vector<Buffer> EncodedTweets(int n) {
+  auto gen = MakeTwitterGenerator(5);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  std::vector<Buffer> out(static_cast<size_t>(n));
+  for (auto& b : out) {
+    TC_CHECK(EncodeVectorRecord(gen->NextRecord(), type, &b).ok());
+  }
+  return out;
+}
+
+void BM_MemtableInsert(benchmark::State& state) {
+  auto payloads = EncodedTweets(256);
+  MemTable mem;
+  int64_t key = 0;
+  for (auto _ : state) {
+    mem.Put(BtreeKey{key, 0}, payloads[static_cast<size_t>(key) % payloads.size()],
+            std::nullopt);
+    ++key;
+    if (mem.approximate_bytes() > (64 << 20)) {
+      state.PauseTiming();
+      mem.Clear();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_MemtableInsert);
+
+// The ablation: what insert-time (eager) schema inference would cost on every
+// record — the work the paper's design deliberately defers to flush (§3.1.1).
+void BM_MemtableInsertEagerInference(benchmark::State& state) {
+  auto gen = MakeTwitterGenerator(5);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  std::vector<AdmValue> records;
+  std::vector<Buffer> payloads;
+  for (int i = 0; i < 256; ++i) {
+    records.push_back(gen->NextRecord());
+    Buffer b;
+    TC_CHECK(EncodeVectorRecord(records.back(), type, &b).ok());
+    payloads.push_back(std::move(b));
+  }
+  MemTable mem;
+  Schema schema;
+  int64_t key = 0;
+  for (auto _ : state) {
+    size_t i = static_cast<size_t>(key) % payloads.size();
+    TC_CHECK(InferRecord(&schema, records[i], type.root.get()).ok());
+    mem.Put(BtreeKey{key, 0}, payloads[i], std::nullopt);
+    ++key;
+    if (mem.approximate_bytes() > (64 << 20)) {
+      state.PauseTiming();
+      mem.Clear();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_MemtableInsertEagerInference);
+
+struct TreeFixture {
+  std::shared_ptr<FileSystem> fs = MakeMemFileSystem();
+  BufferCache cache{32 * 1024, 1024};
+  std::unique_ptr<LsmTree> tree;
+  DatasetType type = DatasetType::OpenWithPk("id");
+  TupleCompactor compactor{&type};
+
+  explicit TreeFixture(bool compact, int n_records) {
+    LsmTreeOptions o;
+    o.fs = fs;
+    o.cache = &cache;
+    o.dir = "m";
+    o.name = "t";
+    o.page_size = 32 * 1024;
+    o.memtable_budget_bytes = 4 << 20;
+    o.use_wal = false;
+    if (compact) o.transformer = &compactor;
+    tree = LsmTree::Open(std::move(o)).ValueOrDie();
+    auto payloads = EncodedTweets(256);
+    for (int i = 0; i < n_records; ++i) {
+      std::string_view p(
+          reinterpret_cast<const char*>(payloads[i % payloads.size()].data()),
+          payloads[i % payloads.size()].size());
+      TC_CHECK(tree->Insert(BtreeKey{i, 0}, p).ok());
+    }
+    TC_CHECK(tree->Flush().ok());
+  }
+};
+
+void BM_PointLookup(benchmark::State& state) {
+  TreeFixture fx(/*compact=*/true, 20000);
+  Rng rng(1);
+  for (auto _ : state) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(20000));
+    auto r = fx.tree->Get(BtreeKey{key, 0});
+    TC_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value());
+  }
+}
+BENCHMARK(BM_PointLookup);
+
+void BM_FullScan(benchmark::State& state) {
+  TreeFixture fx(/*compact=*/true, 20000);
+  for (auto _ : state) {
+    LsmTree::Iterator it(fx.tree.get());
+    TC_CHECK(it.SeekToFirst().ok());
+    uint64_t n = 0;
+    while (it.Valid()) {
+      ++n;
+      TC_CHECK(it.Next().ok());
+    }
+    TC_CHECK(n == 20000);
+  }
+}
+BENCHMARK(BM_FullScan)->Unit(benchmark::kMillisecond);
+
+void BM_FlushWithCompaction(benchmark::State& state) {
+  bool compact = state.range(0) != 0;
+  auto payloads = EncodedTweets(512);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TreeFixture* fx = new TreeFixture(compact, 0);
+    for (int i = 0; i < 2000; ++i) {
+      std::string_view p(
+          reinterpret_cast<const char*>(payloads[i % payloads.size()].data()),
+          payloads[i % payloads.size()].size());
+      TC_CHECK(fx->tree->Insert(BtreeKey{i, 0}, p).ok());
+    }
+    state.ResumeTiming();
+    TC_CHECK(fx->tree->Flush().ok());
+    state.PauseTiming();
+    delete fx;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FlushWithCompaction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Shared driver for the Figure 18/19/20 query benches: ingests one workload
+// under each schema configuration x compression x device profile, then times
+// the paper's Q1-Q4.
+#ifndef TC_BENCH_QUERY_BENCH_H_
+#define TC_BENCH_QUERY_BENCH_H_
+
+#include "bench/bench_util.h"
+
+namespace tc {
+namespace bench {
+
+inline void RunQueryFigure(const char* figure, const std::string& workload) {
+  PrintBanner(figure, ("query execution time, " + workload + " Q1-Q4").c_str());
+  int64_t mb = BenchMegabytes();
+  for (const DeviceProfile& device :
+       {DeviceProfile::SataSsd(), DeviceProfile::NvmeSsd()}) {
+    for (bool compressed : {false, true}) {
+      std::printf("-- %s, %s --\n", device.name.c_str(),
+                  compressed ? "compressed" : "uncompressed");
+      std::printf("%-10s %10s %10s %10s %10s\n", "schema", "Q1(s)", "Q2(s)",
+                  "Q3(s)", "Q4(s)");
+      for (SchemaMode mode :
+           {SchemaMode::kOpen, SchemaMode::kClosed, SchemaMode::kInferred}) {
+        BenchConfig cfg;
+        cfg.workload = workload;
+        cfg.mode = mode;
+        cfg.compression = compressed;
+        cfg.device = device;
+        auto bd = OpenBench(cfg);
+        (void)IngestFeed(bd.get(), mb);
+        double times[4];
+        for (int q = 1; q <= 4; ++q) {
+          // One warm-up pass, one timed run (the paper reports the average
+          // of the last five of six runs; a single run keeps the default
+          // bench suite fast — raise TC_BENCH_MB for stabler numbers).
+          QueryOptions qo;
+          auto warm = RunPaperQuery(workload, q, bd->dataset.get(), qo);
+          TC_CHECK(warm.ok());
+          auto res = RunPaperQuery(workload, q, bd->dataset.get(), qo);
+          TC_CHECK(res.ok());
+          times[q - 1] = res.value().stats.wall_seconds;
+        }
+        std::printf("%-10s %10.3f %10.3f %10.3f %10.3f\n", SchemaModeName(mode),
+                    times[0], times[1], times[2], times[3]);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace tc
+
+#endif  // TC_BENCH_QUERY_BENCH_H_

@@ -1,0 +1,26 @@
+// Text parser for ADM: JSON extended with multiset literals `{{ ... }}`, the
+// `missing` keyword, and type constructors `date("YYYY-MM-DD")`,
+// `time("HH:MM:SS")`, `datetime("...")`, `duration(ms)`, `point(x, y)`,
+// `uuid("32 hex chars")` (paper §2.1, Figure 10a).
+#ifndef TC_ADM_PARSER_H_
+#define TC_ADM_PARSER_H_
+
+#include <string_view>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace tc {
+
+/// Parses one ADM value from `text`. Trailing non-whitespace is an error.
+Result<AdmValue> ParseAdm(std::string_view text);
+
+// Calendar helpers shared with the printer and the workload generators.
+/// Days since 1970-01-01 for a proleptic Gregorian date.
+int64_t DaysFromCivil(int y, int m, int d);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, int* m, int* d);
+
+}  // namespace tc
+
+#endif  // TC_ADM_PARSER_H_

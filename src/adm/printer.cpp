@@ -1,0 +1,165 @@
+#include "adm/printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "adm/parser.h"
+
+namespace tc {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  std::string s = buf;
+  // Ensure the token re-parses as a double, not an integer.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  *out += s;
+}
+
+void Print(const AdmValue& v, std::string* out) {
+  char buf[64];
+  switch (v.tag()) {
+    case AdmTag::kMissing: *out += "missing"; return;
+    case AdmTag::kNull: *out += "null"; return;
+    case AdmTag::kBoolean: *out += v.bool_value() ? "true" : "false"; return;
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+      std::snprintf(buf, sizeof(buf), "%" PRId64, v.int_value());
+      *out += buf;
+      return;
+    case AdmTag::kFloat:
+    case AdmTag::kDouble:
+      AppendDouble(out, v.double_value());
+      return;
+    case AdmTag::kString:
+      AppendEscaped(out, v.string_value());
+      return;
+    case AdmTag::kBinary:
+      AppendEscaped(out, v.string_value());  // printed as a string literal
+      return;
+    case AdmTag::kUuid: {
+      *out += "uuid(\"";
+      static const char* kHex = "0123456789abcdef";
+      for (unsigned char c : v.string_value()) {
+        out->push_back(kHex[c >> 4]);
+        out->push_back(kHex[c & 0xf]);
+      }
+      *out += "\")";
+      return;
+    }
+    case AdmTag::kDate: {
+      int y, m, d;
+      CivilFromDays(v.int_value(), &y, &m, &d);
+      std::snprintf(buf, sizeof(buf), "date(\"%04d-%02d-%02d\")", y, m, d);
+      *out += buf;
+      return;
+    }
+    case AdmTag::kTime: {
+      int64_t ms = v.int_value();
+      std::snprintf(buf, sizeof(buf), "time(\"%02d:%02d:%02d.%03d\")",
+                    static_cast<int>(ms / 3600000), static_cast<int>(ms / 60000 % 60),
+                    static_cast<int>(ms / 1000 % 60), static_cast<int>(ms % 1000));
+      *out += buf;
+      return;
+    }
+    case AdmTag::kDateTime: {
+      int64_t ms = v.int_value();
+      int64_t days = ms / 86400000;
+      int64_t rem = ms % 86400000;
+      if (rem < 0) {
+        rem += 86400000;
+        --days;
+      }
+      int y, mo, d;
+      CivilFromDays(days, &y, &mo, &d);
+      std::snprintf(buf, sizeof(buf), "datetime(\"%04d-%02d-%02dT%02d:%02d:%02d.%03d\")",
+                    y, mo, d, static_cast<int>(rem / 3600000),
+                    static_cast<int>(rem / 60000 % 60), static_cast<int>(rem / 1000 % 60),
+                    static_cast<int>(rem % 1000));
+      *out += buf;
+      return;
+    }
+    case AdmTag::kDuration:
+      std::snprintf(buf, sizeof(buf), "duration(%" PRId64 ")", v.int_value());
+      *out += buf;
+      return;
+    case AdmTag::kPoint:
+      *out += "point(";
+      AppendDouble(out, v.point_x());
+      *out += ", ";
+      AppendDouble(out, v.point_y());
+      *out += ")";
+      return;
+    case AdmTag::kObject: {
+      *out += "{";
+      for (size_t i = 0; i < v.field_count(); ++i) {
+        if (i > 0) *out += ", ";
+        AppendEscaped(out, v.field_name(i));
+        *out += ": ";
+        Print(v.field_value(i), out);
+      }
+      *out += "}";
+      return;
+    }
+    case AdmTag::kArray: {
+      *out += "[";
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) *out += ", ";
+        Print(v.item(i), out);
+      }
+      *out += "]";
+      return;
+    }
+    case AdmTag::kMultiset: {
+      *out += "{{";
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) *out += ", ";
+        Print(v.item(i), out);
+      }
+      *out += "}}";
+      return;
+    }
+    default:
+      *out += "?";
+  }
+}
+
+}  // namespace
+
+std::string PrintAdm(const AdmValue& v) {
+  std::string out;
+  Print(v, &out);
+  return out;
+}
+
+}  // namespace tc

@@ -1,0 +1,16 @@
+// Serializes an AdmValue back to ADM text (the inverse of ParseAdm).
+#ifndef TC_ADM_PRINTER_H_
+#define TC_ADM_PRINTER_H_
+
+#include <string>
+
+#include "adm/value.h"
+
+namespace tc {
+
+/// Renders `v` as ADM text. Round-trips through ParseAdm for every value type.
+std::string PrintAdm(const AdmValue& v);
+
+}  // namespace tc
+
+#endif  // TC_ADM_PRINTER_H_

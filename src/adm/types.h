@@ -1,0 +1,98 @@
+// ADM type tags. The AsterixDB Data Model (ADM) extends JSON with temporal and
+// spatial types plus the multiset collection (paper §2.1). Tag values are
+// stable: they are persisted verbatim in the vector-based record format's tag
+// vector and in serialized schemas.
+#ifndef TC_ADM_TYPES_H_
+#define TC_ADM_TYPES_H_
+
+#include <cstdint>
+
+namespace tc {
+
+enum class AdmTag : uint8_t {
+  kMissing = 0,
+  kNull = 1,
+  kBoolean = 2,
+  kTinyInt = 3,   // int8
+  kSmallInt = 4,  // int16
+  kInt = 5,       // int32
+  kBigInt = 6,    // int64 (the default integer type, as in AsterixDB)
+  kFloat = 7,
+  kDouble = 8,
+  kString = 9,
+  kBinary = 10,
+  kUuid = 11,      // 16 raw bytes
+  kDate = 12,      // days since 1970-01-01, int32
+  kTime = 13,      // milliseconds of day, int32
+  kDateTime = 14,  // milliseconds since epoch, int64
+  kDuration = 15,  // milliseconds, int64
+  kPoint = 16,     // two doubles
+  kObject = 17,
+  kArray = 18,
+  kMultiset = 19,
+  // Schema-only node kind: a value position whose type varies across records.
+  kUnion = 20,
+  // Control tag: end-of-values terminator in the vector-based format (§3.3.1).
+  kEov = 21,
+  // Control tag: closes the current nesting scope in the vector-based format.
+  // The paper re-emits the parent's type tag as the scope-close marker; with
+  // objects nested directly in objects that is ambiguous, so this repo uses a
+  // dedicated control tag at the same 1-byte cost (see DESIGN.md §5.1).
+  kEndNest = 22,
+  kNumTags = 23,
+};
+
+inline bool IsNested(AdmTag t) {
+  return t == AdmTag::kObject || t == AdmTag::kArray || t == AdmTag::kMultiset;
+}
+
+inline bool IsCollection(AdmTag t) {
+  return t == AdmTag::kArray || t == AdmTag::kMultiset;
+}
+
+inline bool IsScalar(AdmTag t) {
+  return !IsNested(t) && t != AdmTag::kUnion && t != AdmTag::kEov;
+}
+
+/// Byte width of a fixed-length scalar; -1 for variable-length (string/binary),
+/// 0 for valueless scalars (missing/null), -1 for nested/control tags.
+inline int FixedWidthOf(AdmTag t) {
+  switch (t) {
+    case AdmTag::kMissing:
+    case AdmTag::kNull:
+      return 0;
+    case AdmTag::kBoolean:
+    case AdmTag::kTinyInt:
+      return 1;
+    case AdmTag::kSmallInt:
+      return 2;
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kFloat:
+      return 4;
+    case AdmTag::kBigInt:
+    case AdmTag::kDouble:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      return 8;
+    case AdmTag::kUuid:
+      return 16;
+    case AdmTag::kPoint:
+      return 16;
+    default:
+      return -1;
+  }
+}
+
+inline bool IsFixedLengthScalar(AdmTag t) { return IsScalar(t) && FixedWidthOf(t) >= 0 && t != AdmTag::kString && t != AdmTag::kBinary; }
+
+inline bool IsVariableLengthScalar(AdmTag t) {
+  return t == AdmTag::kString || t == AdmTag::kBinary;
+}
+
+const char* AdmTagName(AdmTag t);
+
+}  // namespace tc
+
+#endif  // TC_ADM_TYPES_H_

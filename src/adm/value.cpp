@@ -1,0 +1,84 @@
+#include "adm/value.h"
+
+#include <algorithm>
+
+namespace tc {
+
+const char* AdmTagName(AdmTag t) {
+  switch (t) {
+    case AdmTag::kMissing: return "missing";
+    case AdmTag::kNull: return "null";
+    case AdmTag::kBoolean: return "boolean";
+    case AdmTag::kTinyInt: return "tinyint";
+    case AdmTag::kSmallInt: return "smallint";
+    case AdmTag::kInt: return "int";
+    case AdmTag::kBigInt: return "bigint";
+    case AdmTag::kFloat: return "float";
+    case AdmTag::kDouble: return "double";
+    case AdmTag::kString: return "string";
+    case AdmTag::kBinary: return "binary";
+    case AdmTag::kUuid: return "uuid";
+    case AdmTag::kDate: return "date";
+    case AdmTag::kTime: return "time";
+    case AdmTag::kDateTime: return "datetime";
+    case AdmTag::kDuration: return "duration";
+    case AdmTag::kPoint: return "point";
+    case AdmTag::kObject: return "object";
+    case AdmTag::kArray: return "array";
+    case AdmTag::kMultiset: return "multiset";
+    case AdmTag::kUnion: return "union";
+    case AdmTag::kEov: return "eov";
+    default: return "?";
+  }
+}
+
+bool AdmValue::operator==(const AdmValue& o) const {
+  if (tag_ != o.tag_) return false;
+  switch (tag_) {
+    case AdmTag::kMissing:
+    case AdmTag::kNull:
+      return true;
+    case AdmTag::kBoolean:
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      return i_ == o.i_;
+    case AdmTag::kFloat:
+    case AdmTag::kDouble:
+      return d_ == o.d_;
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+      return s_ == o.s_;
+    case AdmTag::kPoint:
+      return d_ == o.d_ && y_ == o.y_;
+    case AdmTag::kObject:
+      return field_names_ == o.field_names_ && children_ == o.children_;
+    case AdmTag::kArray:
+    case AdmTag::kMultiset:
+      return children_ == o.children_;
+    default:
+      return false;
+  }
+}
+
+size_t AdmValue::CountScalars() const {
+  if (is_scalar()) return 1;
+  size_t n = 0;
+  for (const auto& c : children_) n += c.CountScalars();
+  return n;
+}
+
+size_t AdmValue::Depth() const {
+  if (is_scalar()) return 1;
+  size_t mx = 0;
+  for (const auto& c : children_) mx = std::max(mx, c.Depth());
+  return 1 + mx;
+}
+
+}  // namespace tc

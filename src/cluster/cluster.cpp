@@ -1,0 +1,54 @@
+#include "cluster/cluster.h"
+
+#include <thread>
+#include <vector>
+
+namespace tc {
+
+Result<std::unique_ptr<ClusterHarness>> ClusterHarness::Create(
+    ClusterTopology topology, DatasetOptions options) {
+  auto h = std::unique_ptr<ClusterHarness>(new ClusterHarness());
+  h->topology_ = topology;
+  TC_ASSIGN_OR_RETURN(
+      h->dataset_,
+      Dataset::Open(std::move(options),
+                    topology.nodes * topology.partitions_per_node));
+  return h;
+}
+
+Status ClusterHarness::IngestParallel(const std::string& workload,
+                                      uint64_t records_per_node, uint64_t seed) {
+  size_t nodes = topology_.nodes;
+  std::vector<Status> statuses(nodes, Status::OK());
+  std::vector<std::thread> feeds;
+  feeds.reserve(nodes);
+  for (size_t node = 0; node < nodes; ++node) {
+    feeds.emplace_back([&, node]() {
+      auto gen = MakeGenerator(workload, seed + node);
+      for (uint64_t i = 0; i < records_per_node; ++i) {
+        AdmValue rec = gen->NextRecord();
+        // Re-key so primary keys are disjoint across nodes' feeds.
+        for (size_t f = 0; f < rec.field_count(); ++f) {
+          if (rec.field_name(f) == "id") {
+            int64_t orig = rec.field_value(f).int_value();
+            rec.field_value(f) = AdmValue::BigInt(
+                orig * static_cast<int64_t>(nodes) + static_cast<int64_t>(node));
+            break;
+          }
+        }
+        Status st = dataset_->Insert(rec);
+        if (!st.ok()) {
+          statuses[node] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : feeds) t.join();
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace tc

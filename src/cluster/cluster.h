@@ -1,0 +1,46 @@
+// Cluster substrate for the scale-out experiments (paper §4.5): nodes are
+// simulated as thread groups in one process; each node runs a data feed that
+// hash-partitions records into the shared dataset (paper §2.2), and queries
+// execute with one executor per partition. Weak scaling: total data volume
+// grows with the node count, as in the paper's 4/8/16/32-node runs.
+#ifndef TC_CLUSTER_CLUSTER_H_
+#define TC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "workload/workload.h"
+
+namespace tc {
+
+struct ClusterTopology {
+  size_t nodes = 1;
+  size_t partitions_per_node = 2;  // the paper's NCs run two data partitions
+};
+
+class ClusterHarness {
+ public:
+  /// Opens a dataset with nodes x partitions_per_node partitions.
+  static Result<std::unique_ptr<ClusterHarness>> Create(ClusterTopology topology,
+                                                        DatasetOptions options);
+
+  /// Runs one data feed per node in parallel; each feed generates
+  /// `records_per_node` records with node-disjoint primary keys and inserts
+  /// them (hash-partitioned) into the dataset.
+  Status IngestParallel(const std::string& workload, uint64_t records_per_node,
+                        uint64_t seed);
+
+  Dataset* dataset() { return dataset_.get(); }
+  const ClusterTopology& topology() const { return topology_; }
+
+ private:
+  ClusterHarness() = default;
+
+  ClusterTopology topology_;
+  std::unique_ptr<Dataset> dataset_;
+};
+
+}  // namespace tc
+
+#endif  // TC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,79 @@
+// Bit-level packing used by the vector-based record format (§3.3 of the paper)
+// for variable-length value lengths and field-name length/ID slots.
+#ifndef TC_COMMON_BIT_PACKER_H_
+#define TC_COMMON_BIT_PACKER_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tc {
+
+/// Appends fixed-width bit fields into a byte buffer, LSB-first within bytes.
+class BitPacker {
+ public:
+  explicit BitPacker(Buffer* out) : out_(out) {}
+
+  /// Appends the low `width` bits of `v`. width in [0, 57].
+  void Append(uint64_t v, int width) {
+    TC_CHECK(width >= 0 && width <= 57);
+    if (width == 0) return;
+    acc_ |= (v & ((width == 64 ? ~0ull : (1ull << width) - 1))) << nbits_;
+    nbits_ += width;
+    while (nbits_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  /// Flushes any residual bits, zero-padded to a byte boundary.
+  void Finish() {
+    if (nbits_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  Buffer* out_;
+  uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// Reads fixed-width bit fields written by BitPacker.
+class BitReader {
+ public:
+  BitReader() : data_(nullptr), size_(0) {}
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Reads `width` bits; returns 0 for width 0. Caller must not over-read.
+  uint64_t Read(int width) {
+    if (width == 0) return 0;
+    while (nbits_ < width && pos_ < size_) {
+      acc_ |= static_cast<uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    uint64_t mask = (width == 64) ? ~0ull : ((1ull << width) - 1);
+    uint64_t v = acc_ & mask;
+    acc_ >>= width;
+    nbits_ -= width;
+    return v;
+  }
+
+  /// Bytes consumed so far (rounded up to the last byte touched).
+  size_t bytes_consumed() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace tc
+
+#endif  // TC_COMMON_BIT_PACKER_H_

@@ -1,0 +1,30 @@
+#include "common/crc32.h"
+
+namespace tc {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC32-C polynomial
+
+struct Crc32Table {
+  uint32_t t[256];
+  constexpr Crc32Table() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      t[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32Table kTable{};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) crc = (crc >> 8) ^ kTable.t[(crc ^ p[i]) & 0xff];
+  return ~crc;
+}
+
+}  // namespace tc

@@ -1,0 +1,16 @@
+// CRC32 (Castagnoli polynomial) used to checksum WAL records and on-disk
+// component metadata pages.
+#ifndef TC_COMMON_CRC32_H_
+#define TC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tc {
+
+/// CRC32-C of `data[0, n)`, seeded with `seed` (pass 0 for a fresh checksum).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace tc
+
+#endif  // TC_COMMON_CRC32_H_

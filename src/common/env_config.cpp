@@ -1,0 +1,23 @@
+#include "common/env_config.h"
+
+#include <cstdlib>
+
+namespace tc {
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? def : std::string(v);
+}
+
+int64_t BenchMegabytes() { return EnvInt64("TC_BENCH_MB", 12); }
+
+}  // namespace tc

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generator (xoshiro256**) for the workload
+// generators and property tests. Deterministic seeds make every benchmark and
+// test reproducible across runs and machines.
+#ifndef TC_COMMON_RNG_H_
+#define TC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of exactly n characters.
+  std::string AlphaString(size_t n) {
+    std::string s(n, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tc
+
+#endif  // TC_COMMON_RNG_H_

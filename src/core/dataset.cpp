@@ -1,0 +1,404 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+#include "adm/parser.h"
+#include "format/bson_format.h"
+#include "format/vector_format.h"
+
+namespace tc {
+
+const char* SchemaModeName(SchemaMode mode) {
+  switch (mode) {
+    case SchemaMode::kOpen: return "open";
+    case SchemaMode::kClosed: return "closed";
+    case SchemaMode::kInferred: return "inferred";
+    case SchemaMode::kSchemalessVB: return "sl-vb";
+    case SchemaMode::kBson: return "bson";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// DatasetPartition
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
+    const DatasetOptions* opts, int partition_id) {
+  TC_CHECK(opts->fs != nullptr && opts->cache != nullptr);
+  auto p = std::unique_ptr<DatasetPartition>(new DatasetPartition());
+  p->opts_ = opts;
+  p->id_ = partition_id;
+
+  if (opts->mode == SchemaMode::kInferred) {
+    p->compactor_ = std::make_unique<TupleCompactor>(&opts->type);
+  }
+
+  std::string part_suffix = ".p" + std::to_string(partition_id);
+  LsmTreeOptions lsm;
+  lsm.fs = opts->fs;
+  lsm.cache = opts->cache;
+  lsm.dir = opts->dir;
+  lsm.name = opts->name + part_suffix;
+  lsm.page_size = opts->page_size;
+  lsm.memtable_budget_bytes = opts->memtable_budget_bytes;
+  lsm.compression = opts->compression ? CompressionKind::kSnappy
+                                      : CompressionKind::kNone;
+  lsm.merge_policy = MakePrefixMergePolicy(opts->max_mergeable_component_bytes,
+                                           opts->max_tolerance_component_count);
+  lsm.use_wal = opts->use_wal;
+  lsm.wal_sync_every = opts->wal_sync_every;
+  lsm.transformer = p->compactor_.get();
+  lsm.capture_old_versions = opts->mode == SchemaMode::kInferred ||
+                             !opts->secondary_index_field.empty();
+
+  // Optional primary-key index for upsert existence checks (§3.2.2).
+  if (opts->primary_key_index) {
+    LsmTreeOptions pk = lsm;
+    pk.name = opts->name + part_suffix + ".pkidx";
+    pk.transformer = nullptr;
+    pk.capture_old_versions = false;
+    pk.use_wal = false;  // rebuilt through primary WAL replay on recovery
+    pk.memtable_budget_bytes = std::max<size_t>(64 * 1024,
+                                                opts->memtable_budget_bytes / 16);
+    TC_ASSIGN_OR_RETURN(p->pk_index_, LsmTree::Open(std::move(pk)));
+    LsmTree* pk_tree = p->pk_index_.get();
+    lsm.key_may_exist = [pk_tree](const BtreeKey& key) {
+      auto hit = pk_tree->Get(key);
+      return hit.ok() && hit.value().has_value();
+    };
+  }
+
+  TC_ASSIGN_OR_RETURN(p->primary_, LsmTree::Open(std::move(lsm)));
+
+  if (!opts->secondary_index_field.empty()) {
+    LsmTreeOptions sk = {};
+    sk.fs = opts->fs;
+    sk.cache = opts->cache;
+    sk.dir = opts->dir;
+    sk.name = opts->name + part_suffix + ".sidx";
+    sk.page_size = opts->page_size;
+    sk.memtable_budget_bytes = std::max<size_t>(64 * 1024,
+                                                opts->memtable_budget_bytes / 8);
+    sk.compression = opts->compression ? CompressionKind::kSnappy
+                                       : CompressionKind::kNone;
+    sk.merge_policy = MakePrefixMergePolicy(opts->max_mergeable_component_bytes,
+                                            opts->max_tolerance_component_count);
+    sk.use_wal = false;
+    TC_ASSIGN_OR_RETURN(p->secondary_, SecondaryIndex::Open(std::move(sk)));
+  }
+
+  // Crash recovery: the compactor reloaded the newest valid component's
+  // schema via FlushTransformer::OnRecoveredSchema during LsmTree::Open.
+  return p;
+}
+
+Status DatasetPartition::EncodeRecord(const AdmValue& record, Buffer* out) const {
+  switch (opts_->mode) {
+    case SchemaMode::kOpen:
+    case SchemaMode::kClosed:
+      return EncodeAdmRecord(record, opts_->type, out);
+    case SchemaMode::kInferred:
+    case SchemaMode::kSchemalessVB:
+      return EncodeVectorRecord(record, opts_->type, out);
+    case SchemaMode::kBson:
+      return EncodeBsonRecord(record, out);
+  }
+  return Status::Internal("bad mode");
+}
+
+Status DatasetPartition::DecodeWith(std::string_view payload, const Schema* schema,
+                                    AdmValue* out) const {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  switch (opts_->mode) {
+    case SchemaMode::kOpen:
+    case SchemaMode::kClosed:
+      return DecodeAdmRecord(data, payload.size(), opts_->type, out);
+    case SchemaMode::kInferred:
+    case SchemaMode::kSchemalessVB:
+      return DecodeVectorRecord(VectorRecordView(data, payload.size()),
+                                opts_->type, schema, out);
+    case SchemaMode::kBson:
+      return DecodeBsonRecord(data, payload.size(), out);
+  }
+  return Status::Internal("bad mode");
+}
+
+Status DatasetPartition::DecodeRecord(std::string_view payload,
+                                      AdmValue* out) const {
+  if (opts_->mode == SchemaMode::kInferred) {
+    std::lock_guard<std::mutex> lock(decode_mu_);
+    uint64_t version = compactor_->SchemaVersion();
+    if (version != decode_schema_version_) {
+      decode_schema_ = compactor_->Snapshot();
+      decode_schema_version_ = version;
+    }
+    return DecodeWith(payload, &decode_schema_, out);
+  }
+  return DecodeWith(payload, nullptr, out);
+}
+
+Schema DatasetPartition::SchemaSnapshot() const {
+  if (compactor_ != nullptr) return compactor_->Snapshot();
+  return Schema();
+}
+
+Result<int64_t> DatasetPartition::ExtractSecondaryKey(
+    const AdmValue& record) const {
+  const AdmValue* v = record.FindField(opts_->secondary_index_field);
+  if (v == nullptr || !IsScalar(v->tag()) || v->tag() == AdmTag::kString) {
+    return Status::InvalidArgument("secondary index field missing or non-numeric");
+  }
+  return v->int_value();
+}
+
+Status DatasetPartition::MaintainIndexesOnWrite(
+    int64_t pk, const AdmValue& record, const std::optional<Buffer>& old_payload,
+    bool is_delete) {
+  if (secondary_ == nullptr) return Status::OK();
+  if (old_payload.has_value()) {
+    AdmValue old_rec;
+    TC_RETURN_IF_ERROR(DecodeRecord(
+        std::string_view(reinterpret_cast<const char*>(old_payload->data()),
+                         old_payload->size()),
+        &old_rec));
+    TC_ASSIGN_OR_RETURN(int64_t old_sk, ExtractSecondaryKey(old_rec));
+    TC_RETURN_IF_ERROR(secondary_->Delete(old_sk, pk));
+  }
+  if (!is_delete) {
+    TC_ASSIGN_OR_RETURN(int64_t sk, ExtractSecondaryKey(record));
+    TC_RETURN_IF_ERROR(secondary_->Insert(sk, pk));
+  }
+  return Status::OK();
+}
+
+Status DatasetPartition::Insert(const AdmValue& record) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const AdmValue* pk_field = record.FindField(opts_->type.primary_key_field);
+  if (pk_field == nullptr) return Status::InvalidArgument("record missing primary key");
+  int64_t pk = pk_field->int_value();
+  Buffer payload;
+  TC_RETURN_IF_ERROR(EncodeRecord(record, &payload));
+  TC_RETURN_IF_ERROR(primary_->Insert(
+      BtreeKey{pk, 0},
+      std::string_view(reinterpret_cast<const char*>(payload.data()),
+                       payload.size())));
+  if (pk_index_ != nullptr) {
+    TC_RETURN_IF_ERROR(pk_index_->Insert(BtreeKey{pk, 0}, {}));
+  }
+  return MaintainIndexesOnWrite(pk, record, std::nullopt, /*is_delete=*/false);
+}
+
+Status DatasetPartition::Upsert(const AdmValue& record) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const AdmValue* pk_field = record.FindField(opts_->type.primary_key_field);
+  if (pk_field == nullptr) return Status::InvalidArgument("record missing primary key");
+  int64_t pk = pk_field->int_value();
+  Buffer payload;
+  TC_RETURN_IF_ERROR(EncodeRecord(record, &payload));
+  std::optional<Buffer> old;
+  TC_RETURN_IF_ERROR(primary_->Upsert(
+      BtreeKey{pk, 0},
+      std::string_view(reinterpret_cast<const char*>(payload.data()),
+                       payload.size()),
+      &old));
+  if (pk_index_ != nullptr) {
+    TC_RETURN_IF_ERROR(pk_index_->Upsert(BtreeKey{pk, 0}, {}, nullptr));
+  }
+  return MaintainIndexesOnWrite(pk, record, old, /*is_delete=*/false);
+}
+
+Status DatasetPartition::Delete(int64_t pk) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::optional<Buffer> old;
+  TC_RETURN_IF_ERROR(primary_->Delete(BtreeKey{pk, 0}, &old));
+  if (pk_index_ != nullptr) {
+    TC_RETURN_IF_ERROR(pk_index_->Delete(BtreeKey{pk, 0}, nullptr));
+  }
+  return MaintainIndexesOnWrite(pk, AdmValue::Object(), old, /*is_delete=*/true);
+}
+
+Result<std::optional<AdmValue>> DatasetPartition::Get(int64_t pk) {
+  TC_ASSIGN_OR_RETURN(auto payload, primary_->Get(BtreeKey{pk, 0}));
+  if (!payload.has_value()) return std::optional<AdmValue>{};
+  AdmValue out;
+  TC_RETURN_IF_ERROR(DecodeRecord(
+      std::string_view(reinterpret_cast<const char*>(payload->data()),
+                       payload->size()),
+      &out));
+  return std::optional<AdmValue>{std::move(out)};
+}
+
+Status DatasetPartition::Flush() {
+  TC_RETURN_IF_ERROR(primary_->Flush());
+  if (pk_index_ != nullptr) TC_RETURN_IF_ERROR(pk_index_->Flush());
+  if (secondary_ != nullptr) TC_RETURN_IF_ERROR(secondary_->Flush());
+  return Status::OK();
+}
+
+uint64_t DatasetPartition::physical_bytes() const {
+  uint64_t total = primary_->physical_bytes();
+  if (pk_index_ != nullptr) total += pk_index_->physical_bytes();
+  if (secondary_ != nullptr) total += secondary_->physical_bytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options,
+                                               size_t num_partitions) {
+  TC_CHECK(num_partitions >= 1);
+  auto ds = std::unique_ptr<Dataset>(new Dataset());
+  ds->opts_ = std::move(options);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    TC_ASSIGN_OR_RETURN(auto part,
+                        DatasetPartition::Open(&ds->opts_, static_cast<int>(i)));
+    ds->partitions_.push_back(std::move(part));
+  }
+  return ds;
+}
+
+Result<int64_t> Dataset::PrimaryKeyOf(const AdmValue& record) const {
+  const AdmValue* pk = record.FindField(opts_.type.primary_key_field);
+  if (pk == nullptr) return Status::InvalidArgument("record missing primary key");
+  switch (pk->tag()) {
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+      return pk->int_value();
+    default:
+      return Status::InvalidArgument("primary key must be an integer");
+  }
+}
+
+size_t Dataset::PartitionOf(int64_t pk) const {
+  // Fibonacci hashing spreads sequential keys uniformly.
+  uint64_t h = static_cast<uint64_t>(pk) * 0x9e3779b97f4a7c15ull;
+  return static_cast<size_t>(h % partitions_.size());
+}
+
+Status Dataset::Insert(const AdmValue& record) {
+  TC_ASSIGN_OR_RETURN(int64_t pk, PrimaryKeyOf(record));
+  return partitions_[PartitionOf(pk)]->Insert(record);
+}
+
+Status Dataset::Upsert(const AdmValue& record) {
+  TC_ASSIGN_OR_RETURN(int64_t pk, PrimaryKeyOf(record));
+  return partitions_[PartitionOf(pk)]->Upsert(record);
+}
+
+Status Dataset::Delete(int64_t pk) {
+  return partitions_[PartitionOf(pk)]->Delete(pk);
+}
+
+Result<std::optional<AdmValue>> Dataset::Get(int64_t pk) {
+  return partitions_[PartitionOf(pk)]->Get(pk);
+}
+
+Status Dataset::InsertJson(std::string_view text) {
+  TC_ASSIGN_OR_RETURN(AdmValue record, ParseAdm(text));
+  return Insert(record);
+}
+
+Status Dataset::FlushAll() {
+  for (auto& p : partitions_) TC_RETURN_IF_ERROR(p->Flush());
+  return Status::OK();
+}
+
+Status Dataset::BulkLoad(std::vector<AdmValue> records) {
+  // Partition, then sort each partition by primary key (the paper: bulk load
+  // sorts the records and builds a single component bottom-up).
+  std::vector<std::vector<std::pair<int64_t, const AdmValue*>>> buckets(
+      partitions_.size());
+  for (const AdmValue& r : records) {
+    TC_ASSIGN_OR_RETURN(int64_t pk, PrimaryKeyOf(r));
+    buckets[PartitionOf(pk)].emplace_back(pk, &r);
+  }
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    auto& bucket = buckets[i];
+    std::sort(bucket.begin(), bucket.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    DatasetPartition* part = partitions_[i].get();
+    Buffer payload;
+    TC_RETURN_IF_ERROR(part->primary()->BulkLoad(
+        [&](std::function<Status(const BtreeKey&, std::string_view)> add)
+            -> Status {
+          for (const auto& [pk, rec] : bucket) {
+            payload.clear();
+            TC_RETURN_IF_ERROR(part->EncodeRecord(*rec, &payload));
+            TC_RETURN_IF_ERROR(
+                add(BtreeKey{pk, 0},
+                    std::string_view(reinterpret_cast<const char*>(payload.data()),
+                                     payload.size())));
+          }
+          return Status::OK();
+        }));
+    if (part->pk_index() != nullptr) {
+      TC_RETURN_IF_ERROR(part->pk_index()->BulkLoad(
+          [&](std::function<Status(const BtreeKey&, std::string_view)> add)
+              -> Status {
+            for (const auto& [pk, rec] : bucket) {
+              TC_RETURN_IF_ERROR(add(BtreeKey{pk, 0}, {}));
+            }
+            return Status::OK();
+          }));
+    }
+    if (part->secondary() != nullptr) {
+      for (const auto& [pk, rec] : bucket) {
+        const AdmValue* v = rec->FindField(opts_.secondary_index_field);
+        if (v == nullptr) continue;
+        TC_RETURN_IF_ERROR(part->secondary()->Insert(v->int_value(), pk));
+      }
+      TC_RETURN_IF_ERROR(part->secondary()->Flush());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> Dataset::SecondaryRangeScan(int64_t lo, int64_t hi) {
+  std::vector<int64_t> all;
+  for (auto& p : partitions_) {
+    if (p->secondary() == nullptr) {
+      return Status::InvalidArgument("dataset has no secondary index");
+    }
+    TC_ASSIGN_OR_RETURN(auto pks, p->secondary()->RangeScan(lo, hi));
+    all.insert(all.end(), pks.begin(), pks.end());
+  }
+  return all;
+}
+
+uint64_t Dataset::TotalPhysicalBytes() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->physical_bytes();
+  return total;
+}
+
+LsmStats Dataset::AggregateStats() const {
+  LsmStats agg;
+  for (const auto& p : partitions_) {
+    const LsmStats& s = p->primary()->stats();
+    agg.flush_count += s.flush_count;
+    agg.merge_count += s.merge_count;
+    agg.bytes_flushed += s.bytes_flushed;
+    agg.bytes_merged += s.bytes_merged;
+    agg.point_lookups += s.point_lookups;
+    agg.old_version_lookups += s.old_version_lookups;
+  }
+  return agg;
+}
+
+Status Dataset::DestroyAll() {
+  for (auto& p : partitions_) {
+    TC_RETURN_IF_ERROR(p->primary()->DestroyAll());
+    if (p->pk_index() != nullptr) TC_RETURN_IF_ERROR(p->pk_index()->DestroyAll());
+    if (p->secondary() != nullptr) {
+      TC_RETURN_IF_ERROR(p->secondary()->tree()->DestroyAll());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tc

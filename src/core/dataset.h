@@ -1,0 +1,176 @@
+// Public dataset API: the equivalent of AsterixDB's CREATE DATASET plus the
+// experiment configurations of the paper's §4 ("Schema Configuration"):
+//   * kOpen      — only the primary key declared; records stored in the
+//                  self-describing ADM physical format (names + offsets).
+//   * kClosed    — every field declared; ADM format without names.
+//   * kInferred  — only the primary key declared; records stored vector-based
+//                  and compacted by the tuple compactor at flush time.
+//   * kSchemalessVB — vector-based format without the compactor (the SL-VB
+//                  configuration of §4.4.4 / Figure 21).
+//   * kBson      — BSON-like storage (the MongoDB baseline of Figure 16).
+// Page-level compression (§2.4) is orthogonal and controlled by `compression`.
+#ifndef TC_CORE_DATASET_H_
+#define TC_CORE_DATASET_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "core/tuple_compactor.h"
+#include "format/adm_format.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/secondary_index.h"
+#include "schema/type_descriptor.h"
+#include "storage/buffer_cache.h"
+
+namespace tc {
+
+enum class SchemaMode {
+  kOpen,
+  kClosed,
+  kInferred,
+  kSchemalessVB,
+  kBson,
+};
+
+const char* SchemaModeName(SchemaMode mode);
+
+struct DatasetOptions {
+  std::string name = "dataset";
+  std::string dir = "data";
+  SchemaMode mode = SchemaMode::kInferred;
+  /// Declared type; must declare at least the (bigint) primary key.
+  DatasetType type = DatasetType::OpenWithPk("id");
+  bool compression = false;
+  size_t page_size = 32 * 1024;
+  size_t memtable_budget_bytes = 4 * 1024 * 1024;
+  uint64_t max_mergeable_component_bytes = 32ull << 20;  // prefix merge policy
+  size_t max_tolerance_component_count = 5;
+  bool use_wal = true;
+  size_t wal_sync_every = 64;
+  /// Primary-key index for upsert existence checks (paper §3.2.2, Fig. 17b).
+  bool primary_key_index = false;
+  /// Name of a top-level bigint field to index (paper §4.4.5), empty = none.
+  std::string secondary_index_field;
+
+  std::shared_ptr<FileSystem> fs;   // required
+  BufferCache* cache = nullptr;     // required; page_size must match
+};
+
+/// One data partition: a primary LSM B+-tree index plus optional primary-key
+/// and secondary indexes, and (for kInferred) the partition-local tuple
+/// compactor with its independently inferred schema (§3.4.1).
+class DatasetPartition {
+ public:
+  static Result<std::unique_ptr<DatasetPartition>> Open(const DatasetOptions* opts,
+                                                        int partition_id);
+
+  Status Insert(const AdmValue& record);
+  Status Upsert(const AdmValue& record);
+  Status Delete(int64_t pk);
+  Result<std::optional<AdmValue>> Get(int64_t pk);
+
+  Status Flush();
+
+  /// Encodes a record in this partition's storage format (uncompacted for
+  /// vector-based modes; compaction happens at flush).
+  Status EncodeRecord(const AdmValue& record, Buffer* out) const;
+  /// Decodes a stored payload. For kInferred the current schema snapshot
+  /// resolves compacted FieldNameIDs. Pass a schema explicitly with
+  /// DecodeWith when operating from a broadcast snapshot.
+  Status DecodeRecord(std::string_view payload, AdmValue* out) const;
+  Status DecodeWith(std::string_view payload, const Schema* schema,
+                    AdmValue* out) const;
+
+  /// Partition-local inferred schema snapshot (empty schema for non-inferred
+  /// modes).
+  Schema SchemaSnapshot() const;
+
+  int partition_id() const { return id_; }
+  LsmTree* primary() { return primary_.get(); }
+  const LsmTree* primary() const { return primary_.get(); }
+  SecondaryIndex* secondary() { return secondary_.get(); }
+  LsmTree* pk_index() { return pk_index_.get(); }
+  const DatasetOptions& options() const { return *opts_; }
+
+  uint64_t physical_bytes() const;
+
+ private:
+  DatasetPartition() = default;
+
+  Status MaintainIndexesOnWrite(int64_t pk, const AdmValue& record,
+                                const std::optional<Buffer>& old_payload,
+                                bool is_delete);
+  Result<int64_t> ExtractSecondaryKey(const AdmValue& record) const;
+
+  const DatasetOptions* opts_ = nullptr;
+  int id_ = 0;
+  // Serializes writers targeting this partition (concurrent data feeds hash
+  // records from several ingest threads into the same partition).
+  std::mutex write_mu_;
+  // Point-lookup decode cache: cloning the schema per Get() is wasteful, so
+  // DecodeRecord keeps a snapshot and refreshes it only when the compactor's
+  // schema version moves.
+  mutable std::mutex decode_mu_;
+  mutable Schema decode_schema_;
+  mutable uint64_t decode_schema_version_ = UINT64_MAX;
+  std::unique_ptr<TupleCompactor> compactor_;  // kInferred only
+  std::unique_ptr<LsmTree> primary_;
+  std::unique_ptr<LsmTree> pk_index_;          // optional
+  std::unique_ptr<SecondaryIndex> secondary_;  // optional
+};
+
+/// A dataset spread across hash partitions (paper §2.2): each record is
+/// hash-partitioned on its primary key; partitions operate independently,
+/// including their inferred schemas.
+class Dataset {
+ public:
+  static Result<std::unique_ptr<Dataset>> Open(DatasetOptions options,
+                                               size_t num_partitions);
+
+  Status Insert(const AdmValue& record);
+  Status Upsert(const AdmValue& record);
+  Status Delete(int64_t pk);
+  Result<std::optional<AdmValue>> Get(int64_t pk);
+
+  /// Parses ADM text and inserts (convenience for examples).
+  Status InsertJson(std::string_view text);
+
+  Status FlushAll();
+
+  /// Sorts records per partition and bulk-loads one component per partition
+  /// (paper §4.3 bulk-load experiments). Dataset must be empty.
+  Status BulkLoad(std::vector<AdmValue> records);
+
+  /// Primary keys in [lo, hi] via the secondary index on the configured field.
+  Result<std::vector<int64_t>> SecondaryRangeScan(int64_t lo, int64_t hi);
+
+  size_t partition_count() const { return partitions_.size(); }
+  DatasetPartition* partition(size_t i) { return partitions_[i].get(); }
+  const DatasetOptions& options() const { return opts_; }
+
+  /// Total on-disk footprint across partitions (Figure 16 metric).
+  uint64_t TotalPhysicalBytes() const;
+  /// Aggregated LSM stats across partitions.
+  LsmStats AggregateStats() const;
+
+  /// Extracts the primary key from a record per the declared type.
+  Result<int64_t> PrimaryKeyOf(const AdmValue& record) const;
+  size_t PartitionOf(int64_t pk) const;
+
+  /// Removes all on-disk state.
+  Status DestroyAll();
+
+ private:
+  Dataset() = default;
+
+  DatasetOptions opts_;
+  std::vector<std::unique_ptr<DatasetPartition>> partitions_;
+};
+
+}  // namespace tc
+
+#endif  // TC_CORE_DATASET_H_

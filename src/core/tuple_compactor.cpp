@@ -1,0 +1,6 @@
+#include "core/tuple_compactor.h"
+
+// TupleCompactor is header-only; this TU anchors it in the library so its
+// vtable has a home and future out-of-line additions have a place to live.
+
+namespace tc {}  // namespace tc

@@ -1,0 +1,82 @@
+// The tuple compactor (paper §3): a FlushTransformer that piggybacks on LSM
+// flush operations to (1) infer the schema of every flushed record by scanning
+// its vector-based tag/name vectors, (2) rewrite the record in compacted form
+// with field names replaced by dictionary IDs, (3) process anti-schemas of
+// removed record versions, and (4) persist the inferred schema into the
+// flushed component's metadata page.
+#ifndef TC_CORE_TUPLE_COMPACTOR_H_
+#define TC_CORE_TUPLE_COMPACTOR_H_
+
+#include <mutex>
+
+#include "format/vector_format.h"
+#include "lsm/lsm_tree.h"
+#include "schema/schema_io.h"
+#include "schema/schema_tree.h"
+#include "schema/type_descriptor.h"
+
+namespace tc {
+
+class TupleCompactor final : public FlushTransformer {
+ public:
+  /// `type` must outlive the compactor (it lives in DatasetOptions).
+  explicit TupleCompactor(const DatasetType* type) : type_(type) {}
+
+  Status OnFlushBegin() override { return Status::OK(); }
+
+  Status TransformLive(std::string_view payload, Buffer* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    VectorRecordView view(reinterpret_cast<const uint8_t*>(payload.data()),
+                          payload.size());
+    return InferAndCompactVectorRecord(view, *type_, &schema_, out);
+  }
+
+  Status OnRemovedVersion(std::string_view old_payload) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    VectorRecordView view(reinterpret_cast<const uint8_t*>(old_payload.data()),
+                          old_payload.size());
+    return RemoveVectorRecord(view, *type_, &schema_);
+  }
+
+  Status OnFlushEnd(Buffer* schema_blob) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    SerializeSchema(schema_, schema_blob);
+    return Status::OK();
+  }
+
+  Status OnRecoveredSchema(const Buffer& blob) override { return LoadSchema(blob); }
+
+  /// Crash recovery (paper §3.1.2): reload the newest valid component's
+  /// persisted schema as the in-memory schema.
+  Status LoadSchema(const Buffer& blob) {
+    if (blob.empty()) return Status::OK();
+    size_t consumed = 0;
+    TC_ASSIGN_OR_RETURN(Schema s, DeserializeSchema(blob.data(), blob.size(),
+                                                    &consumed));
+    std::lock_guard<std::mutex> lock(mu_);
+    schema_ = std::move(s);
+    return Status::OK();
+  }
+
+  /// Consistent deep copy for queries (schema broadcast) and tests.
+  Schema Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return schema_.Clone();
+  }
+
+  /// Monotonically increasing schema version (bumps on every inference or
+  /// anti-schema change); lets readers cache snapshots cheaply.
+  uint64_t SchemaVersion() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return schema_.version();
+  }
+
+ private:
+  const DatasetType* type_;
+  mutable std::mutex mu_;
+  Schema schema_;
+};
+
+}  // namespace tc
+
+#endif  // TC_CORE_TUPLE_COMPACTOR_H_

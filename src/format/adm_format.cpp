@@ -1,0 +1,387 @@
+#include "format/adm_format.h"
+
+namespace tc {
+namespace {
+
+void AppendScalarPayload(const AdmValue& v, Buffer* out) {
+  switch (v.tag()) {
+    case AdmTag::kBoolean:
+      PutU8(out, v.bool_value() ? 1 : 0);
+      break;
+    case AdmTag::kTinyInt:
+      PutU8(out, static_cast<uint8_t>(v.int_value()));
+      break;
+    case AdmTag::kSmallInt:
+      PutFixed16(out, static_cast<uint16_t>(v.int_value()));
+      break;
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+      PutFixed32(out, static_cast<uint32_t>(v.int_value()));
+      break;
+    case AdmTag::kBigInt:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      PutFixed64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case AdmTag::kFloat:
+      PutFloat(out, static_cast<float>(v.double_value()));
+      break;
+    case AdmTag::kDouble:
+      PutDouble(out, v.double_value());
+      break;
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+      PutFixed32(out, static_cast<uint32_t>(v.string_value().size()));
+      PutString(out, v.string_value());
+      break;
+    case AdmTag::kUuid:
+      PutString(out, v.string_value());
+      break;
+    case AdmTag::kPoint:
+      PutDouble(out, v.point_x());
+      PutDouble(out, v.point_y());
+      break;
+    default:
+      break;  // null carries no payload
+  }
+}
+
+Status EncodeValue(const AdmValue& v, const TypeDescriptor* decl, Buffer* out) {
+  size_t start = out->size();
+  PutU8(out, static_cast<uint8_t>(v.tag()));
+  switch (v.tag()) {
+    case AdmTag::kObject: {
+      PutFixed32(out, 0);  // total size, patched below
+      // Split fields into the declared (closed) and open parts.
+      size_t n_declared = decl != nullptr ? decl->field_count() : 0;
+      PutFixed32(out, static_cast<uint32_t>(n_declared));
+      size_t declared_table = out->size();
+      for (size_t i = 0; i < n_declared; ++i) PutFixed32(out, 0);
+
+      std::vector<size_t> open_fields;  // indexes into v's fields
+      for (size_t i = 0; i < v.field_count(); ++i) {
+        if (v.field_value(i).tag() == AdmTag::kMissing) continue;
+        if (decl == nullptr || decl->DeclaredIndex(v.field_name(i)) < 0) {
+          open_fields.push_back(i);
+        }
+      }
+      PutFixed32(out, static_cast<uint32_t>(open_fields.size()));
+      std::vector<size_t> open_offset_slots;
+      for (size_t i : open_fields) {
+        const std::string& name = v.field_name(i);
+        PutFixed32(out, static_cast<uint32_t>(name.size()));
+        PutString(out, name);
+        open_offset_slots.push_back(out->size());
+        PutFixed32(out, 0);
+      }
+
+      // Declared values first (in declared order), then open values.
+      for (size_t d = 0; d < n_declared; ++d) {
+        const AdmValue* fv = v.FindField(decl->field_name(d));
+        if (fv == nullptr || fv->tag() == AdmTag::kMissing) continue;  // absent
+        OverwriteFixed32(out, declared_table + 4 * d,
+                         static_cast<uint32_t>(out->size() - start));
+        TC_RETURN_IF_ERROR(EncodeValue(*fv, decl->field_type(d).get(), out));
+      }
+      for (size_t k = 0; k < open_fields.size(); ++k) {
+        OverwriteFixed32(out, open_offset_slots[k],
+                         static_cast<uint32_t>(out->size() - start));
+        TC_RETURN_IF_ERROR(EncodeValue(v.field_value(open_fields[k]), nullptr, out));
+      }
+      OverwriteFixed32(out, start + 1, static_cast<uint32_t>(out->size() - start));
+      return Status::OK();
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      PutFixed32(out, 0);  // total size, patched below
+      PutFixed32(out, static_cast<uint32_t>(v.size()));
+      size_t table = out->size();
+      for (size_t i = 0; i < v.size(); ++i) PutFixed32(out, 0);
+      const TypeDescriptor* item_decl =
+          decl != nullptr && decl->item_type() != nullptr ? decl->item_type().get()
+                                                          : nullptr;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (v.item(i).tag() == AdmTag::kMissing) {
+          return Status::InvalidArgument("missing is not a legal collection item");
+        }
+        OverwriteFixed32(out, table + 4 * i,
+                         static_cast<uint32_t>(out->size() - start));
+        TC_RETURN_IF_ERROR(EncodeValue(v.item(i), item_decl, out));
+      }
+      OverwriteFixed32(out, start + 1, static_cast<uint32_t>(out->size() - start));
+      return Status::OK();
+    }
+    case AdmTag::kMissing:
+    case AdmTag::kUnion:
+    case AdmTag::kEov:
+    case AdmTag::kEndNest:
+      return Status::InvalidArgument(std::string("cannot encode value of type ") +
+                                     AdmTagName(v.tag()));
+    default:
+      AppendScalarPayload(v, out);
+      return Status::OK();
+  }
+}
+
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  Status Need(size_t n) const {
+    if (pos + n > size) return Status::Corruption("adm: truncated record");
+    return Status::OK();
+  }
+};
+
+Status DecodeValue(Cursor c, const TypeDescriptor* decl, int depth, AdmValue* out);
+
+Status DecodeScalarAt(Cursor c, AdmTag tag, AdmValue* out) {
+  const uint8_t* p = c.data + c.pos;
+  switch (tag) {
+    case AdmTag::kNull:
+      *out = AdmValue::Null();
+      return Status::OK();
+    case AdmTag::kBoolean:
+      TC_RETURN_IF_ERROR(c.Need(1));
+      *out = AdmValue::Boolean(p[0] != 0);
+      return Status::OK();
+    case AdmTag::kTinyInt:
+      TC_RETURN_IF_ERROR(c.Need(1));
+      *out = AdmValue::TinyInt(static_cast<int8_t>(p[0]));
+      return Status::OK();
+    case AdmTag::kSmallInt:
+      TC_RETURN_IF_ERROR(c.Need(2));
+      *out = AdmValue::SmallInt(static_cast<int16_t>(GetFixed16(p)));
+      return Status::OK();
+    case AdmTag::kInt:
+      TC_RETURN_IF_ERROR(c.Need(4));
+      *out = AdmValue::Int(static_cast<int32_t>(GetFixed32(p)));
+      return Status::OK();
+    case AdmTag::kDate:
+      TC_RETURN_IF_ERROR(c.Need(4));
+      *out = AdmValue::Date(static_cast<int32_t>(GetFixed32(p)));
+      return Status::OK();
+    case AdmTag::kTime:
+      TC_RETURN_IF_ERROR(c.Need(4));
+      *out = AdmValue::Time(static_cast<int32_t>(GetFixed32(p)));
+      return Status::OK();
+    case AdmTag::kBigInt:
+      TC_RETURN_IF_ERROR(c.Need(8));
+      *out = AdmValue::BigInt(static_cast<int64_t>(GetFixed64(p)));
+      return Status::OK();
+    case AdmTag::kDateTime:
+      TC_RETURN_IF_ERROR(c.Need(8));
+      *out = AdmValue::DateTime(static_cast<int64_t>(GetFixed64(p)));
+      return Status::OK();
+    case AdmTag::kDuration:
+      TC_RETURN_IF_ERROR(c.Need(8));
+      *out = AdmValue::Duration(static_cast<int64_t>(GetFixed64(p)));
+      return Status::OK();
+    case AdmTag::kFloat:
+      TC_RETURN_IF_ERROR(c.Need(4));
+      *out = AdmValue::Float(GetFloat(p));
+      return Status::OK();
+    case AdmTag::kDouble:
+      TC_RETURN_IF_ERROR(c.Need(8));
+      *out = AdmValue::Double(GetDouble(p));
+      return Status::OK();
+    case AdmTag::kString:
+    case AdmTag::kBinary: {
+      TC_RETURN_IF_ERROR(c.Need(4));
+      uint32_t len = GetFixed32(p);
+      TC_RETURN_IF_ERROR(c.Need(4 + len));
+      std::string s(reinterpret_cast<const char*>(p + 4), len);
+      *out = tag == AdmTag::kString ? AdmValue::String(std::move(s))
+                                    : AdmValue::Binary(std::move(s));
+      return Status::OK();
+    }
+    case AdmTag::kUuid:
+      TC_RETURN_IF_ERROR(c.Need(16));
+      *out = AdmValue::Uuid(std::string(reinterpret_cast<const char*>(p), 16));
+      return Status::OK();
+    case AdmTag::kPoint:
+      TC_RETURN_IF_ERROR(c.Need(16));
+      *out = AdmValue::Point(GetDouble(p), GetDouble(p + 8));
+      return Status::OK();
+    default:
+      return Status::Corruption("adm: unexpected scalar tag");
+  }
+}
+
+Status DecodeValue(Cursor c, const TypeDescriptor* decl, int depth, AdmValue* out) {
+  if (depth > 256) return Status::Corruption("adm: nesting too deep");
+  TC_RETURN_IF_ERROR(c.Need(1));
+  size_t start = c.pos;
+  AdmTag tag = static_cast<AdmTag>(c.data[c.pos++]);
+  switch (tag) {
+    case AdmTag::kObject: {
+      TC_RETURN_IF_ERROR(c.Need(8));
+      uint32_t n_declared = GetFixed32(c.data + c.pos + 4);
+      c.pos += 8;
+      if (decl != nullptr && n_declared != decl->field_count()) {
+        return Status::Corruption("adm: declared-field count mismatch");
+      }
+      std::vector<uint32_t> declared_offsets(n_declared);
+      TC_RETURN_IF_ERROR(c.Need(4 * n_declared));
+      for (uint32_t i = 0; i < n_declared; ++i) {
+        declared_offsets[i] = GetFixed32(c.data + c.pos);
+        c.pos += 4;
+      }
+      TC_RETURN_IF_ERROR(c.Need(4));
+      uint32_t n_open = GetFixed32(c.data + c.pos);
+      c.pos += 4;
+      *out = AdmValue::Object();
+      for (uint32_t i = 0; i < n_declared; ++i) {
+        if (declared_offsets[i] == 0) continue;  // absent declared field
+        if (decl == nullptr) {
+          return Status::Corruption("adm: declared fields without a descriptor");
+        }
+        Cursor vc = c;
+        vc.pos = start + declared_offsets[i];
+        if (vc.pos >= c.size) return Status::Corruption("adm: bad declared offset");
+        AdmValue fv;
+        TC_RETURN_IF_ERROR(DecodeValue(vc, decl->field_type(i).get(), depth + 1, &fv));
+        out->AddField(decl->field_name(i), std::move(fv));
+      }
+      for (uint32_t i = 0; i < n_open; ++i) {
+        TC_RETURN_IF_ERROR(c.Need(4));
+        uint32_t name_len = GetFixed32(c.data + c.pos);
+        c.pos += 4;
+        TC_RETURN_IF_ERROR(c.Need(name_len + 4));
+        std::string name(reinterpret_cast<const char*>(c.data + c.pos), name_len);
+        c.pos += name_len;
+        uint32_t off = GetFixed32(c.data + c.pos);
+        c.pos += 4;
+        Cursor vc = c;
+        vc.pos = start + off;
+        if (vc.pos >= c.size) return Status::Corruption("adm: bad open offset");
+        AdmValue fv;
+        TC_RETURN_IF_ERROR(DecodeValue(vc, nullptr, depth + 1, &fv));
+        out->AddField(std::move(name), std::move(fv));
+      }
+      return Status::OK();
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      TC_RETURN_IF_ERROR(c.Need(8));
+      uint32_t count = GetFixed32(c.data + c.pos + 4);
+      c.pos += 8;
+      TC_RETURN_IF_ERROR(c.Need(4 * static_cast<size_t>(count)));
+      *out = AdmValue(tag);
+      const TypeDescriptor* item_decl =
+          decl != nullptr && decl->item_type() != nullptr ? decl->item_type().get()
+                                                          : nullptr;
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t off = GetFixed32(c.data + c.pos + 4 * i);
+        Cursor vc = c;
+        vc.pos = start + off;
+        if (vc.pos >= c.size) return Status::Corruption("adm: bad item offset");
+        AdmValue iv;
+        TC_RETURN_IF_ERROR(DecodeValue(vc, item_decl, depth + 1, &iv));
+        out->Append(std::move(iv));
+      }
+      return Status::OK();
+    }
+    default:
+      return DecodeScalarAt(c, tag, out);
+  }
+}
+
+// Locates the value at one path step below the nested value at `c.pos`.
+// Returns found=false (without error) when the step does not resolve.
+Status StepInto(Cursor* c, const TypeDescriptor** decl, const PathStep& step,
+                bool* found) {
+  *found = false;
+  Cursor& cur = *c;
+  TC_RETURN_IF_ERROR(cur.Need(1));
+  size_t start = cur.pos;
+  AdmTag tag = static_cast<AdmTag>(cur.data[cur.pos++]);
+  if (step.kind == PathStep::kField) {
+    if (tag != AdmTag::kObject) return Status::OK();
+    TC_RETURN_IF_ERROR(cur.Need(8));
+    uint32_t n_declared = GetFixed32(cur.data + cur.pos + 4);
+    cur.pos += 8;
+    TC_RETURN_IF_ERROR(cur.Need(4 * n_declared + 4));
+    int didx = *decl != nullptr ? (*decl)->DeclaredIndex(step.name) : -1;
+    if (didx >= 0) {
+      uint32_t off = GetFixed32(cur.data + cur.pos + 4 * static_cast<size_t>(didx));
+      if (off == 0) return Status::OK();  // declared but absent
+      const TypeDescriptor* child = (*decl)->field_type(static_cast<size_t>(didx)).get();
+      cur.pos = start + off;
+      *decl = child;
+      *found = true;
+      return Status::OK();
+    }
+    cur.pos += 4 * n_declared;
+    uint32_t n_open = GetFixed32(cur.data + cur.pos);
+    cur.pos += 4;
+    for (uint32_t i = 0; i < n_open; ++i) {
+      TC_RETURN_IF_ERROR(cur.Need(4));
+      uint32_t name_len = GetFixed32(cur.data + cur.pos);
+      cur.pos += 4;
+      TC_RETURN_IF_ERROR(cur.Need(name_len + 4));
+      std::string_view name(reinterpret_cast<const char*>(cur.data + cur.pos),
+                            name_len);
+      cur.pos += name_len;
+      uint32_t off = GetFixed32(cur.data + cur.pos);
+      cur.pos += 4;
+      if (name == step.name) {
+        cur.pos = start + off;
+        *decl = nullptr;
+        *found = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+  // Index step.
+  if (!IsCollection(tag)) return Status::OK();
+  TC_RETURN_IF_ERROR(cur.Need(8));
+  uint32_t count = GetFixed32(cur.data + cur.pos + 4);
+  cur.pos += 8;
+  if (step.index >= count) return Status::OK();
+  TC_RETURN_IF_ERROR(cur.Need(4 * static_cast<size_t>(count)));
+  uint32_t off = GetFixed32(cur.data + cur.pos + 4 * step.index);
+  const TypeDescriptor* item_decl =
+      *decl != nullptr && (*decl)->item_type() != nullptr ? (*decl)->item_type().get()
+                                                          : nullptr;
+  cur.pos = start + off;
+  *decl = item_decl;
+  *found = true;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeAdmRecord(const AdmValue& record, const DatasetType& type,
+                       Buffer* out) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("adm format encodes object records");
+  }
+  return EncodeValue(record, type.root.get(), out);
+}
+
+Status DecodeAdmRecord(const uint8_t* data, size_t size, const DatasetType& type,
+                       AdmValue* out) {
+  Cursor c{data, size, 0};
+  return DecodeValue(c, type.root.get(), 0, out);
+}
+
+Status AdmGetPath(const uint8_t* data, size_t size, const DatasetType& type,
+                  const std::vector<PathStep>& path, AdmValue* out) {
+  Cursor c{data, size, 0};
+  const TypeDescriptor* decl = type.root.get();
+  for (const PathStep& step : path) {
+    bool found = false;
+    TC_RETURN_IF_ERROR(StepInto(&c, &decl, step, &found));
+    if (!found) {
+      *out = AdmValue::Missing();
+      return Status::OK();
+    }
+  }
+  return DecodeValue(c, decl, 0, out);
+}
+
+}  // namespace tc

@@ -1,0 +1,59 @@
+// The ADM physical record format — the baseline AsterixDB layout the paper
+// compares against (§2.2, [3]). It is recursive and self-describing: every
+// nested value owns a 4-byte offset in its parent's offset table, declared
+// (closed) fields omit their names, and undeclared (open) fields store their
+// names inline. The storage-overhead profile this reproduces:
+//   * open datasets pay names + offsets per record,
+//   * closed datasets pay offsets only,
+//   * the vector-based format (vector_format.h) pays neither.
+//
+// Layout:
+//   scalar        [tag][payload]             (string/binary: u32 len + bytes)
+//   object        [tag][u32 size][u32 n_declared][n_declared x u32 offset]
+//                 [u32 n_open][n_open x (u32 name_len, name, u32 offset)]
+//                 [field values...]          (offsets relative to the tag byte;
+//                                             offset 0 == declared field absent)
+//   array/multiset[tag][u32 size][u32 count][count x u32 offset][items...]
+#ifndef TC_FORMAT_ADM_FORMAT_H_
+#define TC_FORMAT_ADM_FORMAT_H_
+
+#include "adm/value.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "schema/type_descriptor.h"
+
+namespace tc {
+
+/// Encodes `record` against the dataset's declared type. Fields present in the
+/// descriptor are written to the closed (declared) part without names; all
+/// other fields go to the open part with inline names. Missing-valued fields
+/// are dropped.
+Status EncodeAdmRecord(const AdmValue& record, const DatasetType& type,
+                       Buffer* out);
+
+/// Decodes a record written by EncodeAdmRecord. Declared field names are
+/// resolved through the descriptor.
+Status DecodeAdmRecord(const uint8_t* data, size_t size, const DatasetType& type,
+                       AdmValue* out);
+
+/// One step of a field-access path. kWildcard ("[*]") is resolved by the query
+/// layer (format/vector walker or per-item ADM navigation); AdmGetPath itself
+/// rejects it.
+struct PathStep {
+  enum Kind { kField, kIndex, kWildcard } kind;
+  std::string name;  // kField
+  size_t index = 0;  // kIndex
+  static PathStep Field(std::string n) { return {kField, std::move(n), 0}; }
+  static PathStep Index(size_t i) { return {kIndex, {}, i}; }
+  static PathStep Wildcard() { return {kWildcard, {}, 0}; }
+};
+
+/// Offset-based point access (the "traditional formats provide logarithmic
+/// time" behaviour of §3.3.1): descends through offset tables without decoding
+/// sibling values. Returns a `missing` value when the path does not exist.
+Status AdmGetPath(const uint8_t* data, size_t size, const DatasetType& type,
+                  const std::vector<PathStep>& path, AdmValue* out);
+
+}  // namespace tc
+
+#endif  // TC_FORMAT_ADM_FORMAT_H_

@@ -1,0 +1,244 @@
+#include "format/bson_format.h"
+
+#include <cstdio>
+
+namespace tc {
+namespace {
+
+constexpr uint8_t kBsonDouble = 0x01;
+constexpr uint8_t kBsonString = 0x02;
+constexpr uint8_t kBsonDocument = 0x03;
+constexpr uint8_t kBsonArray = 0x04;
+constexpr uint8_t kBsonBinary = 0x05;
+constexpr uint8_t kBsonBool = 0x08;
+constexpr uint8_t kBsonDateTime = 0x09;
+constexpr uint8_t kBsonNull = 0x0A;
+constexpr uint8_t kBsonInt32 = 0x10;
+constexpr uint8_t kBsonInt64 = 0x12;
+
+void PutCString(Buffer* out, std::string_view s) {
+  PutString(out, s);
+  PutU8(out, 0);
+}
+
+Status EncodeDocument(const AdmValue& v, Buffer* out);
+
+Status EncodeElement(std::string_view name, const AdmValue& v, Buffer* out) {
+  switch (v.tag()) {
+    case AdmTag::kMissing:
+      return Status::OK();  // absent
+    case AdmTag::kNull:
+      PutU8(out, kBsonNull);
+      PutCString(out, name);
+      return Status::OK();
+    case AdmTag::kBoolean:
+      PutU8(out, kBsonBool);
+      PutCString(out, name);
+      PutU8(out, v.bool_value() ? 1 : 0);
+      return Status::OK();
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+      PutU8(out, kBsonInt32);
+      PutCString(out, name);
+      PutFixed32(out, static_cast<uint32_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kBigInt:
+    case AdmTag::kDuration:
+      PutU8(out, kBsonInt64);
+      PutCString(out, name);
+      PutFixed64(out, static_cast<uint64_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kDateTime:
+      PutU8(out, kBsonDateTime);
+      PutCString(out, name);
+      PutFixed64(out, static_cast<uint64_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kFloat:
+    case AdmTag::kDouble:
+      PutU8(out, kBsonDouble);
+      PutCString(out, name);
+      PutDouble(out, v.double_value());
+      return Status::OK();
+    case AdmTag::kString:
+      PutU8(out, kBsonString);
+      PutCString(out, name);
+      PutFixed32(out, static_cast<uint32_t>(v.string_value().size() + 1));
+      PutCString(out, v.string_value());
+      return Status::OK();
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+      PutU8(out, kBsonBinary);
+      PutCString(out, name);
+      PutFixed32(out, static_cast<uint32_t>(v.string_value().size()));
+      PutU8(out, v.tag() == AdmTag::kUuid ? 0x04 : 0x00);  // binary subtype
+      PutString(out, v.string_value());
+      return Status::OK();
+    case AdmTag::kPoint: {
+      PutU8(out, kBsonDocument);
+      PutCString(out, name);
+      AdmValue doc = AdmValue::Object();
+      doc.AddField("x", AdmValue::Double(v.point_x()));
+      doc.AddField("y", AdmValue::Double(v.point_y()));
+      return EncodeDocument(doc, out);
+    }
+    case AdmTag::kObject:
+      PutU8(out, kBsonDocument);
+      PutCString(out, name);
+      return EncodeDocument(v, out);
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      PutU8(out, kBsonArray);
+      PutCString(out, name);
+      size_t start = out->size();
+      PutFixed32(out, 0);
+      char idx[24];
+      for (size_t i = 0; i < v.size(); ++i) {
+        std::snprintf(idx, sizeof(idx), "%zu", i);
+        TC_RETURN_IF_ERROR(EncodeElement(idx, v.item(i), out));
+      }
+      PutU8(out, 0);
+      OverwriteFixed32(out, start, static_cast<uint32_t>(out->size() - start));
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("bson: unencodable type");
+  }
+}
+
+Status EncodeDocument(const AdmValue& v, Buffer* out) {
+  size_t start = out->size();
+  PutFixed32(out, 0);
+  for (size_t i = 0; i < v.field_count(); ++i) {
+    TC_RETURN_IF_ERROR(EncodeElement(v.field_name(i), v.field_value(i), out));
+  }
+  PutU8(out, 0);
+  OverwriteFixed32(out, start, static_cast<uint32_t>(out->size() - start));
+  return Status::OK();
+}
+
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  Status Need(size_t n) const {
+    if (pos + n > size) return Status::Corruption("bson: truncated document");
+    return Status::OK();
+  }
+};
+
+Status ReadCString(Cursor* c, std::string* out) {
+  size_t start = c->pos;
+  while (c->pos < c->size && c->data[c->pos] != 0) ++c->pos;
+  if (c->pos >= c->size) return Status::Corruption("bson: unterminated cstring");
+  out->assign(reinterpret_cast<const char*>(c->data + start), c->pos - start);
+  ++c->pos;
+  return Status::OK();
+}
+
+Status DecodeDocument(Cursor* c, int depth, bool as_array, AdmValue* out);
+
+Status DecodeElementValue(Cursor* c, uint8_t type, int depth, AdmValue* out) {
+  switch (type) {
+    case kBsonDouble:
+      TC_RETURN_IF_ERROR(c->Need(8));
+      *out = AdmValue::Double(GetDouble(c->data + c->pos));
+      c->pos += 8;
+      return Status::OK();
+    case kBsonString: {
+      TC_RETURN_IF_ERROR(c->Need(4));
+      uint32_t len = GetFixed32(c->data + c->pos);
+      c->pos += 4;
+      if (len == 0) return Status::Corruption("bson: bad string length");
+      TC_RETURN_IF_ERROR(c->Need(len));
+      *out = AdmValue::String(
+          std::string(reinterpret_cast<const char*>(c->data + c->pos), len - 1));
+      c->pos += len;
+      return Status::OK();
+    }
+    case kBsonDocument:
+      return DecodeDocument(c, depth + 1, /*as_array=*/false, out);
+    case kBsonArray:
+      return DecodeDocument(c, depth + 1, /*as_array=*/true, out);
+    case kBsonBinary: {
+      TC_RETURN_IF_ERROR(c->Need(5));
+      uint32_t len = GetFixed32(c->data + c->pos);
+      uint8_t subtype = c->data[c->pos + 4];
+      c->pos += 5;
+      TC_RETURN_IF_ERROR(c->Need(len));
+      std::string bytes(reinterpret_cast<const char*>(c->data + c->pos), len);
+      c->pos += len;
+      *out = (subtype == 0x04 && len == 16) ? AdmValue::Uuid(std::move(bytes))
+                                            : AdmValue::Binary(std::move(bytes));
+      return Status::OK();
+    }
+    case kBsonBool:
+      TC_RETURN_IF_ERROR(c->Need(1));
+      *out = AdmValue::Boolean(c->data[c->pos++] != 0);
+      return Status::OK();
+    case kBsonDateTime:
+      TC_RETURN_IF_ERROR(c->Need(8));
+      *out = AdmValue::DateTime(static_cast<int64_t>(GetFixed64(c->data + c->pos)));
+      c->pos += 8;
+      return Status::OK();
+    case kBsonNull:
+      *out = AdmValue::Null();
+      return Status::OK();
+    case kBsonInt32:
+      TC_RETURN_IF_ERROR(c->Need(4));
+      *out = AdmValue::Int(static_cast<int32_t>(GetFixed32(c->data + c->pos)));
+      c->pos += 4;
+      return Status::OK();
+    case kBsonInt64:
+      TC_RETURN_IF_ERROR(c->Need(8));
+      *out = AdmValue::BigInt(static_cast<int64_t>(GetFixed64(c->data + c->pos)));
+      c->pos += 8;
+      return Status::OK();
+    default:
+      return Status::Corruption("bson: unknown element type");
+  }
+}
+
+Status DecodeDocument(Cursor* c, int depth, bool as_array, AdmValue* out) {
+  if (depth > 256) return Status::Corruption("bson: nesting too deep");
+  TC_RETURN_IF_ERROR(c->Need(4));
+  size_t start = c->pos;
+  uint32_t len = GetFixed32(c->data + c->pos);
+  c->pos += 4;
+  if (start + len > c->size || len < 5) return Status::Corruption("bson: bad length");
+  *out = as_array ? AdmValue::Array() : AdmValue::Object();
+  while (true) {
+    TC_RETURN_IF_ERROR(c->Need(1));
+    uint8_t type = c->data[c->pos++];
+    if (type == 0) break;
+    std::string name;
+    TC_RETURN_IF_ERROR(ReadCString(c, &name));
+    AdmValue v;
+    TC_RETURN_IF_ERROR(DecodeElementValue(c, type, depth, &v));
+    if (as_array) {
+      out->Append(std::move(v));
+    } else {
+      out->AddField(std::move(name), std::move(v));
+    }
+  }
+  if (c->pos != start + len) return Status::Corruption("bson: length mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeBsonRecord(const AdmValue& record, Buffer* out) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("bson encodes object records");
+  }
+  return EncodeDocument(record, out);
+}
+
+Status DecodeBsonRecord(const uint8_t* data, size_t size, AdmValue* out) {
+  Cursor c{data, size, 0};
+  return DecodeDocument(&c, 0, /*as_array=*/false, out);
+}
+
+}  // namespace tc

@@ -1,0 +1,30 @@
+// BSON-like record format: the storage baseline used to model MongoDB's
+// per-record layout for the Figure 16 comparison (paper §4.2). Field names are
+// embedded as C-strings in every element, exactly like open self-describing
+// records; combined with page compression this reproduces the "MongoDB
+// (compressed)" storage bar.
+//
+// Type mapping (documented deviations from BSON 1.1 where ADM has no
+// counterpart): date/time -> int32 (0x10), datetime/duration -> int64 (0x12),
+// point -> embedded document {x, y}, uuid -> binary subtype 4, multiset ->
+// array.
+#ifndef TC_FORMAT_BSON_FORMAT_H_
+#define TC_FORMAT_BSON_FORMAT_H_
+
+#include "adm/value.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tc {
+
+/// Encodes `record` (an object) as a BSON document.
+Status EncodeBsonRecord(const AdmValue& record, Buffer* out);
+
+/// Decodes a BSON document. Lossy with respect to ADM types (see header
+/// comment); values that use only {bool, int64, double, string, null, object,
+/// array} round-trip exactly.
+Status DecodeBsonRecord(const uint8_t* data, size_t size, AdmValue* out);
+
+}  // namespace tc
+
+#endif  // TC_FORMAT_BSON_FORMAT_H_

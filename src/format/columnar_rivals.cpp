@@ -1,0 +1,498 @@
+#include "format/columnar_rivals.h"
+
+namespace tc {
+namespace {
+
+// Big-endian helpers (Thrift Binary Protocol is big-endian on the wire).
+void PutBE16(Buffer* b, uint16_t v) {
+  b->push_back(static_cast<uint8_t>(v >> 8));
+  b->push_back(static_cast<uint8_t>(v));
+}
+void PutBE32(Buffer* b, uint32_t v) {
+  for (int i = 3; i >= 0; --i) b->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutBE64(Buffer* b, uint64_t v) {
+  for (int i = 7; i >= 0; --i) b->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool IsIntegerLike(AdmTag t) {
+  switch (t) {
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ShapeError(AdmTag want, AdmTag got) {
+  return Status::InvalidArgument(std::string("rival encoder: descriptor expects ") +
+                                 AdmTagName(want) + ", record has " +
+                                 AdmTagName(got));
+}
+
+// Checks that the value's tag is compatible with the descriptor's tag.
+Status CheckShape(const AdmValue& v, const TypeDescriptor& t) {
+  if (v.tag() == t.tag()) return Status::OK();
+  if (IsIntegerLike(v.tag()) && IsIntegerLike(t.tag())) return Status::OK();
+  if ((v.tag() == AdmTag::kFloat || v.tag() == AdmTag::kDouble) &&
+      (t.tag() == AdmTag::kFloat || t.tag() == AdmTag::kDouble)) {
+    return Status::OK();
+  }
+  if (IsCollection(v.tag()) && IsCollection(t.tag())) return Status::OK();
+  return ShapeError(t.tag(), v.tag());
+}
+
+// ---------------------------------------------------------------------------
+// Avro binary encoding
+// ---------------------------------------------------------------------------
+
+void PutAvroLong(Buffer* out, int64_t v) { PutVarint64(out, ZigzagEncode(v)); }
+
+Status AvroValue(const AdmValue& v, const TypeDescriptor& t, Buffer* out) {
+  TC_RETURN_IF_ERROR(CheckShape(v, t));
+  switch (t.tag()) {
+    case AdmTag::kBoolean:
+      PutU8(out, v.bool_value() ? 1 : 0);
+      return Status::OK();
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      PutAvroLong(out, v.int_value());
+      return Status::OK();
+    case AdmTag::kFloat:
+      PutFloat(out, static_cast<float>(v.double_value()));
+      return Status::OK();
+    case AdmTag::kDouble:
+      PutDouble(out, v.double_value());
+      return Status::OK();
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+      PutAvroLong(out, static_cast<int64_t>(v.string_value().size()));
+      PutString(out, v.string_value());
+      return Status::OK();
+    case AdmTag::kUuid:
+      PutString(out, v.string_value());  // avro fixed(16)
+      return Status::OK();
+    case AdmTag::kPoint:
+      PutDouble(out, v.point_x());
+      PutDouble(out, v.point_y());
+      return Status::OK();
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      if (t.item_type() == nullptr) {
+        return Status::InvalidArgument("avro: collection descriptor missing item type");
+      }
+      if (v.size() > 0) {
+        PutAvroLong(out, static_cast<int64_t>(v.size()));
+        for (size_t i = 0; i < v.size(); ++i) {
+          TC_RETURN_IF_ERROR(AvroValue(v.item(i), *t.item_type(), out));
+        }
+      }
+      PutAvroLong(out, 0);  // end of blocks
+      return Status::OK();
+    }
+    case AdmTag::kObject: {
+      for (size_t i = 0; i < t.field_count(); ++i) {
+        const AdmValue* fv = v.FindField(t.field_name(i));
+        bool present = fv != nullptr && fv->tag() != AdmTag::kMissing &&
+                       fv->tag() != AdmTag::kNull;
+        if (t.field_type(i)->optional()) {
+          PutAvroLong(out, present ? 1 : 0);  // union branch: [null, T]
+          if (!present) continue;
+        } else if (!present) {
+          return Status::InvalidArgument("avro: required field '" +
+                                         t.field_name(i) + "' absent");
+        }
+        TC_RETURN_IF_ERROR(AvroValue(*fv, *t.field_type(i), out));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("avro: unsupported descriptor type");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thrift Binary Protocol
+// ---------------------------------------------------------------------------
+
+uint8_t ThriftTType(AdmTag t) {
+  switch (t) {
+    case AdmTag::kBoolean: return 2;
+    case AdmTag::kTinyInt: return 3;
+    case AdmTag::kDouble:
+    case AdmTag::kFloat: return 4;
+    case AdmTag::kSmallInt: return 6;
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime: return 8;
+    case AdmTag::kBigInt:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration: return 10;
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid: return 11;
+    case AdmTag::kObject:
+    case AdmTag::kPoint: return 12;
+    case AdmTag::kArray: return 15;
+    case AdmTag::kMultiset: return 14;  // thrift set
+    default: return 0;
+  }
+}
+
+Status ThriftBpValue(const AdmValue& v, const TypeDescriptor& t, Buffer* out) {
+  TC_RETURN_IF_ERROR(CheckShape(v, t));
+  switch (t.tag()) {
+    case AdmTag::kBoolean:
+      PutU8(out, v.bool_value() ? 1 : 0);
+      return Status::OK();
+    case AdmTag::kTinyInt:
+      PutU8(out, static_cast<uint8_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kSmallInt:
+      PutBE16(out, static_cast<uint16_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+      PutBE32(out, static_cast<uint32_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kBigInt:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      PutBE64(out, static_cast<uint64_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kFloat:
+    case AdmTag::kDouble: {
+      double d = v.double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutBE64(out, bits);
+      return Status::OK();
+    }
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+      PutBE32(out, static_cast<uint32_t>(v.string_value().size()));
+      PutString(out, v.string_value());
+      return Status::OK();
+    case AdmTag::kPoint: {
+      // struct Point { 1: double x, 2: double y }
+      for (int i = 0; i < 2; ++i) {
+        PutU8(out, 4);
+        PutBE16(out, static_cast<uint16_t>(i + 1));
+        double d = i == 0 ? v.point_x() : v.point_y();
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutBE64(out, bits);
+      }
+      PutU8(out, 0);
+      return Status::OK();
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      if (t.item_type() == nullptr) {
+        return Status::InvalidArgument("thrift: collection descriptor missing item type");
+      }
+      PutU8(out, ThriftTType(t.item_type()->tag()));
+      PutBE32(out, static_cast<uint32_t>(v.size()));
+      for (size_t i = 0; i < v.size(); ++i) {
+        TC_RETURN_IF_ERROR(ThriftBpValue(v.item(i), *t.item_type(), out));
+      }
+      return Status::OK();
+    }
+    case AdmTag::kObject: {
+      for (size_t i = 0; i < t.field_count(); ++i) {
+        const AdmValue* fv = v.FindField(t.field_name(i));
+        if (fv == nullptr || fv->tag() == AdmTag::kMissing ||
+            fv->tag() == AdmTag::kNull) {
+          continue;  // optional field omitted
+        }
+        PutU8(out, ThriftTType(t.field_type(i)->tag()));
+        PutBE16(out, static_cast<uint16_t>(i + 1));
+        TC_RETURN_IF_ERROR(ThriftBpValue(*fv, *t.field_type(i), out));
+      }
+      PutU8(out, 0);  // STOP
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("thrift-bp: unsupported descriptor type");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thrift Compact Protocol
+// ---------------------------------------------------------------------------
+
+uint8_t CompactCType(AdmTag t, bool bool_as_true = true) {
+  switch (t) {
+    case AdmTag::kBoolean: return bool_as_true ? 1 : 2;
+    case AdmTag::kTinyInt: return 3;
+    case AdmTag::kSmallInt: return 4;
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime: return 5;
+    case AdmTag::kBigInt:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration: return 6;
+    case AdmTag::kFloat:
+    case AdmTag::kDouble: return 7;
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid: return 8;
+    case AdmTag::kArray: return 9;
+    case AdmTag::kMultiset: return 10;  // set
+    case AdmTag::kObject:
+    case AdmTag::kPoint: return 12;
+    default: return 0;
+  }
+}
+
+Status ThriftCpValue(const AdmValue& v, const TypeDescriptor& t, Buffer* out);
+
+Status ThriftCpStruct(const AdmValue& v, const TypeDescriptor& t, Buffer* out) {
+  int16_t last_id = 0;
+  for (size_t i = 0; i < t.field_count(); ++i) {
+    const AdmValue* fv = v.FindField(t.field_name(i));
+    if (fv == nullptr || fv->tag() == AdmTag::kMissing || fv->tag() == AdmTag::kNull) {
+      continue;
+    }
+    int16_t id = static_cast<int16_t>(i + 1);
+    bool is_bool = t.field_type(i)->tag() == AdmTag::kBoolean;
+    uint8_t ctype = is_bool ? CompactCType(AdmTag::kBoolean, fv->bool_value())
+                            : CompactCType(t.field_type(i)->tag());
+    int delta = id - last_id;
+    if (delta >= 1 && delta <= 15) {
+      PutU8(out, static_cast<uint8_t>((delta << 4) | ctype));
+    } else {
+      PutU8(out, ctype);
+      PutVarint64(out, ZigzagEncode(id));
+    }
+    last_id = id;
+    if (!is_bool) {
+      TC_RETURN_IF_ERROR(ThriftCpValue(*fv, *t.field_type(i), out));
+    }
+  }
+  PutU8(out, 0);  // STOP
+  return Status::OK();
+}
+
+Status ThriftCpValue(const AdmValue& v, const TypeDescriptor& t, Buffer* out) {
+  TC_RETURN_IF_ERROR(CheckShape(v, t));
+  switch (t.tag()) {
+    case AdmTag::kBoolean:
+      PutU8(out, v.bool_value() ? 1 : 2);  // list/standalone encoding
+      return Status::OK();
+    case AdmTag::kTinyInt:
+      PutU8(out, static_cast<uint8_t>(v.int_value()));
+      return Status::OK();
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kBigInt:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      PutVarint64(out, ZigzagEncode(v.int_value()));
+      return Status::OK();
+    case AdmTag::kFloat:
+    case AdmTag::kDouble:
+      PutDouble(out, v.double_value());  // compact protocol doubles are LE
+      return Status::OK();
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+      PutVarint64(out, v.string_value().size());
+      PutString(out, v.string_value());
+      return Status::OK();
+    case AdmTag::kPoint: {
+      AdmValue pt = AdmValue::Object();
+      pt.AddField("x", AdmValue::Double(v.point_x()));
+      pt.AddField("y", AdmValue::Double(v.point_y()));
+      auto desc = TypeDescriptor::Object(false);
+      desc->AddField("x", TypeDescriptor::Scalar(AdmTag::kDouble));
+      desc->AddField("y", TypeDescriptor::Scalar(AdmTag::kDouble));
+      return ThriftCpStruct(pt, *desc, out);
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      if (t.item_type() == nullptr) {
+        return Status::InvalidArgument("thrift: collection descriptor missing item type");
+      }
+      uint8_t etype = CompactCType(t.item_type()->tag());
+      if (v.size() < 15) {
+        PutU8(out, static_cast<uint8_t>((v.size() << 4) | etype));
+      } else {
+        PutU8(out, static_cast<uint8_t>(0xF0 | etype));
+        PutVarint64(out, v.size());
+      }
+      for (size_t i = 0; i < v.size(); ++i) {
+        TC_RETURN_IF_ERROR(ThriftCpValue(v.item(i), *t.item_type(), out));
+      }
+      return Status::OK();
+    }
+    case AdmTag::kObject:
+      return ThriftCpStruct(v, t, out);
+    default:
+      return Status::NotSupported("thrift-cp: unsupported descriptor type");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol Buffers
+// ---------------------------------------------------------------------------
+
+enum WireType : uint32_t { kVarint = 0, kFixed64 = 1, kLenDelim = 2, kFixed32 = 5 };
+
+WireType ProtoWireType(AdmTag t) {
+  switch (t) {
+    case AdmTag::kDouble: return kFixed64;
+    case AdmTag::kFloat: return kFixed32;
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+    case AdmTag::kObject:
+    case AdmTag::kPoint:
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: return kLenDelim;
+    default: return kVarint;
+  }
+}
+
+void PutProtoKey(Buffer* out, uint32_t field_num, WireType wt) {
+  PutVarint32(out, (field_num << 3) | static_cast<uint32_t>(wt));
+}
+
+Status ProtoScalarPayload(const AdmValue& v, AdmTag t, Buffer* out) {
+  switch (t) {
+    case AdmTag::kBoolean:
+      PutVarint64(out, v.bool_value() ? 1 : 0);
+      return Status::OK();
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      PutVarint64(out, static_cast<uint64_t>(v.int_value()));  // int64 wire form
+      return Status::OK();
+    case AdmTag::kFloat:
+      PutFloat(out, static_cast<float>(v.double_value()));
+      return Status::OK();
+    case AdmTag::kDouble:
+      PutDouble(out, v.double_value());
+      return Status::OK();
+    default:
+      return Status::NotSupported("proto: not a scalar payload type");
+  }
+}
+
+Status ProtoMessage(const AdmValue& v, const TypeDescriptor& t, Buffer* out);
+
+Status ProtoField(const AdmValue& v, const TypeDescriptor& t, uint32_t field_num,
+                  Buffer* out) {
+  switch (t.tag()) {
+    case AdmTag::kString:
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+      PutProtoKey(out, field_num, kLenDelim);
+      PutVarint64(out, v.string_value().size());
+      PutString(out, v.string_value());
+      return Status::OK();
+    case AdmTag::kObject: {
+      Buffer tmp;
+      TC_RETURN_IF_ERROR(ProtoMessage(v, t, &tmp));
+      PutProtoKey(out, field_num, kLenDelim);
+      PutVarint64(out, tmp.size());
+      PutBytes(out, tmp.data(), tmp.size());
+      return Status::OK();
+    }
+    case AdmTag::kPoint: {
+      Buffer tmp;
+      PutProtoKey(&tmp, 1, kFixed64);
+      PutDouble(&tmp, v.point_x());
+      PutProtoKey(&tmp, 2, kFixed64);
+      PutDouble(&tmp, v.point_y());
+      PutProtoKey(out, field_num, kLenDelim);
+      PutVarint64(out, tmp.size());
+      PutBytes(out, tmp.data(), tmp.size());
+      return Status::OK();
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      const TypeDescriptor* item = t.item_type().get();
+      if (item == nullptr) {
+        return Status::InvalidArgument("proto: collection descriptor missing item type");
+      }
+      if (v.size() == 0) return Status::OK();
+      WireType iw = ProtoWireType(item->tag());
+      if (iw == kLenDelim) {
+        for (size_t i = 0; i < v.size(); ++i) {  // repeated strings/messages
+          TC_RETURN_IF_ERROR(ProtoField(v.item(i), *item, field_num, out));
+        }
+      } else {
+        Buffer packed;  // proto3 packs repeated numerics by default
+        for (size_t i = 0; i < v.size(); ++i) {
+          TC_RETURN_IF_ERROR(ProtoScalarPayload(v.item(i), item->tag(), &packed));
+        }
+        PutProtoKey(out, field_num, kLenDelim);
+        PutVarint64(out, packed.size());
+        PutBytes(out, packed.data(), packed.size());
+      }
+      return Status::OK();
+    }
+    default:
+      PutProtoKey(out, field_num, ProtoWireType(t.tag()));
+      return ProtoScalarPayload(v, t.tag(), out);
+  }
+}
+
+Status ProtoMessage(const AdmValue& v, const TypeDescriptor& t, Buffer* out) {
+  for (size_t i = 0; i < t.field_count(); ++i) {
+    const AdmValue* fv = v.FindField(t.field_name(i));
+    if (fv == nullptr || fv->tag() == AdmTag::kMissing || fv->tag() == AdmTag::kNull) {
+      continue;
+    }
+    TC_RETURN_IF_ERROR(CheckShape(*fv, *t.field_type(i)));
+    TC_RETURN_IF_ERROR(ProtoField(*fv, *t.field_type(i),
+                                  static_cast<uint32_t>(i + 1), out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeAvro(const AdmValue& record, const TypeDescriptor& type, Buffer* out) {
+  return AvroValue(record, type, out);
+}
+
+Status EncodeThriftBinary(const AdmValue& record, const TypeDescriptor& type,
+                          Buffer* out) {
+  return ThriftBpValue(record, type, out);
+}
+
+Status EncodeThriftCompact(const AdmValue& record, const TypeDescriptor& type,
+                           Buffer* out) {
+  return ThriftCpValue(record, type, out);
+}
+
+Status EncodeProtobuf(const AdmValue& record, const TypeDescriptor& type,
+                      Buffer* out) {
+  return ProtoMessage(record, type, out);
+}
+
+}  // namespace tc

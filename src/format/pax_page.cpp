@@ -1,0 +1,314 @@
+#include "format/pax_page.h"
+
+#include "adm/parser.h"
+#include "adm/printer.h"
+
+namespace tc {
+namespace {
+
+constexpr uint32_t kPaxMagic = 0x54435058;  // "TCPX"
+constexpr size_t kHeaderSize = 4 + 2 + 2 + 4;
+
+void AppendFixed(const AdmValue& v, Buffer* out) {
+  switch (v.tag()) {
+    case AdmTag::kBoolean:
+      PutU8(out, v.bool_value() ? 1 : 0);
+      break;
+    case AdmTag::kTinyInt:
+      PutU8(out, static_cast<uint8_t>(v.int_value()));
+      break;
+    case AdmTag::kSmallInt:
+      PutFixed16(out, static_cast<uint16_t>(v.int_value()));
+      break;
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+      PutFixed32(out, static_cast<uint32_t>(v.int_value()));
+      break;
+    case AdmTag::kBigInt:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      PutFixed64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case AdmTag::kFloat:
+      PutFloat(out, static_cast<float>(v.double_value()));
+      break;
+    case AdmTag::kDouble:
+      PutDouble(out, v.double_value());
+      break;
+    case AdmTag::kPoint:
+      PutDouble(out, v.point_x());
+      PutDouble(out, v.point_y());
+      break;
+    case AdmTag::kUuid:
+      PutString(out, v.string_value());
+      break;
+    default:
+      break;
+  }
+}
+
+AdmValue DecodeFixed(AdmTag tag, const uint8_t* p) {
+  switch (tag) {
+    case AdmTag::kBoolean: return AdmValue::Boolean(p[0] != 0);
+    case AdmTag::kTinyInt: return AdmValue::TinyInt(static_cast<int8_t>(p[0]));
+    case AdmTag::kSmallInt:
+      return AdmValue::SmallInt(static_cast<int16_t>(GetFixed16(p)));
+    case AdmTag::kInt: return AdmValue::Int(static_cast<int32_t>(GetFixed32(p)));
+    case AdmTag::kDate: return AdmValue::Date(static_cast<int32_t>(GetFixed32(p)));
+    case AdmTag::kTime: return AdmValue::Time(static_cast<int32_t>(GetFixed32(p)));
+    case AdmTag::kBigInt:
+      return AdmValue::BigInt(static_cast<int64_t>(GetFixed64(p)));
+    case AdmTag::kDateTime:
+      return AdmValue::DateTime(static_cast<int64_t>(GetFixed64(p)));
+    case AdmTag::kDuration:
+      return AdmValue::Duration(static_cast<int64_t>(GetFixed64(p)));
+    case AdmTag::kFloat: return AdmValue::Float(GetFloat(p));
+    case AdmTag::kDouble: return AdmValue::Double(GetDouble(p));
+    case AdmTag::kPoint: return AdmValue::Point(GetDouble(p), GetDouble(p + 8));
+    case AdmTag::kUuid:
+      return AdmValue::Uuid(std::string(reinterpret_cast<const char*>(p), 16));
+    default: return AdmValue::Missing();
+  }
+}
+
+}  // namespace
+
+PaxPageBuilder::PaxPageBuilder(
+    std::vector<std::pair<std::string, AdmTag>> columns) {
+  for (auto& [name, tag] : columns) {
+    TC_CHECK(IsScalar(tag) && tag != AdmTag::kNull && tag != AdmTag::kMissing);
+    Column c;
+    c.name = std::move(name);
+    c.tag = tag;
+    columns_.push_back(std::move(c));
+  }
+}
+
+Status PaxPageBuilder::Add(const AdmValue& record) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("pax: records must be objects");
+  }
+  if (n_records_ >= UINT16_MAX) return Status::OutOfRange("pax: page full");
+  uint32_t row = static_cast<uint32_t>(n_records_++);
+
+  // A record fits the columnar layout iff every field maps to a declared
+  // column with the right type.
+  bool fits = true;
+  for (size_t f = 0; f < record.field_count() && fits; ++f) {
+    bool matched = false;
+    for (const Column& c : columns_) {
+      if (c.name == record.field_name(f)) {
+        matched = record.field_value(f).tag() == c.tag;
+        break;
+      }
+    }
+    fits = matched;
+  }
+
+  for (Column& c : columns_) {
+    size_t byte = row / 8;
+    if (c.presence.size() <= byte) c.presence.resize(byte + 1, 0);
+    const AdmValue* v = fits ? record.FindField(c.name) : nullptr;
+    bool present = v != nullptr;
+    if (present) c.presence[byte] |= static_cast<uint8_t>(1u << (row % 8));
+    if (IsVariableLengthScalar(c.tag)) {
+      c.var_lengths.push_back(
+          present ? static_cast<uint32_t>(v->string_value().size()) : 0);
+      if (present) PutString(&c.var_bytes, v->string_value());
+    } else {
+      int width = FixedWidthOf(c.tag);
+      if (present) {
+        AppendFixed(*v, &c.fixed);
+      } else {
+        c.fixed.insert(c.fixed.end(), static_cast<size_t>(width), 0);
+      }
+    }
+  }
+  if (!fits) spilled_.emplace_back(row, PrintAdm(record));
+  return Status::OK();
+}
+
+void PaxPageBuilder::Finish(Buffer* out) const {
+  size_t base = out->size();
+  PutFixed32(out, kPaxMagic);
+  PutFixed16(out, static_cast<uint16_t>(columns_.size()));
+  PutFixed16(out, static_cast<uint16_t>(n_records_));
+  size_t spill_slot = out->size();
+  PutFixed32(out, 0);  // spill offset, patched below
+
+  // Column directory with offset slots to patch.
+  std::vector<size_t> presence_slots(columns_.size());
+  std::vector<size_t> values_slots(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    PutFixed16(out, static_cast<uint16_t>(c.name.size()));
+    PutString(out, c.name);
+    PutU8(out, static_cast<uint8_t>(c.tag));
+    presence_slots[i] = out->size();
+    PutFixed32(out, 0);
+    values_slots[i] = out->size();
+    PutFixed32(out, 0);
+  }
+
+  // Minipages.
+  size_t presence_bytes = (n_records_ + 7) / 8;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    OverwriteFixed32(out, presence_slots[i],
+                     static_cast<uint32_t>(out->size() - base));
+    Buffer presence = c.presence;
+    presence.resize(presence_bytes, 0);
+    PutBytes(out, presence.data(), presence.size());
+    OverwriteFixed32(out, values_slots[i],
+                     static_cast<uint32_t>(out->size() - base));
+    if (IsVariableLengthScalar(c.tag)) {
+      for (uint32_t len : c.var_lengths) PutFixed32(out, len);
+      PutBytes(out, c.var_bytes.data(), c.var_bytes.size());
+    } else {
+      PutBytes(out, c.fixed.data(), c.fixed.size());
+    }
+  }
+
+  // Spill area.
+  OverwriteFixed32(out, spill_slot, static_cast<uint32_t>(out->size() - base));
+  PutFixed32(out, static_cast<uint32_t>(spilled_.size()));
+  for (const auto& [row, text] : spilled_) {
+    PutFixed32(out, row);
+    PutFixed32(out, static_cast<uint32_t>(text.size()));
+    PutString(out, text);
+  }
+}
+
+Status PaxPageView::Validate() const {
+  if (size_ < kHeaderSize) return Status::Corruption("pax: short page");
+  if (GetFixed32(data_) != kPaxMagic) return Status::Corruption("pax: bad magic");
+  uint32_t spill = GetFixed32(data_ + 8);
+  if (spill < kHeaderSize || spill + 4 > size_) {
+    return Status::Corruption("pax: bad spill offset");
+  }
+  for (int c = 0; c < column_count(); ++c) {
+    TC_RETURN_IF_ERROR(ColumnAt(c).status().ok() ? Status::OK()
+                                                 : ColumnAt(c).status());
+  }
+  return Status::OK();
+}
+
+Result<PaxPageView::ColumnMeta> PaxPageView::ColumnAt(int col) const {
+  if (col < 0 || col >= column_count()) return Status::OutOfRange("pax: column");
+  size_t pos = kHeaderSize;
+  for (int i = 0; i <= col; ++i) {
+    if (pos + 2 > size_) return Status::Corruption("pax: truncated directory");
+    uint16_t name_len = GetFixed16(data_ + pos);
+    if (pos + 2 + name_len + 1 + 8 > size_) {
+      return Status::Corruption("pax: truncated directory entry");
+    }
+    if (i == col) {
+      ColumnMeta m;
+      m.name = std::string_view(reinterpret_cast<const char*>(data_ + pos + 2),
+                                name_len);
+      m.tag = static_cast<AdmTag>(data_[pos + 2 + name_len]);
+      m.presence_offset = GetFixed32(data_ + pos + 2 + name_len + 1);
+      m.values_offset = GetFixed32(data_ + pos + 2 + name_len + 5);
+      if (m.presence_offset >= size_ || m.values_offset > size_) {
+        return Status::Corruption("pax: bad minipage offsets");
+      }
+      return m;
+    }
+    pos += 2 + name_len + 1 + 8;
+  }
+  return Status::Internal("pax: unreachable");
+}
+
+int PaxPageView::FindColumn(std::string_view name) const {
+  for (int c = 0; c < column_count(); ++c) {
+    auto meta = ColumnAt(c);
+    if (meta.ok() && meta.value().name == name) return c;
+  }
+  return -1;
+}
+
+Result<AdmValue> PaxPageView::Get(int col, uint32_t row) const {
+  TC_ASSIGN_OR_RETURN(ColumnMeta m, ColumnAt(col));
+  if (row >= record_count()) return Status::OutOfRange("pax: row");
+  const uint8_t* presence = data_ + m.presence_offset;
+  if ((presence[row / 8] & (1u << (row % 8))) == 0) return AdmValue::Missing();
+  if (IsVariableLengthScalar(m.tag)) {
+    const uint8_t* lengths = data_ + m.values_offset;
+    size_t start = 0;
+    for (uint32_t r = 0; r < row; ++r) start += GetFixed32(lengths + 4 * r);
+    uint32_t len = GetFixed32(lengths + 4 * row);
+    const uint8_t* bytes =
+        lengths + 4 * static_cast<size_t>(record_count()) + start;
+    std::string s(reinterpret_cast<const char*>(bytes), len);
+    return m.tag == AdmTag::kString ? AdmValue::String(std::move(s))
+                                    : AdmValue::Binary(std::move(s));
+  }
+  int width = FixedWidthOf(m.tag);
+  return DecodeFixed(m.tag, data_ + m.values_offset +
+                                static_cast<size_t>(width) * row);
+}
+
+Result<double> PaxPageView::SumColumn(int col) const {
+  TC_ASSIGN_OR_RETURN(ColumnMeta m, ColumnAt(col));
+  const uint8_t* presence = data_ + m.presence_offset;
+  const uint8_t* values = data_ + m.values_offset;
+  int width = FixedWidthOf(m.tag);
+  if (width <= 0 || IsVariableLengthScalar(m.tag)) {
+    return Status::InvalidArgument("pax: SumColumn needs a fixed numeric column");
+  }
+  double sum = 0;
+  uint16_t n = record_count();
+  for (uint32_t r = 0; r < n; ++r) {
+    if ((presence[r / 8] & (1u << (r % 8))) == 0) continue;
+    const uint8_t* p = values + static_cast<size_t>(width) * r;
+    switch (m.tag) {
+      case AdmTag::kDouble: sum += GetDouble(p); break;
+      case AdmTag::kFloat: sum += GetFloat(p); break;
+      case AdmTag::kBigInt:
+      case AdmTag::kDateTime:
+      case AdmTag::kDuration:
+        sum += static_cast<double>(static_cast<int64_t>(GetFixed64(p)));
+        break;
+      case AdmTag::kInt:
+      case AdmTag::kDate:
+      case AdmTag::kTime:
+        sum += static_cast<double>(static_cast<int32_t>(GetFixed32(p)));
+        break;
+      case AdmTag::kSmallInt:
+        sum += static_cast<double>(static_cast<int16_t>(GetFixed16(p)));
+        break;
+      case AdmTag::kTinyInt:
+        sum += static_cast<double>(static_cast<int8_t>(p[0]));
+        break;
+      case AdmTag::kBoolean:
+        sum += p[0] != 0 ? 1 : 0;
+        break;
+      default:
+        return Status::InvalidArgument("pax: non-numeric column");
+    }
+  }
+  return sum;
+}
+
+Result<std::vector<std::pair<uint32_t, std::string>>> PaxPageView::SpilledRows()
+    const {
+  uint32_t spill = GetFixed32(data_ + 8);
+  if (spill + 4 > size_) return Status::Corruption("pax: bad spill area");
+  uint32_t count = GetFixed32(data_ + spill);
+  size_t pos = spill + 4;
+  std::vector<std::pair<uint32_t, std::string>> out;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 8 > size_) return Status::Corruption("pax: truncated spill entry");
+    uint32_t row = GetFixed32(data_ + pos);
+    uint32_t len = GetFixed32(data_ + pos + 4);
+    pos += 8;
+    if (pos + len > size_) return Status::Corruption("pax: truncated spill bytes");
+    out.emplace_back(row, std::string(reinterpret_cast<const char*>(data_ + pos),
+                                      len));
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace tc

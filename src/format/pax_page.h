@@ -1,0 +1,109 @@
+// PAX-style columnar page prototype — the paper's stated future-work
+// direction (§6): "we plan to explore the viability of adopting the PAX [16]
+// page format, which could potentially eliminate the CPU cost of the linear
+// access time of the vector-based format."
+//
+// A PaxPage re-organizes a batch of records column-major at page granularity:
+// each *column* is a root-level scalar field, laid out as a contiguous
+// minipage (fixed-width values) or a (lengths, bytes) minipage pair
+// (strings). Values of one column can then be scanned without touching the
+// rest of the records — constant-time location of any column for any record,
+// versus the row-wise vector format's linear walk (Figure 22).
+//
+// Scope of the prototype (see DESIGN.md §4): root-level scalar columns with
+// one type per field (no unions); a record containing anything else is
+// spilled whole in row form and its column slots read as missing. This is
+// enough to quantify the future-work hypothesis — see micro_formats'
+// BM_PaxColumnScan vs BM_VectorColumnScan.
+//
+// Page layout (all offsets from page start):
+//   u32 magic | u16 n_columns | u16 n_records | u32 spill_offset
+//   per column: u16 name_len | name bytes | u8 tag
+//               | u32 presence_offset | u32 values_offset
+//   minipages:  presence bitmap (1 bit per record); values:
+//     fixed-width tag: n_records * width bytes (absent slots zeroed)
+//     string tag:      u32 lengths[n_records] then concatenated bytes
+//   spill:      u32 count | count x (u32 record_index, u32 len, bytes)
+#ifndef TC_FORMAT_PAX_PAGE_H_
+#define TC_FORMAT_PAX_PAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tc {
+
+/// Accumulates records and emits a columnar page.
+class PaxPageBuilder {
+ public:
+  /// Columns are fixed at construction: (name, scalar tag) pairs.
+  explicit PaxPageBuilder(std::vector<std::pair<std::string, AdmTag>> columns);
+
+  /// Adds one record. Fields matching a column (by name and tag) fill the
+  /// column minipages; a record with any other field (or a type mismatch) is
+  /// spilled whole in row form (ADM text in this prototype).
+  Status Add(const AdmValue& record);
+
+  size_t record_count() const { return n_records_; }
+  size_t spilled_count() const { return spilled_.size(); }
+
+  /// Serializes the page.
+  void Finish(Buffer* out) const;
+
+ private:
+  struct Column {
+    std::string name;
+    AdmTag tag;
+    std::vector<uint8_t> presence;      // bit per record
+    Buffer fixed;                       // fixed-width values
+    std::vector<uint32_t> var_lengths;  // string lengths
+    Buffer var_bytes;                   // string payloads
+  };
+
+  std::vector<Column> columns_;
+  std::vector<std::pair<uint32_t, std::string>> spilled_;  // (row, ADM text)
+  size_t n_records_ = 0;
+};
+
+/// Read-only view over a serialized PAX page.
+class PaxPageView {
+ public:
+  PaxPageView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status Validate() const;
+  uint16_t column_count() const { return GetFixed16(data_ + 4); }
+  uint16_t record_count() const { return GetFixed16(data_ + 6); }
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// Value of column `col` in record `row`; `missing` for absent slots
+  /// (including spilled rows — fetch those via SpilledRows).
+  Result<AdmValue> Get(int col, uint32_t row) const;
+
+  /// Sums a numeric column over present slots — the columnar fast path.
+  Result<double> SumColumn(int col) const;
+
+  /// Row indexes and ADM text of spilled (row-form) records.
+  Result<std::vector<std::pair<uint32_t, std::string>>> SpilledRows() const;
+
+ private:
+  struct ColumnMeta {
+    std::string_view name;
+    AdmTag tag = AdmTag::kMissing;
+    uint32_t presence_offset = 0;
+    uint32_t values_offset = 0;
+  };
+  Result<ColumnMeta> ColumnAt(int col) const;
+
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace tc
+
+#endif  // TC_FORMAT_PAX_PAGE_H_

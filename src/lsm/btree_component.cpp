@@ -1,0 +1,408 @@
+#include "lsm/btree_component.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace tc {
+namespace {
+
+constexpr uint8_t kLeafPage = 1;
+constexpr uint8_t kInteriorPage = 2;
+constexpr uint8_t kMetaBlobPage = 3;
+constexpr uint32_t kFooterMagic = 0x54434254;  // "TCBT"
+constexpr uint32_t kNoPage = UINT32_MAX;
+
+constexpr size_t kLeafHeader = 7;       // type + n + next_leaf
+constexpr size_t kInteriorHeader = 3;   // type + n
+constexpr size_t kEntryFixed = 16 + 1 + 4;  // key + flags + payload_len
+constexpr size_t kInteriorEntry = 16 + 4;   // first_key + child
+
+void PutKey(Buffer* b, const BtreeKey& k) {
+  PutFixed64(b, static_cast<uint64_t>(k.a));
+  PutFixed64(b, static_cast<uint64_t>(k.b));
+}
+
+BtreeKey GetKey(const uint8_t* p) {
+  return BtreeKey{static_cast<int64_t>(GetFixed64(p)),
+                  static_cast<int64_t>(GetFixed64(p + 8))};
+}
+
+std::string ValidPath(const std::string& path) { return path + ".valid"; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<BtreeComponentBuilder>> BtreeComponentBuilder::Create(
+    std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
+    std::shared_ptr<const Compressor> compressor) {
+  auto b = std::unique_ptr<BtreeComponentBuilder>(new BtreeComponentBuilder());
+  b->fs_ = fs;
+  b->path_ = path;
+  b->page_size_ = page_size;
+  TC_ASSIGN_OR_RETURN(b->file_,
+                      PagedFile::Create(std::move(fs), path, page_size,
+                                        std::move(compressor)));
+  b->leaf_.reserve(page_size);
+  return b;
+}
+
+Status BtreeComponentBuilder::Add(const BtreeKey& key, bool anti,
+                                  std::string_view payload) {
+  TC_CHECK(!finished_);
+  if (anti && !payload.empty()) {
+    return Status::InvalidArgument("anti-matter entries carry no payload");
+  }
+  if (has_min_ && !(max_key_ < key)) {
+    return Status::InvalidArgument("btree builder keys must be strictly increasing");
+  }
+  size_t entry_size = kEntryFixed + payload.size();
+  if (kLeafHeader + entry_size + 2 > page_size_) {
+    return Status::InvalidArgument(
+        "record too large for page size " + std::to_string(page_size_) +
+        " (payload " + std::to_string(payload.size()) + " bytes)");
+  }
+  size_t needed = leaf_.empty() ? kLeafHeader + entry_size + 2
+                                : leaf_.size() + entry_size +
+                                      2 * (leaf_offsets_.size() + 1);
+  if (!leaf_.empty() && needed > page_size_) {
+    TC_RETURN_IF_ERROR(FlushLeaf());
+  }
+  if (leaf_.empty()) {
+    PutU8(&leaf_, kLeafPage);
+    PutFixed16(&leaf_, 0);      // n, patched at flush
+    PutFixed32(&leaf_, kNoPage);  // next_leaf, patched at flush
+    level_.emplace_back(key, next_page_);
+  }
+  leaf_offsets_.push_back(static_cast<uint16_t>(leaf_.size()));
+  PutKey(&leaf_, key);
+  PutU8(&leaf_, anti ? 1 : 0);
+  PutFixed32(&leaf_, static_cast<uint32_t>(payload.size()));
+  PutString(&leaf_, payload);
+
+  if (!has_min_) {
+    min_key_ = key;
+    has_min_ = true;
+  }
+  max_key_ = key;
+  if (anti) {
+    ++n_anti_;
+  } else {
+    ++n_entries_;
+  }
+  return Status::OK();
+}
+
+Status BtreeComponentBuilder::FlushLeaf() {
+  if (leaf_.empty()) return Status::OK();
+  // Patch n and next_leaf (the next leaf, if any, will be the next page).
+  uint16_t n = static_cast<uint16_t>(leaf_offsets_.size());
+  leaf_[1] = static_cast<uint8_t>(n);
+  leaf_[2] = static_cast<uint8_t>(n >> 8);
+  // next_leaf is set optimistically; the final leaf is re-written by Finish.
+  uint32_t next = next_page_ + 1;
+  OverwriteFixed32(&leaf_, 3, next);
+  // Slot table at the page tail.
+  leaf_.resize(page_size_, 0);
+  for (size_t i = 0; i < leaf_offsets_.size(); ++i) {
+    size_t pos = page_size_ - 2 * (i + 1);
+    leaf_[pos] = static_cast<uint8_t>(leaf_offsets_[i]);
+    leaf_[pos + 1] = static_cast<uint8_t>(leaf_offsets_[i] >> 8);
+  }
+  TC_RETURN_IF_ERROR(file_->AppendPage(leaf_.data()));
+  ++next_page_;
+  ++leaf_count_;
+  leaf_.clear();
+  leaf_offsets_.clear();
+  return Status::OK();
+}
+
+Status BtreeComponentBuilder::BuildInterior() {
+  if (level_.empty()) {
+    root_page_ = kNoPage;
+    return Status::OK();
+  }
+  // The final leaf currently claims a next_leaf that does not exist; fix by
+  // convention instead: readers stop after leaf_count_ pages (leaves occupy
+  // pages [0, leaf_count_)), so a next pointer beyond that range means "end".
+  while (level_.size() > 1) {
+    std::vector<std::pair<BtreeKey, uint32_t>> parent;
+    Buffer page;
+    page.reserve(page_size_);
+    size_t i = 0;
+    while (i < level_.size()) {
+      page.clear();
+      PutU8(&page, kInteriorPage);
+      PutFixed16(&page, 0);
+      uint16_t n = 0;
+      BtreeKey first = level_[i].first;
+      while (i < level_.size() &&
+             page.size() + kInteriorEntry <= page_size_) {
+        PutKey(&page, level_[i].first);
+        PutFixed32(&page, level_[i].second);
+        ++n;
+        ++i;
+      }
+      page[1] = static_cast<uint8_t>(n);
+      page[2] = static_cast<uint8_t>(n >> 8);
+      page.resize(page_size_, 0);
+      TC_RETURN_IF_ERROR(file_->AppendPage(page.data()));
+      parent.emplace_back(first, next_page_);
+      ++next_page_;
+    }
+    level_ = std::move(parent);
+  }
+  root_page_ = level_[0].second;
+  return Status::OK();
+}
+
+Status BtreeComponentBuilder::Finish(uint64_t cid_min, uint64_t cid_max,
+                                     const Buffer& schema_blob) {
+  TC_CHECK(!finished_);
+  TC_RETURN_IF_ERROR(FlushLeaf());
+  TC_RETURN_IF_ERROR(BuildInterior());
+
+  // Metadata blob pages.
+  uint32_t meta_start = kNoPage;
+  if (!schema_blob.empty()) {
+    meta_start = next_page_;
+    Buffer page(page_size_, 0);
+    size_t pos = 0;
+    while (pos < schema_blob.size()) {
+      size_t chunk = std::min(page_size_, schema_blob.size() - pos);
+      std::memset(page.data(), 0, page_size_);
+      std::memcpy(page.data(), schema_blob.data() + pos, chunk);
+      TC_RETURN_IF_ERROR(file_->AppendPage(page.data()));
+      ++next_page_;
+      pos += chunk;
+    }
+  }
+
+  // Footer.
+  Buffer footer;
+  footer.reserve(page_size_);
+  PutFixed32(&footer, kFooterMagic);
+  PutFixed32(&footer, root_page_);
+  PutFixed32(&footer, leaf_count_);
+  PutFixed32(&footer, meta_start);
+  PutFixed32(&footer, static_cast<uint32_t>(schema_blob.size()));
+  PutFixed64(&footer, n_entries_);
+  PutFixed64(&footer, n_anti_);
+  PutKey(&footer, min_key_);
+  PutKey(&footer, max_key_);
+  PutFixed64(&footer, cid_min);
+  PutFixed64(&footer, cid_max);
+  PutFixed32(&footer, Crc32c(footer.data(), footer.size()));
+  footer.resize(page_size_, 0);
+  TC_RETURN_IF_ERROR(file_->AppendPage(footer.data()));
+  ++next_page_;
+
+  TC_RETURN_IF_ERROR(file_->Finish());
+  finished_ = true;
+  return Status::OK();
+}
+
+Status BtreeComponentBuilder::MarkValid() {
+  TC_CHECK(finished_);
+  TC_ASSIGN_OR_RETURN(auto f, fs_->Create(ValidPath(path_)));
+  uint8_t byte = 1;
+  TC_RETURN_IF_ERROR(f->Write(0, &byte, 1));
+  return f->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<BtreeComponent>> BtreeComponent::Open(
+    std::shared_ptr<FileSystem> fs, BufferCache* cache, const std::string& path,
+    size_t page_size, std::shared_ptr<const Compressor> compressor) {
+  auto c = std::shared_ptr<BtreeComponent>(new BtreeComponent());
+  c->fs_ = fs;
+  c->cache_ = cache;
+  c->path_ = path;
+  c->page_size_ = page_size;
+  TC_ASSIGN_OR_RETURN(c->file_, PagedFile::Open(std::move(fs), path, page_size,
+                                                std::move(compressor)));
+  if (c->file_->page_count() == 0) {
+    return Status::Corruption("component has no footer: " + path);
+  }
+  Buffer footer(page_size);
+  TC_RETURN_IF_ERROR(c->file_->ReadPage(c->file_->page_count() - 1, footer.data()));
+  const uint8_t* p = footer.data();
+  if (GetFixed32(p) != kFooterMagic) {
+    return Status::Corruption("bad footer magic: " + path);
+  }
+  size_t fixed = 4 + 4 + 4 + 4 + 4 + 8 + 8 + 16 + 16 + 8 + 8;
+  uint32_t stored_crc = GetFixed32(p + fixed);
+  if (Crc32c(p, fixed) != stored_crc) {
+    return Status::Corruption("footer checksum mismatch: " + path);
+  }
+  c->root_page_ = GetFixed32(p + 4);
+  c->leaf_count_ = GetFixed32(p + 8);
+  uint32_t meta_start = GetFixed32(p + 12);
+  uint32_t meta_len = GetFixed32(p + 16);
+  c->meta_.n_entries = GetFixed64(p + 20);
+  c->meta_.n_anti = GetFixed64(p + 28);
+  c->meta_.min_key = GetKey(p + 36);
+  c->meta_.max_key = GetKey(p + 52);
+  c->meta_.cid_min = GetFixed64(p + 68);
+  c->meta_.cid_max = GetFixed64(p + 76);
+  if (meta_start != kNoPage && meta_len > 0) {
+    c->meta_.schema_blob.resize(meta_len);
+    Buffer page(page_size);
+    size_t pos = 0;
+    uint32_t page_no = meta_start;
+    while (pos < meta_len) {
+      TC_RETURN_IF_ERROR(c->file_->ReadPage(page_no++, page.data()));
+      size_t chunk = std::min(page_size, static_cast<size_t>(meta_len) - pos);
+      std::memcpy(c->meta_.schema_blob.data() + pos, page.data(), chunk);
+      pos += chunk;
+    }
+  }
+  return c;
+}
+
+bool BtreeComponent::IsValid(FileSystem* fs, const std::string& path) {
+  return fs->Exists(ValidPath(path));
+}
+
+Status BtreeComponent::Destroy(FileSystem* fs, const std::string& path) {
+  if (fs->Exists(ValidPath(path))) {
+    TC_RETURN_IF_ERROR(fs->Delete(ValidPath(path)));
+  }
+  return PagedFile::Remove(fs, path);
+}
+
+Result<uint32_t> BtreeComponent::FindLeaf(const BtreeKey& key) const {
+  if (root_page_ == kNoPage) return Status::NotFound("empty component");
+  uint32_t page_no = root_page_;
+  // Leaves occupy pages [0, leaf_count_); anything else is interior.
+  while (page_no >= leaf_count_) {
+    TC_ASSIGN_OR_RETURN(auto page, cache_->GetPage(file_.get(), page_no));
+    const uint8_t* p = page->data();
+    if (p[0] != kInteriorPage) {
+      return Status::Corruption("expected interior page in " + path_);
+    }
+    uint16_t n = GetFixed16(p + 1);
+    if (n == 0) return Status::Corruption("empty interior page");
+    // Last child whose first_key <= key (or the first child).
+    uint32_t lo = 0, hi = n;  // invariant: answer in [lo, hi)
+    while (hi - lo > 1) {
+      uint32_t mid = (lo + hi) / 2;
+      BtreeKey mk = GetKey(p + kInteriorHeader + kInteriorEntry * mid);
+      if (mk <= key) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    page_no = GetFixed32(p + kInteriorHeader + kInteriorEntry * lo + 16);
+  }
+  return page_no;
+}
+
+Result<std::optional<BtreeComponent::LookupResult>> BtreeComponent::Get(
+    const BtreeKey& key) const {
+  if (root_page_ == kNoPage) return std::optional<LookupResult>{};
+  if (key < meta_.min_key || meta_.max_key < key) {
+    return std::optional<LookupResult>{};
+  }
+  TC_ASSIGN_OR_RETURN(uint32_t leaf_no, FindLeaf(key));
+  TC_ASSIGN_OR_RETURN(auto page, cache_->GetPage(file_.get(), leaf_no));
+  const uint8_t* p = page->data();
+  if (p[0] != kLeafPage) return Status::Corruption("expected leaf page");
+  uint16_t n = GetFixed16(p + 1);
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    uint16_t off = GetFixed16(p + page_size_ - 2 * (mid + 1));
+    BtreeKey mk = GetKey(p + off);
+    if (mk < key) {
+      lo = mid + 1;
+    } else if (key < mk) {
+      hi = mid;
+    } else {
+      LookupResult r;
+      r.anti = p[off + 16] != 0;
+      uint32_t len = GetFixed32(p + off + 17);
+      r.payload.assign(p + off + 21, p + off + 21 + len);
+      return std::optional<LookupResult>{std::move(r)};
+    }
+  }
+  return std::optional<LookupResult>{};
+}
+
+Status BtreeComponent::Iterator::SeekToFirst() {
+  valid_ = false;
+  if (c_->leaf_count_ == 0) return Status::OK();
+  page_no_ = 0;
+  slot_ = 0;
+  TC_ASSIGN_OR_RETURN(page_, c_->cache_->GetPage(c_->file_.get(), page_no_));
+  return LoadEntry();
+}
+
+Status BtreeComponent::Iterator::Seek(const BtreeKey& key) {
+  valid_ = false;
+  if (c_->leaf_count_ == 0) return Status::OK();
+  if (c_->meta_.max_key < key) return Status::OK();
+  auto leaf = c_->FindLeaf(key);
+  if (!leaf.ok()) return leaf.status();
+  page_no_ = leaf.value();
+  TC_ASSIGN_OR_RETURN(page_, c_->cache_->GetPage(c_->file_.get(), page_no_));
+  const uint8_t* p = page_->data();
+  uint16_t n = GetFixed16(p + 1);
+  // First slot with entry key >= key.
+  uint16_t lo = 0, hi = n;
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    uint16_t off = GetFixed16(p + c_->page_size_ - 2 * (mid + 1));
+    if (GetKey(p + off) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  slot_ = lo;
+  if (slot_ >= n) return AdvancePage();
+  return LoadEntry();
+}
+
+Status BtreeComponent::Iterator::Next() {
+  TC_CHECK(valid_);
+  ++slot_;
+  const uint8_t* p = page_->data();
+  if (slot_ >= GetFixed16(p + 1)) return AdvancePage();
+  return LoadEntry();
+}
+
+Status BtreeComponent::Iterator::AdvancePage() {
+  const uint8_t* p = page_->data();
+  uint32_t next = GetFixed32(p + 3);
+  if (next >= c_->leaf_count_) {  // past the last leaf
+    valid_ = false;
+    return Status::OK();
+  }
+  page_no_ = next;
+  slot_ = 0;
+  TC_ASSIGN_OR_RETURN(page_, c_->cache_->GetPage(c_->file_.get(), page_no_));
+  return LoadEntry();
+}
+
+Status BtreeComponent::Iterator::LoadEntry() {
+  const uint8_t* p = page_->data();
+  uint16_t n = GetFixed16(p + 1);
+  if (slot_ >= n) return AdvancePage();
+  uint16_t off = GetFixed16(p + c_->page_size_ - 2 * (slot_ + 1));
+  key_ = GetKey(p + off);
+  anti_ = p[off + 16] != 0;
+  uint32_t len = GetFixed32(p + off + 17);
+  payload_ = std::string_view(reinterpret_cast<const char*>(p + off + 21), len);
+  valid_ = true;
+  return Status::OK();
+}
+
+}  // namespace tc

@@ -1,0 +1,164 @@
+// Immutable on-disk LSM component: a B+-tree built bottom-up from sorted
+// entries (paper §2.2). Leaf pages are chained for range scans; the last page
+// is a footer locating the root and the component metadata (component ID,
+// entry counts, key range, and — for inferred datasets — the serialized schema
+// persisted at flush time, §3.1.1). A sidecar ".valid" marker file plays the
+// role of the paper's validity bit: it is written only after the component is
+// fully durable, so crash recovery can identify and remove INVALID components.
+#ifndef TC_LSM_BTREE_COMPONENT_H_
+#define TC_LSM_BTREE_COMPONENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/buffer_cache.h"
+
+namespace tc {
+
+/// 128-bit composite key. Primary indexes use {pk, 0}; secondary indexes use
+/// {secondary_key, pk} so duplicates of the secondary key stay unique.
+struct BtreeKey {
+  int64_t a = 0;
+  int64_t b = 0;
+
+  bool operator==(const BtreeKey& o) const { return a == o.a && b == o.b; }
+  bool operator<(const BtreeKey& o) const {
+    return a != o.a ? a < o.a : b < o.b;
+  }
+  bool operator<=(const BtreeKey& o) const { return !(o < *this); }
+};
+
+/// Component identity and statistics stored in the footer. Flushed components
+/// get cid_min == cid_max; merged components span the merged range (§2.2).
+struct ComponentMeta {
+  uint64_t cid_min = 0;
+  uint64_t cid_max = 0;
+  uint64_t n_entries = 0;   // live records
+  uint64_t n_anti = 0;      // anti-matter entries
+  BtreeKey min_key;
+  BtreeKey max_key;
+  Buffer schema_blob;       // serialized Schema; empty for non-inferred datasets
+};
+
+/// Streams strictly-increasing keyed entries into a new component.
+class BtreeComponentBuilder {
+ public:
+  /// The component is written to `path` via a fresh PagedFile.
+  static Result<std::unique_ptr<BtreeComponentBuilder>> Create(
+      std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
+      std::shared_ptr<const Compressor> compressor);
+
+  /// Adds one entry; keys must be strictly increasing. `anti` marks an
+  /// anti-matter (delete) entry whose payload must be empty.
+  Status Add(const BtreeKey& key, bool anti, std::string_view payload);
+
+  /// Seals the tree and writes footer + metadata. After this the data is
+  /// durable but the component is still INVALID until MarkValid is called.
+  Status Finish(uint64_t cid_min, uint64_t cid_max, const Buffer& schema_blob);
+
+  /// Writes the validity marker (the paper's validity bit).
+  Status MarkValid();
+
+  uint64_t added() const { return n_entries_ + n_anti_; }
+
+ private:
+  BtreeComponentBuilder() = default;
+
+  Status FlushLeaf();
+  Status BuildInterior();
+
+  std::shared_ptr<FileSystem> fs_;
+  std::unique_ptr<PagedFile> file_;
+  std::string path_;
+  size_t page_size_ = 0;
+
+  Buffer leaf_;                 // current leaf page under construction
+  std::vector<uint16_t> leaf_offsets_;
+  std::vector<std::pair<BtreeKey, uint32_t>> level_;  // (first_key, page) of leaves
+  uint32_t next_page_ = 0;
+  uint32_t root_page_ = UINT32_MAX;
+  uint32_t leaf_count_ = 0;
+
+  uint64_t n_entries_ = 0;
+  uint64_t n_anti_ = 0;
+  bool has_min_ = false;
+  BtreeKey min_key_;
+  BtreeKey max_key_;
+  bool finished_ = false;
+};
+
+/// Read-only handle to a finished component. Page reads go through the shared
+/// buffer cache.
+class BtreeComponent {
+ public:
+  static Result<std::shared_ptr<BtreeComponent>> Open(
+      std::shared_ptr<FileSystem> fs, BufferCache* cache, const std::string& path,
+      size_t page_size, std::shared_ptr<const Compressor> compressor);
+
+  /// True when `path` has a validity marker (flush/merge completed).
+  static bool IsValid(FileSystem* fs, const std::string& path);
+
+  /// Removes the component's files (data, LAF, validity marker).
+  static Status Destroy(FileSystem* fs, const std::string& path);
+
+  struct LookupResult {
+    bool anti = false;
+    Buffer payload;
+  };
+  /// Point lookup; nullopt when the key is not in this component.
+  Result<std::optional<LookupResult>> Get(const BtreeKey& key) const;
+
+  /// Forward iterator over leaf entries in key order. Holds page pins; the
+  /// payload view is valid until the next call to Next/Seek.
+  class Iterator {
+   public:
+    explicit Iterator(const BtreeComponent* component) : c_(component) {}
+    Status SeekToFirst();
+    Status Seek(const BtreeKey& key);  // first entry with key >= `key`
+    bool Valid() const { return valid_; }
+    Status Next();
+    const BtreeKey& key() const { return key_; }
+    bool anti() const { return anti_; }
+    std::string_view payload() const { return payload_; }
+
+   private:
+    Status LoadEntry();
+    Status AdvancePage();
+
+    const BtreeComponent* c_;
+    BufferCache::PageRef page_;
+    uint32_t page_no_ = 0;
+    uint16_t slot_ = 0;
+    bool valid_ = false;
+    BtreeKey key_;
+    bool anti_ = false;
+    std::string_view payload_;
+  };
+
+  const ComponentMeta& meta() const { return meta_; }
+  uint64_t physical_bytes() const { return file_->physical_bytes(); }
+  const std::string& path() const { return path_; }
+  uint64_t file_id() const { return file_->file_id(); }
+  uint32_t page_count() const { return file_->page_count(); }
+
+ private:
+  BtreeComponent() = default;
+
+  Result<uint32_t> FindLeaf(const BtreeKey& key) const;
+
+  std::shared_ptr<FileSystem> fs_;
+  BufferCache* cache_ = nullptr;
+  std::unique_ptr<PagedFile> file_;
+  std::string path_;
+  size_t page_size_ = 0;
+  uint32_t root_page_ = UINT32_MAX;
+  uint32_t leaf_count_ = 0;
+  ComponentMeta meta_;
+};
+
+}  // namespace tc
+
+#endif  // TC_LSM_BTREE_COMPONENT_H_

@@ -1,0 +1,540 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace tc {
+namespace {
+
+constexpr const char* kComponentSuffix = ".btree";
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+// Parses "<name>.c<min>-<max>.btree" into the component ID range.
+bool ParseComponentName(const std::string& file, const std::string& name,
+                        uint64_t* cid_min, uint64_t* cid_max) {
+  std::string prefix = name + ".c";
+  if (file.rfind(prefix, 0) != 0) return false;
+  if (file.size() < prefix.size() + std::strlen(kComponentSuffix)) return false;
+  if (file.compare(file.size() - std::strlen(kComponentSuffix),
+                   std::strlen(kComponentSuffix), kComponentSuffix) != 0) {
+    return false;
+  }
+  std::string middle = file.substr(
+      prefix.size(), file.size() - prefix.size() - std::strlen(kComponentSuffix));
+  return std::sscanf(middle.c_str(), "%" PRIu64 "-%" PRIu64, cid_min, cid_max) == 2;
+}
+
+}  // namespace
+
+std::string LsmTree::ComponentPath(uint64_t cid_min, uint64_t cid_max) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ".c%08" PRIu64 "-%08" PRIu64 "%s", cid_min,
+                cid_max, kComponentSuffix);
+  return JoinPath(opts_.dir, opts_.name + buf);
+}
+
+Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
+  auto tree = std::unique_ptr<LsmTree>(new LsmTree());
+  tree->opts_ = std::move(options);
+  TC_CHECK(tree->opts_.fs != nullptr && tree->opts_.cache != nullptr);
+  TC_CHECK(tree->opts_.cache->page_size() == tree->opts_.page_size);
+  if (tree->opts_.merge_policy == nullptr) {
+    tree->opts_.merge_policy = MakePrefixMergePolicy(32ull << 20, 5);
+  }
+  tree->compressor_ = GetCompressor(tree->opts_.compression);
+  tree->transformer_ = tree->opts_.transformer != nullptr ? tree->opts_.transformer
+                                                          : &tree->identity_;
+  TC_RETURN_IF_ERROR(tree->opts_.fs->CreateDir(tree->opts_.dir));
+  TC_RETURN_IF_ERROR(tree->RecoverComponents());
+  // Reload the newest persisted schema BEFORE replaying the WAL: replayed
+  // records must be compacted against the schema their on-disk siblings used,
+  // keeping FieldNameIDs stable (§3.1.2).
+  TC_RETURN_IF_ERROR(
+      tree->transformer_->OnRecoveredSchema(tree->newest_schema_blob()));
+  if (tree->opts_.use_wal) {
+    TC_ASSIGN_OR_RETURN(
+        tree->wal_, WriteAheadLog::Open(tree->opts_.fs,
+                                        JoinPath(tree->opts_.dir,
+                                                 tree->opts_.name + ".wal"),
+                                        tree->opts_.wal_sync_every));
+    TC_RETURN_IF_ERROR(tree->ReplayWal());
+  }
+  return tree;
+}
+
+Status LsmTree::RecoverComponents() {
+  TC_ASSIGN_OR_RETURN(auto files, opts_.fs->List(opts_.dir, opts_.name + ".c"));
+  struct Found {
+    uint64_t cid_min, cid_max;
+    std::string path;
+  };
+  std::vector<Found> found;
+  for (const auto& f : files) {
+    uint64_t lo = 0, hi = 0;
+    if (!ParseComponentName(f, opts_.name, &lo, &hi)) continue;
+    std::string path = JoinPath(opts_.dir, f);
+    if (!BtreeComponent::IsValid(opts_.fs.get(), path)) {
+      // Crash mid-flush or mid-merge: remove the INVALID component (§3.1.2).
+      TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), path));
+      continue;
+    }
+    found.push_back({lo, hi, path});
+  }
+  // A crash after a merge was marked VALID but before the merged inputs were
+  // deleted leaves components whose ID ranges are contained in the merged
+  // one; drop the contained ones.
+  std::vector<Found> keep;
+  for (const auto& c : found) {
+    bool contained = false;
+    for (const auto& o : found) {
+      if (&o == &c) continue;
+      if (o.cid_min <= c.cid_min && c.cid_max <= o.cid_max &&
+          (o.cid_max - o.cid_min) > (c.cid_max - c.cid_min)) {
+        contained = true;
+        break;
+      }
+    }
+    if (contained) {
+      TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), c.path));
+    } else {
+      keep.push_back(c);
+    }
+  }
+  // Newest first == descending component IDs (IDs are monotonic, §2.2).
+  std::sort(keep.begin(), keep.end(),
+            [](const Found& x, const Found& y) { return x.cid_max > y.cid_max; });
+  for (const auto& c : keep) {
+    TC_ASSIGN_OR_RETURN(auto comp,
+                        BtreeComponent::Open(opts_.fs, opts_.cache, c.path,
+                                             opts_.page_size, compressor_));
+    components_.push_back(std::move(comp));
+    next_cid_ = std::max(next_cid_, c.cid_max + 1);
+  }
+  return Status::OK();
+}
+
+Status LsmTree::ReplayWal() {
+  TC_RETURN_IF_ERROR(wal_->Replay([&](const WalRecord& r) -> Status {
+    // Re-capture the old on-disk version exactly as the original operation
+    // did; the pre-crash capture died with the in-memory component.
+    std::optional<Buffer> old;
+    if (opts_.capture_old_versions && !mem_.Contains(r.key)) {
+      TC_ASSIGN_OR_RETURN(auto disk, GetDiskVersionLocked(r.key));
+      if (disk.has_value()) old = std::move(disk);
+    }
+    if (r.op == WalOp::kPut) {
+      mem_.Put(r.key, Buffer(r.payload.begin(), r.payload.end()), std::move(old));
+    } else {
+      mem_.Delete(r.key, std::move(old));
+    }
+    return Status::OK();
+  }));
+  // Flush the restored in-memory component (paper §3.1.2).
+  if (!mem_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TC_RETURN_IF_ERROR(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
+  if (wal_ != nullptr) {
+    auto lsn = wal_->Append(WalOp::kPut, key, payload);
+    if (!lsn.ok()) return lsn.status();
+  }
+  mem_.Put(key, Buffer(payload.begin(), payload.end()), std::nullopt);
+  if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TC_RETURN_IF_ERROR(FlushLocked());
+    TC_RETURN_IF_ERROR(MaybeMergeLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
+                       std::optional<Buffer>* old_out) {
+  if (wal_ != nullptr) {
+    auto lsn = wal_->Append(WalOp::kPut, key, payload);
+    if (!lsn.ok()) return lsn.status();
+  }
+  std::optional<Buffer> old;
+  if (!mem_.Contains(key)) {
+    bool may_exist = true;
+    if (opts_.key_may_exist) {
+      may_exist = opts_.key_may_exist(key);
+    }
+    if (may_exist && opts_.capture_old_versions) {
+      ++stats_.old_version_lookups;
+      TC_ASSIGN_OR_RETURN(auto disk, GetDiskVersionLocked(key));
+      if (disk.has_value()) old = std::move(disk);
+    }
+  } else if (old_out != nullptr) {
+    const MemTable::Entry* e = mem_.Get(key);
+    if (e != nullptr && !e->anti && !e->payload.empty()) {
+      *old_out = e->payload;
+    }
+  }
+  if (old_out != nullptr && old.has_value()) *old_out = old;
+  mem_.Put(key, Buffer(payload.begin(), payload.end()), std::move(old));
+  if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TC_RETURN_IF_ERROR(FlushLocked());
+    TC_RETURN_IF_ERROR(MaybeMergeLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
+  if (wal_ != nullptr) {
+    auto lsn = wal_->Append(WalOp::kDelete, key, {});
+    if (!lsn.ok()) return lsn.status();
+  }
+  std::optional<Buffer> old;
+  const MemTable::Entry* e = mem_.Get(key);
+  if (e == nullptr) {
+    if (opts_.capture_old_versions) {
+      ++stats_.old_version_lookups;
+      TC_ASSIGN_OR_RETURN(auto disk, GetDiskVersionLocked(key));
+      if (disk.has_value()) old = std::move(disk);
+    }
+    if (old_out != nullptr) *old_out = old;
+  } else if (old_out != nullptr && !e->anti && !e->payload.empty()) {
+    *old_out = e->payload;
+  }
+  mem_.Delete(key, std::move(old));
+  if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TC_RETURN_IF_ERROR(FlushLocked());
+    TC_RETURN_IF_ERROR(MaybeMergeLocked());
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Buffer>> LsmTree::Get(const BtreeKey& key) {
+  ++stats_.point_lookups;
+  const MemTable::Entry* e = mem_.Get(key);
+  if (e != nullptr) {
+    if (e->anti) return std::optional<Buffer>{};
+    return std::optional<Buffer>{e->payload};
+  }
+  return GetDiskVersionLocked(key);
+}
+
+Result<std::optional<Buffer>> LsmTree::GetDiskVersion(const BtreeKey& key) {
+  return GetDiskVersionLocked(key);
+}
+
+Result<std::optional<Buffer>> LsmTree::GetDiskVersionLocked(const BtreeKey& key) {
+  for (const auto& comp : components_) {
+    TC_ASSIGN_OR_RETURN(auto hit, comp->Get(key));
+    if (hit.has_value()) {
+      if (hit->anti) return std::optional<Buffer>{};
+      return std::optional<Buffer>{std::move(hit->payload)};
+    }
+  }
+  return std::optional<Buffer>{};
+}
+
+Status LsmTree::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TC_RETURN_IF_ERROR(FlushLocked());
+  return MaybeMergeLocked();
+}
+
+Status LsmTree::FlushLocked() {
+  if (mem_.empty()) return Status::OK();
+  uint64_t cid = next_cid_++;
+  std::string path = ComponentPath(cid, cid);
+  TC_ASSIGN_OR_RETURN(auto builder,
+                      BtreeComponentBuilder::Create(opts_.fs, path,
+                                                    opts_.page_size, compressor_));
+  TC_RETURN_IF_ERROR(transformer_->OnFlushBegin());
+  Buffer transformed;
+  for (auto it = mem_.begin(); it != mem_.end(); ++it) {
+    const MemTable::Entry& e = it->second;
+    if (e.has_old) {
+      TC_RETURN_IF_ERROR(transformer_->OnRemovedVersion(
+          std::string_view(reinterpret_cast<const char*>(e.old_payload.data()),
+                           e.old_payload.size())));
+    }
+    if (e.anti) {
+      TC_RETURN_IF_ERROR(builder->Add(it->first, true, {}));
+    } else {
+      transformed.clear();
+      TC_RETURN_IF_ERROR(transformer_->TransformLive(
+          std::string_view(reinterpret_cast<const char*>(e.payload.data()),
+                           e.payload.size()),
+          &transformed));
+      TC_RETURN_IF_ERROR(builder->Add(
+          it->first, false,
+          std::string_view(reinterpret_cast<const char*>(transformed.data()),
+                           transformed.size())));
+    }
+  }
+  Buffer schema_blob;
+  TC_RETURN_IF_ERROR(transformer_->OnFlushEnd(&schema_blob));
+  TC_RETURN_IF_ERROR(builder->Finish(cid, cid, schema_blob));
+  TC_RETURN_IF_ERROR(builder->MarkValid());
+  TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
+                                                      opts_.page_size, compressor_));
+  stats_.bytes_flushed += comp->physical_bytes();
+  ++stats_.flush_count;
+  components_.insert(components_.begin(), std::move(comp));
+  mem_.Clear();
+  if (wal_ != nullptr) TC_RETURN_IF_ERROR(wal_->Reset());
+  return Status::OK();
+}
+
+Status LsmTree::MaybeMergeLocked() {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(components_.size());
+  for (const auto& c : components_) sizes.push_back(c->physical_bytes());
+  MergeDecision d = opts_.merge_policy->Decide(sizes);
+  if (!d.merge || d.end - d.begin < 2) return Status::OK();
+  return MergeRangeLocked(d.begin, d.end);
+}
+
+Status LsmTree::MergeRangeLocked(size_t begin, size_t end) {
+  TC_CHECK(begin < end && end <= components_.size());
+  uint64_t cid_min = components_[end - 1]->meta().cid_min;
+  uint64_t cid_max = components_[begin]->meta().cid_max;
+  bool drop_tombstones = (end == components_.size());
+  std::string path = ComponentPath(cid_min, cid_max);
+
+  TC_ASSIGN_OR_RETURN(auto builder,
+                      BtreeComponentBuilder::Create(opts_.fs, path,
+                                                    opts_.page_size, compressor_));
+  // K-way merge, newest component wins on key ties. The merge does not touch
+  // the in-memory schema (paper §3.1.1: merges and flushes need no
+  // synchronization); the newest component's schema covers the merged set.
+  struct Cursor {
+    std::unique_ptr<BtreeComponent::Iterator> it;
+    size_t rank;  // lower == newer
+  };
+  std::vector<Cursor> cursors;
+  for (size_t i = begin; i < end; ++i) {
+    auto it = std::make_unique<BtreeComponent::Iterator>(components_[i].get());
+    TC_RETURN_IF_ERROR(it->SeekToFirst());
+    if (it->Valid()) cursors.push_back({std::move(it), i});
+  }
+  while (!cursors.empty()) {
+    // Find the minimal key; among equals, the lowest rank (newest) wins.
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      const BtreeKey& k = cursors[i].it->key();
+      const BtreeKey& bk = cursors[best].it->key();
+      if (k < bk || (k == bk && cursors[i].rank < cursors[best].rank)) best = i;
+    }
+    BtreeKey key = cursors[best].it->key();
+    bool anti = cursors[best].it->anti();
+    std::string_view payload = cursors[best].it->payload();
+    if (anti && drop_tombstones) {
+      // Annihilated: the anti-matter entry and any older record both vanish.
+    } else {
+      TC_RETURN_IF_ERROR(builder->Add(key, anti, payload));
+    }
+    // Advance every cursor positioned at this key.
+    for (size_t i = 0; i < cursors.size();) {
+      if (cursors[i].it->key() == key) {
+        TC_RETURN_IF_ERROR(cursors[i].it->Next());
+        if (!cursors[i].it->Valid()) {
+          cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(i));
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+  // Persist the newest (superset) schema in the merged component (§3.1.1).
+  TC_RETURN_IF_ERROR(
+      builder->Finish(cid_min, cid_max, components_[begin]->meta().schema_blob));
+  TC_RETURN_IF_ERROR(builder->MarkValid());
+  TC_ASSIGN_OR_RETURN(auto merged, BtreeComponent::Open(opts_.fs, opts_.cache, path,
+                                                        opts_.page_size,
+                                                        compressor_));
+  stats_.bytes_merged += merged->physical_bytes();
+  ++stats_.merge_count;
+
+  // Swap in the merged component, then delete the inputs (older components
+  // can be safely deleted only after the merge is VALID, §2.2).
+  std::vector<std::shared_ptr<BtreeComponent>> old(
+      components_.begin() + static_cast<ptrdiff_t>(begin),
+      components_.begin() + static_cast<ptrdiff_t>(end));
+  components_.erase(components_.begin() + static_cast<ptrdiff_t>(begin),
+                    components_.begin() + static_cast<ptrdiff_t>(end));
+  components_.insert(components_.begin() + static_cast<ptrdiff_t>(begin),
+                     std::move(merged));
+  for (const auto& c : old) {
+    opts_.cache->InvalidateFile(c->file_id());
+    TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), c->path()));
+  }
+  return Status::OK();
+}
+
+Status LsmTree::BulkLoad(
+    const std::function<Status(std::function<Status(const BtreeKey&,
+                                                    std::string_view)>)>& feed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!mem_.empty() || !components_.empty()) {
+    return Status::InvalidArgument("bulk load requires an empty dataset");
+  }
+  uint64_t cid = next_cid_++;
+  std::string path = ComponentPath(cid, cid);
+  TC_ASSIGN_OR_RETURN(auto builder,
+                      BtreeComponentBuilder::Create(opts_.fs, path,
+                                                    opts_.page_size, compressor_));
+  TC_RETURN_IF_ERROR(transformer_->OnFlushBegin());
+  Buffer transformed;
+  TC_RETURN_IF_ERROR(feed([&](const BtreeKey& key, std::string_view payload) {
+    transformed.clear();
+    TC_RETURN_IF_ERROR(transformer_->TransformLive(payload, &transformed));
+    return builder->Add(
+        key, false,
+        std::string_view(reinterpret_cast<const char*>(transformed.data()),
+                         transformed.size()));
+  }));
+  Buffer schema_blob;
+  TC_RETURN_IF_ERROR(transformer_->OnFlushEnd(&schema_blob));
+  TC_RETURN_IF_ERROR(builder->Finish(cid, cid, schema_blob));
+  TC_RETURN_IF_ERROR(builder->MarkValid());
+  TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
+                                                      opts_.page_size, compressor_));
+  stats_.bytes_flushed += comp->physical_bytes();
+  ++stats_.flush_count;
+  components_.insert(components_.begin(), std::move(comp));
+  return Status::OK();
+}
+
+uint64_t LsmTree::physical_bytes() const {
+  uint64_t total = 0;
+  for (const auto& c : components_) total += c->physical_bytes();
+  return total;
+}
+
+const Buffer& LsmTree::newest_schema_blob() const {
+  static const Buffer kEmpty;
+  return components_.empty() ? kEmpty : components_.front()->meta().schema_blob;
+}
+
+Status LsmTree::DestroyAll() {
+  for (const auto& c : components_) {
+    opts_.cache->InvalidateFile(c->file_id());
+    TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), c->path()));
+  }
+  components_.clear();
+  mem_.Clear();
+  std::string wal_path = JoinPath(opts_.dir, opts_.name + ".wal");
+  if (opts_.fs->Exists(wal_path)) TC_RETURN_IF_ERROR(opts_.fs->Delete(wal_path));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Merged iterator
+// ---------------------------------------------------------------------------
+
+LsmTree::Iterator::Iterator(LsmTree* tree) : tree_(tree) {}
+
+Status LsmTree::Iterator::SeekToFirst() {
+  comps_ = tree_->components_;
+  cursors_.clear();
+  for (const auto& c : comps_) {
+    cursors_.push_back(std::make_unique<BtreeComponent::Iterator>(c.get()));
+    TC_RETURN_IF_ERROR(cursors_.back()->SeekToFirst());
+  }
+  mem_it_ = tree_->mem_.begin();
+  return FindNext(/*include_current=*/true);
+}
+
+Status LsmTree::Iterator::Seek(const BtreeKey& key) {
+  comps_ = tree_->components_;
+  cursors_.clear();
+  for (const auto& c : comps_) {
+    cursors_.push_back(std::make_unique<BtreeComponent::Iterator>(c.get()));
+    TC_RETURN_IF_ERROR(cursors_.back()->Seek(key));
+  }
+  mem_it_ = tree_->mem_.LowerBound(key);
+  return FindNext(/*include_current=*/true);
+}
+
+Status LsmTree::Iterator::Next() {
+  TC_CHECK(valid_);
+  return FindNext(/*include_current=*/false);
+}
+
+Status LsmTree::Iterator::FindNext(bool include_current) {
+  // On each round: find the smallest key across the memtable cursor and all
+  // component cursors; the newest source (memtable, then components in order)
+  // wins; anti-matter entries annihilate.
+  if (!include_current) {
+    // Skip past the previously returned key on all sources.
+    BtreeKey prev = key_;
+    if (mem_it_ != tree_->mem_.end() && mem_it_->first == prev) ++mem_it_;
+    for (auto& cur : cursors_) {
+      if (cur->Valid() && cur->key() == prev) TC_RETURN_IF_ERROR(cur->Next());
+    }
+  }
+  while (true) {
+    bool have = false;
+    BtreeKey min_key{};
+    if (mem_it_ != tree_->mem_.end()) {
+      min_key = mem_it_->first;
+      have = true;
+    }
+    for (auto& cur : cursors_) {
+      if (cur->Valid() && (!have || cur->key() < min_key)) {
+        min_key = cur->key();
+        have = true;
+      }
+    }
+    if (!have) {
+      valid_ = false;
+      return Status::OK();
+    }
+    // Winner: memtable first, then components newest-first.
+    bool anti = false;
+    bool from_mem = false;
+    std::string_view payload;
+    if (mem_it_ != tree_->mem_.end() && mem_it_->first == min_key) {
+      from_mem = true;
+      anti = mem_it_->second.anti;
+      payload = std::string_view(
+          reinterpret_cast<const char*>(mem_it_->second.payload.data()),
+          mem_it_->second.payload.size());
+    } else {
+      for (auto& cur : cursors_) {
+        if (cur->Valid() && cur->key() == min_key) {
+          anti = cur->anti();
+          payload = cur->payload();
+          break;  // cursors_ are ordered newest first
+        }
+      }
+    }
+    if (!anti) {
+      key_ = min_key;
+      if (from_mem) {
+        payload_ = payload;
+      } else {
+        // Copy: advancing sibling cursors below may release the pinned page.
+        payload_copy_.assign(payload.begin(), payload.end());
+        payload_ = std::string_view(
+            reinterpret_cast<const char*>(payload_copy_.data()),
+            payload_copy_.size());
+      }
+      valid_ = true;
+      return Status::OK();
+    }
+    // Annihilated key: advance all sources past it and continue.
+    if (mem_it_ != tree_->mem_.end() && mem_it_->first == min_key) ++mem_it_;
+    for (auto& cur : cursors_) {
+      if (cur->Valid() && cur->key() == min_key) TC_RETURN_IF_ERROR(cur->Next());
+    }
+  }
+}
+
+}  // namespace tc

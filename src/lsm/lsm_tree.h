@@ -1,0 +1,184 @@
+// One partition's LSM index (paper §2.2): an in-memory component plus a list
+// of immutable on-disk components, with flush, merge (prefix policy),
+// anti-matter deletes, WAL-backed recovery, and the flush-time transformer
+// hook the tuple compactor plugs into (§3.1). The LSM tree itself is
+// format-agnostic: payloads are opaque bytes; the transformer decides whether
+// flushes infer schemas and compact records.
+#ifndef TC_LSM_LSM_TREE_H_
+#define TC_LSM_LSM_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lsm/btree_component.h"
+#include "lsm/memtable.h"
+#include "lsm/merge_policy.h"
+#include "lsm/wal.h"
+#include "storage/buffer_cache.h"
+
+namespace tc {
+
+/// Flush-lifecycle hook (paper §3.1): the tuple compactor implements this to
+/// piggyback schema inference and record compaction on flush operations.
+class FlushTransformer {
+ public:
+  virtual ~FlushTransformer() = default;
+  /// Called before the first entry of a flush/bulk-load streams through.
+  virtual Status OnFlushBegin() { return Status::OK(); }
+  /// Rewrites a live record for on-disk storage (e.g., infer + compact).
+  virtual Status TransformLive(std::string_view payload, Buffer* out) {
+    out->assign(payload.begin(), payload.end());
+    return Status::OK();
+  }
+  /// Processes the anti-schema of a removed on-disk record version (§3.2.2).
+  virtual Status OnRemovedVersion(std::string_view old_payload) {
+    return Status::OK();
+  }
+  /// Produces the schema blob persisted in the component's metadata page;
+  /// leave empty for datasets without inferred schemas.
+  virtual Status OnFlushEnd(Buffer* schema_blob) { return Status::OK(); }
+  /// Called during startup after on-disk components are recovered and before
+  /// the WAL is replayed: `blob` is the newest valid component's schema
+  /// (paper §3.1.2 — recovery reloads the schema, then replays the log, and
+  /// the replayed memtable flushes through the compactor normally).
+  virtual Status OnRecoveredSchema(const Buffer& blob) { return Status::OK(); }
+};
+
+struct LsmTreeOptions {
+  std::shared_ptr<FileSystem> fs;
+  BufferCache* cache = nullptr;
+  std::string dir;
+  std::string name;
+  size_t page_size = 32 * 1024;
+  size_t memtable_budget_bytes = 4 * 1024 * 1024;
+  CompressionKind compression = CompressionKind::kNone;
+  std::shared_ptr<MergePolicy> merge_policy;  // default: prefix(32 MiB, 5)
+  bool use_wal = true;
+  /// fdatasync cadence for the WAL; 0 disables syncing (bulk loads, benches).
+  size_t wal_sync_every = 0;
+  /// Not owned; identity behaviour when null.
+  FlushTransformer* transformer = nullptr;
+  /// Optional fast existence filter (the primary-key index of §3.2.2): when it
+  /// returns false the expensive old-version point lookup is skipped.
+  std::function<bool(const BtreeKey&)> key_may_exist;
+  /// Capture old on-disk versions on upsert/delete (needed by the tuple
+  /// compactor's anti-schema processing and by secondary index maintenance).
+  bool capture_old_versions = false;
+};
+
+struct LsmStats {
+  uint64_t flush_count = 0;
+  uint64_t merge_count = 0;
+  uint64_t bytes_flushed = 0;       // physical bytes written by flushes
+  uint64_t bytes_merged = 0;        // physical bytes written by merges
+  uint64_t point_lookups = 0;
+  uint64_t old_version_lookups = 0;
+};
+
+class LsmTree {
+ public:
+  /// Opens (or creates) the tree; removes invalid components and replays the
+  /// WAL, then flushes the restored memtable (paper §3.1.2).
+  static Result<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
+
+  /// Inserts a record assumed new (no old-version lookup) — the insert-only
+  /// feed path of Figure 17a.
+  Status Insert(const BtreeKey& key, std::string_view payload);
+
+  /// Upsert = delete-if-exists + insert (§2.2). Captures the old on-disk
+  /// version when configured; `old_out`, if non-null, receives it.
+  Status Upsert(const BtreeKey& key, std::string_view payload,
+                std::optional<Buffer>* old_out = nullptr);
+
+  /// Deletes by key (inserts an anti-matter entry).
+  Status Delete(const BtreeKey& key, std::optional<Buffer>* old_out = nullptr);
+
+  /// Point lookup across memtable and components, newest first.
+  Result<std::optional<Buffer>> Get(const BtreeKey& key);
+
+  /// Point lookup skipping the memtable (the current on-disk version).
+  Result<std::optional<Buffer>> GetDiskVersion(const BtreeKey& key);
+
+  /// Flushes the in-memory component if non-empty, then consults the merge
+  /// policy.
+  Status Flush();
+
+  /// Builds a single on-disk component from externally sorted entries
+  /// (bulk-load, §4.3). The tree must be empty.
+  Status BulkLoad(
+      const std::function<Status(std::function<Status(const BtreeKey&,
+                                                      std::string_view)>)>& feed);
+
+  /// Merged forward scan with anti-matter annihilation. The caller must not
+  /// mutate the tree while iterating.
+  class Iterator {
+   public:
+    explicit Iterator(LsmTree* tree);
+    Status SeekToFirst();
+    Status Seek(const BtreeKey& key);
+    bool Valid() const { return valid_; }
+    Status Next();
+    const BtreeKey& key() const { return key_; }
+    std::string_view payload() const { return payload_; }
+
+   private:
+    Status FindNext(bool include_current);
+
+    LsmTree* tree_;
+    MemTable::ConstIterator mem_it_;
+    std::vector<std::shared_ptr<BtreeComponent>> comps_;
+    std::vector<std::unique_ptr<BtreeComponent::Iterator>> cursors_;
+    bool valid_ = false;
+    BtreeKey key_;
+    std::string_view payload_;
+    Buffer payload_copy_;
+  };
+
+  size_t component_count() const { return components_.size(); }
+  const std::vector<std::shared_ptr<BtreeComponent>>& components() const {
+    return components_;
+  }
+  const MemTable& memtable() const { return mem_; }
+  /// Total on-disk physical bytes (data files + LAFs) — the Figure 16 metric.
+  uint64_t physical_bytes() const;
+  const LsmStats& stats() const { return stats_; }
+  /// Schema blob of the newest valid component (empty when none) — what crash
+  /// recovery reloads (§3.1.2).
+  const Buffer& newest_schema_blob() const;
+
+  /// Deletes all files of this tree (testing and bench cleanup).
+  Status DestroyAll();
+
+ private:
+  LsmTree() = default;
+
+  std::string ComponentPath(uint64_t cid_min, uint64_t cid_max) const;
+  Status RecoverComponents();
+  Status ReplayWal();
+  Status FlushLocked();
+  Status MaybeMergeLocked();
+  Status MergeRangeLocked(size_t begin, size_t end);
+  Result<std::optional<Buffer>> GetDiskVersionLocked(const BtreeKey& key);
+
+  LsmTreeOptions opts_;
+  std::shared_ptr<const Compressor> compressor_;
+  FlushTransformer identity_;
+  FlushTransformer* transformer_ = nullptr;
+
+  std::mutex mu_;  // guards structural changes (flush/merge component swaps)
+  MemTable mem_;
+  std::vector<std::shared_ptr<BtreeComponent>> components_;  // newest first
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t next_cid_ = 1;
+  LsmStats stats_;
+};
+
+}  // namespace tc
+
+#endif  // TC_LSM_LSM_TREE_H_

@@ -1,0 +1,49 @@
+#include "lsm/memtable.h"
+
+namespace tc {
+namespace {
+constexpr size_t kEntryOverhead = 64;  // rough per-entry bookkeeping cost
+}
+
+void MemTable::Put(const BtreeKey& key, Buffer payload,
+                   std::optional<Buffer> old_payload) {
+  auto [it, inserted] = map_.try_emplace(key);
+  Entry& e = it->second;
+  if (inserted) {
+    bytes_ += kEntryOverhead;
+    if (old_payload.has_value()) {
+      e.has_old = true;
+      e.old_payload = std::move(*old_payload);
+      bytes_ += e.old_payload.size();
+    }
+  }
+  // A replacement keeps the original old_payload: the first captured on-disk
+  // version is the one whose schema contribution must be reversed.
+  bytes_ -= e.payload.size();
+  e.payload = std::move(payload);
+  bytes_ += e.payload.size();
+  e.anti = false;
+}
+
+void MemTable::Delete(const BtreeKey& key, std::optional<Buffer> old_payload) {
+  auto [it, inserted] = map_.try_emplace(key);
+  Entry& e = it->second;
+  if (inserted) {
+    bytes_ += kEntryOverhead;
+    if (old_payload.has_value()) {
+      e.has_old = true;
+      e.old_payload = std::move(*old_payload);
+      bytes_ += e.old_payload.size();
+    }
+  }
+  bytes_ -= e.payload.size();
+  e.payload.clear();
+  e.anti = true;
+}
+
+const MemTable::Entry* MemTable::Get(const BtreeKey& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tc

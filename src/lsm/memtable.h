@@ -1,0 +1,67 @@
+// The LSM in-memory component (paper §2.2). Holds the latest operation per
+// primary key. Records are kept in the dataset's uncompacted on-ingest format;
+// the tuple compactor deliberately does not maintain schema for in-memory
+// records (§3.1.1) — inference happens at flush.
+//
+// Delete/upsert entries capture the previous *on-disk* version of the record
+// ("old payload") so the flush can process its anti-schema (§3.2.2). Versions
+// that only ever lived in this memtable never contributed to the schema and
+// are simply replaced.
+#ifndef TC_LSM_MEMTABLE_H_
+#define TC_LSM_MEMTABLE_H_
+
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lsm/btree_component.h"
+
+namespace tc {
+
+class MemTable {
+ public:
+  struct Entry {
+    bool anti = false;        // latest op is a delete
+    Buffer payload;           // new record bytes (empty when anti)
+    bool has_old = false;     // an on-disk version existed when first touched
+    Buffer old_payload;       // that version's bytes (for anti-schema)
+  };
+
+  /// Inserts or replaces the entry for `key`. `old_payload`, when present, is
+  /// the current on-disk version (captured by the caller's point lookup); it
+  /// is retained across subsequent updates to the same key so its anti-schema
+  /// is processed exactly once at flush.
+  void Put(const BtreeKey& key, Buffer payload, std::optional<Buffer> old_payload);
+
+  /// Registers a delete.
+  void Delete(const BtreeKey& key, std::optional<Buffer> old_payload);
+
+  /// Latest entry for `key`, or nullptr.
+  const Entry* Get(const BtreeKey& key) const;
+
+  /// True when `key` has an entry (live or anti).
+  bool Contains(const BtreeKey& key) const { return map_.count(key) > 0; }
+
+  size_t entry_count() const { return map_.size(); }
+  size_t approximate_bytes() const { return bytes_; }
+  bool empty() const { return map_.empty(); }
+  void Clear() {
+    map_.clear();
+    bytes_ = 0;
+  }
+
+  using ConstIterator = std::map<BtreeKey, Entry>::const_iterator;
+  ConstIterator begin() const { return map_.begin(); }
+  ConstIterator end() const { return map_.end(); }
+  /// First entry with key >= `key`.
+  ConstIterator LowerBound(const BtreeKey& key) const { return map_.lower_bound(key); }
+
+ private:
+  std::map<BtreeKey, Entry> map_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace tc
+
+#endif  // TC_LSM_MEMTABLE_H_

@@ -1,0 +1,76 @@
+#include "lsm/merge_policy.h"
+
+namespace tc {
+namespace {
+
+class NoMergePolicy final : public MergePolicy {
+ public:
+  const char* name() const override { return "no-merge"; }
+  MergeDecision Decide(const std::vector<uint64_t>& sizes) const override {
+    return {};
+  }
+};
+
+class PrefixMergePolicy final : public MergePolicy {
+ public:
+  PrefixMergePolicy(uint64_t max_bytes, size_t tolerance)
+      : max_bytes_(max_bytes), tolerance_(tolerance) {}
+
+  const char* name() const override { return "prefix"; }
+
+  MergeDecision Decide(const std::vector<uint64_t>& sizes) const override {
+    // Find the run of "small" components at the newest end (a component that
+    // grew past max_bytes_ is left alone, as are all components older than it).
+    size_t end = 0;
+    while (end < sizes.size() && sizes[end] < max_bytes_) ++end;
+    if (end <= tolerance_) return {};
+    // Merge the longest newest-first prefix of that run whose sum fits.
+    uint64_t total = 0;
+    size_t take = 0;
+    while (take < end && total + sizes[take] <= max_bytes_) {
+      total += sizes[take];
+      ++take;
+    }
+    if (take < 2) {
+      // The run overflows even pairwise; merge the two newest regardless so
+      // the component count stays bounded.
+      take = 2;
+    }
+    return {true, 0, take};
+  }
+
+ private:
+  uint64_t max_bytes_;
+  size_t tolerance_;
+};
+
+class ConstantMergePolicy final : public MergePolicy {
+ public:
+  explicit ConstantMergePolicy(size_t k) : k_(k) {}
+  const char* name() const override { return "constant"; }
+  MergeDecision Decide(const std::vector<uint64_t>& sizes) const override {
+    if (sizes.size() > k_) return {true, 0, sizes.size()};
+    return {};
+  }
+
+ private:
+  size_t k_;
+};
+
+}  // namespace
+
+std::unique_ptr<MergePolicy> MakeNoMergePolicy() {
+  return std::make_unique<NoMergePolicy>();
+}
+
+std::unique_ptr<MergePolicy> MakePrefixMergePolicy(uint64_t max_mergeable_bytes,
+                                                   size_t max_tolerance_count) {
+  return std::make_unique<PrefixMergePolicy>(max_mergeable_bytes,
+                                             max_tolerance_count);
+}
+
+std::unique_ptr<MergePolicy> MakeConstantMergePolicy(size_t k) {
+  return std::make_unique<ConstantMergePolicy>(k);
+}
+
+}  // namespace tc

@@ -1,0 +1,46 @@
+// LSM merge policies (paper §2.2, [19, 29]). The default is the prefix merge
+// policy AsterixDB uses — the Figure 17 ingestion experiments configure it
+// with a 1 GB-scaled maximum mergeable component size and a tolerance of 5
+// components.
+#ifndef TC_LSM_MERGE_POLICY_H_
+#define TC_LSM_MERGE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tc {
+
+/// Sizes of the current on-disk components, newest first.
+struct MergeDecision {
+  bool merge = false;
+  // Range [begin, end) of component indexes (newest-first order) to merge.
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+class MergePolicy {
+ public:
+  virtual ~MergePolicy() = default;
+  virtual const char* name() const = 0;
+  /// `sizes[0]` is the newest component's physical size in bytes.
+  virtual MergeDecision Decide(const std::vector<uint64_t>& sizes) const = 0;
+};
+
+/// Never merges.
+std::unique_ptr<MergePolicy> MakeNoMergePolicy();
+
+/// AsterixDB's prefix merge policy: ignore components larger than
+/// `max_mergeable_bytes`; among the remaining *suffix* of newest components,
+/// merge the longest run whose total stays under `max_mergeable_bytes` once
+/// more than `max_tolerance_count` such components accumulate.
+std::unique_ptr<MergePolicy> MakePrefixMergePolicy(uint64_t max_mergeable_bytes,
+                                                   size_t max_tolerance_count);
+
+/// Merges all components whenever their count exceeds `k` (a simple
+/// constant-components policy, useful in tests).
+std::unique_ptr<MergePolicy> MakeConstantMergePolicy(size_t k);
+
+}  // namespace tc
+
+#endif  // TC_LSM_MERGE_POLICY_H_

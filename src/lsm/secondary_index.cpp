@@ -1,0 +1,32 @@
+#include "lsm/secondary_index.h"
+
+namespace tc {
+
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
+    LsmTreeOptions options) {
+  options.capture_old_versions = false;  // entries are self-contained
+  options.transformer = nullptr;
+  TC_ASSIGN_OR_RETURN(auto tree, LsmTree::Open(std::move(options)));
+  return std::unique_ptr<SecondaryIndex>(new SecondaryIndex(std::move(tree)));
+}
+
+Status SecondaryIndex::Insert(int64_t secondary_key, int64_t primary_key) {
+  return tree_->Insert(BtreeKey{secondary_key, primary_key}, {});
+}
+
+Status SecondaryIndex::Delete(int64_t secondary_key, int64_t primary_key) {
+  return tree_->Delete(BtreeKey{secondary_key, primary_key}, nullptr);
+}
+
+Result<std::vector<int64_t>> SecondaryIndex::RangeScan(int64_t lo, int64_t hi) {
+  std::vector<int64_t> pks;
+  LsmTree::Iterator it(tree_.get());
+  TC_RETURN_IF_ERROR(it.Seek(BtreeKey{lo, INT64_MIN}));
+  while (it.Valid() && it.key().a <= hi) {
+    pks.push_back(it.key().b);
+    TC_RETURN_IF_ERROR(it.Next());
+  }
+  return pks;
+}
+
+}  // namespace tc

@@ -1,0 +1,37 @@
+// LSM secondary index (paper §4.4.5): an LSM B+-tree over composite keys
+// (secondary_key, primary_key) with empty payloads. Range queries scan the
+// secondary index for matching primary keys and then perform point lookups in
+// the primary index.
+#ifndef TC_LSM_SECONDARY_INDEX_H_
+#define TC_LSM_SECONDARY_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/lsm_tree.h"
+
+namespace tc {
+
+class SecondaryIndex {
+ public:
+  /// `options.name` should differ from the primary index's (e.g. "<ds>.sidx").
+  static Result<std::unique_ptr<SecondaryIndex>> Open(LsmTreeOptions options);
+
+  Status Insert(int64_t secondary_key, int64_t primary_key);
+  Status Delete(int64_t secondary_key, int64_t primary_key);
+
+  /// Primary keys of entries with secondary key in [lo, hi], in key order.
+  Result<std::vector<int64_t>> RangeScan(int64_t lo, int64_t hi);
+
+  Status Flush() { return tree_->Flush(); }
+  uint64_t physical_bytes() const { return tree_->physical_bytes(); }
+  LsmTree* tree() { return tree_.get(); }
+
+ private:
+  explicit SecondaryIndex(std::unique_ptr<LsmTree> tree) : tree_(std::move(tree)) {}
+  std::unique_ptr<LsmTree> tree_;
+};
+
+}  // namespace tc
+
+#endif  // TC_LSM_SECONDARY_INDEX_H_

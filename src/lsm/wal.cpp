@@ -1,0 +1,95 @@
+#include "lsm/wal.h"
+
+#include "common/crc32.h"
+
+namespace tc {
+namespace {
+
+// Record layout: u32 body_len | u32 crc(body) | body.
+// Body: u64 lsn | u8 op | 16B key | payload bytes.
+constexpr size_t kBodyFixed = 8 + 1 + 16;
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    std::shared_ptr<FileSystem> fs, const std::string& path, size_t sync_every_n) {
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog());
+  wal->fs_ = fs;
+  wal->path_ = path;
+  wal->sync_every_n_ = sync_every_n;
+  if (fs->Exists(path)) {
+    TC_ASSIGN_OR_RETURN(wal->file_, fs->Open(path));
+    // Scan to find the durable end and the next LSN.
+    uint64_t max_lsn = 0;
+    uint64_t end = 0;
+    Status st = wal->Replay([&](const WalRecord& r) {
+      max_lsn = r.lsn;
+      end += 8 + kBodyFixed + r.payload.size();
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
+    wal->next_lsn_ = max_lsn + 1;
+    wal->write_offset_ = end;
+  } else {
+    TC_ASSIGN_OR_RETURN(wal->file_, fs->Create(path));
+  }
+  return wal;
+}
+
+Result<uint64_t> WriteAheadLog::Append(WalOp op, const BtreeKey& key,
+                                       std::string_view payload) {
+  uint64_t lsn = next_lsn_++;
+  Buffer rec;
+  rec.reserve(8 + kBodyFixed + payload.size());
+  PutFixed32(&rec, static_cast<uint32_t>(kBodyFixed + payload.size()));
+  PutFixed32(&rec, 0);  // crc patched below
+  size_t body_start = rec.size();
+  PutFixed64(&rec, lsn);
+  PutU8(&rec, static_cast<uint8_t>(op));
+  PutFixed64(&rec, static_cast<uint64_t>(key.a));
+  PutFixed64(&rec, static_cast<uint64_t>(key.b));
+  PutString(&rec, payload);
+  OverwriteFixed32(&rec, 4, Crc32c(rec.data() + body_start, rec.size() - body_start));
+  TC_RETURN_IF_ERROR(file_->Write(write_offset_, rec.data(), rec.size()));
+  write_offset_ += rec.size();
+  if (sync_every_n_ > 0 && ++appends_since_sync_ >= sync_every_n_) {
+    TC_RETURN_IF_ERROR(file_->Sync());
+    appends_since_sync_ = 0;
+  }
+  return lsn;
+}
+
+Status WriteAheadLog::Replay(
+    const std::function<Status(const WalRecord&)>& fn) const {
+  uint64_t size = file_->Size();
+  uint64_t pos = 0;
+  Buffer header(8);
+  while (pos + 8 <= size) {
+    TC_RETURN_IF_ERROR(file_->Read(pos, 8, header.data()));
+    uint32_t body_len = GetFixed32(header.data());
+    uint32_t crc = GetFixed32(header.data() + 4);
+    if (body_len < kBodyFixed || pos + 8 + body_len > size) break;  // torn tail
+    Buffer body(body_len);
+    TC_RETURN_IF_ERROR(file_->Read(pos + 8, body_len, body.data()));
+    if (Crc32c(body.data(), body.size()) != crc) break;  // torn tail
+    WalRecord r;
+    r.lsn = GetFixed64(body.data());
+    r.op = static_cast<WalOp>(body[8]);
+    r.key.a = static_cast<int64_t>(GetFixed64(body.data() + 9));
+    r.key.b = static_cast<int64_t>(GetFixed64(body.data() + 17));
+    r.payload.assign(body.begin() + kBodyFixed, body.end());
+    TC_RETURN_IF_ERROR(fn(r));
+    pos += 8 + body_len;
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  // Recreate the file; next_lsn_ keeps increasing so LSNs stay unique.
+  TC_ASSIGN_OR_RETURN(file_, fs_->Create(path_));
+  write_offset_ = 0;
+  appends_since_sync_ = 0;
+  return Status::OK();
+}
+
+}  // namespace tc

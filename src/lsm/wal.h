@@ -1,0 +1,68 @@
+// Write-ahead log (paper §2.2): no-steal/no-force buffer management means
+// every ingested operation is logged before it is acknowledged; on a crash the
+// memtable's unflushed tail is rebuilt by replaying the log. Because a flush
+// persists the entire in-memory component, the log is reset once the flushed
+// component is marked VALID (the paper: "the tree manager can safely delete
+// the logs for the flushed component").
+#ifndef TC_LSM_WAL_H_
+#define TC_LSM_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lsm/btree_component.h"
+#include "storage/file.h"
+
+namespace tc {
+
+enum class WalOp : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalOp op = WalOp::kPut;
+  BtreeKey key;
+  Buffer payload;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (or creates) the log at `path`. `sync_every_n` batches fdatasync
+  /// calls (1 == sync each append; 0 == never sync, for bulk loads).
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      std::shared_ptr<FileSystem> fs, const std::string& path,
+      size_t sync_every_n);
+
+  /// Appends one operation; assigns and returns its LSN.
+  Result<uint64_t> Append(WalOp op, const BtreeKey& key, std::string_view payload);
+
+  /// Replays all records in LSN order. Corrupt tails (torn final record) stop
+  /// replay silently, matching standard WAL semantics.
+  Status Replay(const std::function<Status(const WalRecord&)>& fn) const;
+
+  /// Drops all log records (called after a flush commits).
+  Status Reset();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t size_bytes() const { return write_offset_; }
+
+ private:
+  WriteAheadLog() = default;
+
+  std::shared_ptr<FileSystem> fs_;
+  std::unique_ptr<File> file_;
+  std::string path_;
+  uint64_t next_lsn_ = 1;
+  uint64_t write_offset_ = 0;
+  size_t sync_every_n_ = 1;
+  size_t appends_since_sync_ = 0;
+};
+
+}  // namespace tc
+
+#endif  // TC_LSM_WAL_H_

@@ -1,0 +1,94 @@
+#include "query/executor.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tc {
+
+Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
+                                  const PipelineFactory& make_pipeline,
+                                  const SinkFactory& make_sink) {
+  auto start = std::chrono::steady_clock::now();
+  size_t n = dataset->partition_count();
+  SchemaRegistry registry =
+      SchemaRegistry::Collect(dataset, options.has_nonlocal_exchange);
+
+  // Per-partition accessors bound to the partition's own schema snapshot.
+  std::vector<std::unique_ptr<RecordAccessor>> accessors;
+  std::vector<ScanCounters> counters(n);
+  accessors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DatasetPartition* p = dataset->partition(i);
+    accessors.push_back(std::make_unique<RecordAccessor>(
+        p->options().mode, &p->options().type, p->SchemaSnapshot(),
+        options.consolidate_field_access));
+  }
+
+  size_t max_threads = options.max_threads == 0 ? n : options.max_threads;
+  std::vector<Status> statuses(n, Status::OK());
+  std::atomic<size_t> next{0};
+
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      PartitionContext ctx;
+      ctx.partition = dataset->partition(i);
+      ctx.accessor = accessors[i].get();
+      ctx.counters = &counters[i];
+      ctx.registry = &registry;
+      auto pipeline = make_pipeline(ctx);
+      if (!pipeline.ok()) {
+        statuses[i] = pipeline.status();
+        return;
+      }
+      std::unique_ptr<Operator> op = std::move(pipeline).value();
+      RowSink sink = make_sink(static_cast<int>(i));
+      Status st = op->Open();
+      if (!st.ok()) {
+        statuses[i] = st;
+        return;
+      }
+      Row row;
+      while (true) {
+        auto has = op->Next(&row);
+        if (!has.ok()) {
+          statuses[i] = has.status();
+          return;
+        }
+        if (!has.value()) break;
+        st = sink(std::move(row));
+        if (!st.ok()) {
+          statuses[i] = st;
+          return;
+        }
+        row = Row{};
+      }
+    }
+  };
+
+  size_t n_threads = std::min(max_threads, n);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  QueryStats stats;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& c : counters) {
+    stats.rows_scanned += c.rows;
+    stats.bytes_scanned += c.bytes;
+  }
+  stats.schema_broadcast_bytes = registry.broadcast_bytes();
+  return stats;
+}
+
+}  // namespace tc

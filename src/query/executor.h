@@ -1,0 +1,57 @@
+// Parallel query executor: runs one pipeline per data partition on its own
+// thread (the paper's per-partition query executors, §2.3) and feeds rows to
+// per-partition sinks, which the caller merges — the local-aggregate /
+// exchange / global-merge structure of the paper's Figure 5 plans.
+#ifndef TC_QUERY_EXECUTOR_H_
+#define TC_QUERY_EXECUTOR_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "query/operators.h"
+#include "query/schema_broadcast.h"
+
+namespace tc {
+
+struct QueryOptions {
+  /// The §3.4.2 consolidation + pushdown optimization; Figure 23 disables it.
+  bool consolidate_field_access = true;
+  /// Declares that the plan repartitions records (group-by/order across
+  /// partitions): triggers the schema broadcast of §3.4.1.
+  bool has_nonlocal_exchange = false;
+  /// Cap on executor threads (0 = one per partition).
+  size_t max_threads = 0;
+};
+
+struct QueryStats {
+  double wall_seconds = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t bytes_scanned = 0;
+  size_t schema_broadcast_bytes = 0;
+};
+
+/// Everything a per-partition pipeline factory gets to work with.
+struct PartitionContext {
+  DatasetPartition* partition = nullptr;
+  const RecordAccessor* accessor = nullptr;  // bound to this partition's schema
+  ScanCounters* counters = nullptr;
+  const SchemaRegistry* registry = nullptr;  // schema broadcast (may be empty)
+};
+
+using PipelineFactory =
+    std::function<Result<std::unique_ptr<Operator>>(const PartitionContext&)>;
+/// Consumes rows on the partition's thread; one sink per partition, so no
+/// synchronization is needed inside.
+using RowSink = std::function<Status(Row&&)>;
+using SinkFactory = std::function<RowSink(int partition)>;
+
+/// Runs the query; returns aggregate stats. Errors from any partition abort
+/// the query.
+Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
+                                  const PipelineFactory& make_pipeline,
+                                  const SinkFactory& make_sink);
+
+}  // namespace tc
+
+#endif  // TC_QUERY_EXECUTOR_H_

@@ -1,0 +1,100 @@
+#include "query/operators.h"
+
+#include <algorithm>
+
+#include "adm/printer.h"
+
+namespace tc {
+
+Status ScanOperator::Open() {
+  it_ = std::make_unique<LsmTree::Iterator>(partition_->primary());
+  first_ = true;
+  return Status::OK();
+}
+
+Result<bool> ScanOperator::Next(Row* row) {
+  if (first_) {
+    TC_RETURN_IF_ERROR(it_->SeekToFirst());
+    first_ = false;
+  } else if (it_->Valid()) {
+    TC_RETURN_IF_ERROR(it_->Next());
+  }
+  if (!it_->Valid()) return false;
+  std::string_view payload = it_->payload();
+  ++counters_->rows;
+  counters_->bytes += payload.size();
+
+  row->partition = partition_->partition_id();
+  row->cols.clear();
+  if (!spec_.paths.empty()) {
+    TC_RETURN_IF_ERROR(accessor_->GetValues(payload, spec_.paths, &row->cols));
+  }
+  if (spec_.attach_record) {
+    row->record = std::make_shared<Buffer>(payload.begin(), payload.end());
+  } else {
+    row->record.reset();
+  }
+  return true;
+}
+
+Result<bool> LookupOperator::Next(Row* row) {
+  while (pos_ < pks_.size()) {
+    int64_t pk = pks_[pos_++];
+    TC_ASSIGN_OR_RETURN(auto payload, partition_->primary()->Get(BtreeKey{pk, 0}));
+    if (!payload.has_value()) continue;  // deleted since indexed
+    std::string_view view(reinterpret_cast<const char*>(payload->data()),
+                          payload->size());
+    ++counters_->rows;
+    counters_->bytes += view.size();
+    row->partition = partition_->partition_id();
+    row->cols.clear();
+    if (!spec_.paths.empty()) {
+      TC_RETURN_IF_ERROR(accessor_->GetValues(view, spec_.paths, &row->cols));
+    }
+    if (spec_.attach_record) {
+      row->record = std::make_shared<Buffer>(*payload);
+    } else {
+      row->record.reset();
+    }
+    return true;
+  }
+  return false;
+}
+
+Result<bool> UnnestOperator::Next(Row* row) {
+  while (true) {
+    if (have_ && item_ < current_.cols[col_].size()) {
+      *row = current_;
+      row->cols[col_] = current_.cols[col_].item(item_);
+      ++item_;
+      return true;
+    }
+    have_ = false;
+    TC_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+    if (!ok) return false;
+    if (col_ >= current_.cols.size() || !current_.cols[col_].is_collection()) {
+      continue;  // inner unnest: non-collections contribute nothing
+    }
+    item_ = 0;
+    have_ = true;
+  }
+}
+
+std::vector<std::pair<std::string, AggCell>> GroupMap::TopK(
+    size_t k, const std::function<double(const AggCell&)>& score) const {
+  std::vector<std::pair<std::string, AggCell>> all(groups_.begin(), groups_.end());
+  std::sort(all.begin(), all.end(), [&](const auto& a, const auto& b) {
+    double sa = score(a.second), sb = score(b.second);
+    if (sa != sb) return sa > sb;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::string GroupKeyOf(const AdmValue& v) {
+  if (v.tag() == AdmTag::kString) return v.string_value();
+  return PrintAdm(v);
+}
+
+}  // namespace tc

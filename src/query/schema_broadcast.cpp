@@ -1,0 +1,25 @@
+#include "query/schema_broadcast.h"
+
+#include "schema/schema_io.h"
+
+namespace tc {
+
+SchemaRegistry SchemaRegistry::Collect(Dataset* dataset,
+                                       bool plan_has_nonlocal_exchange) {
+  SchemaRegistry reg;
+  if (!plan_has_nonlocal_exchange) return reg;
+  reg.collected_ = true;
+  for (size_t i = 0; i < dataset->partition_count(); ++i) {
+    auto schema = std::make_unique<Schema>(dataset->partition(i)->SchemaSnapshot());
+    // Account for what a real cluster would put on the wire: the serialized
+    // schema is broadcast once per partition per query (§3.4.1), versus the
+    // per-record schema overhead self-describing formats carry.
+    Buffer blob;
+    SerializeSchema(*schema, &blob);
+    reg.broadcast_bytes_ += blob.size() * dataset->partition_count();
+    reg.schemas_.push_back(std::move(schema));
+  }
+  return reg;
+}
+
+}  // namespace tc

@@ -1,0 +1,43 @@
+// Schema broadcast (paper §3.4.1): partitions infer schemas independently, so
+// when a query plan contains a non-local exchange (records leaving their home
+// partition), each partition's schema is broadcast to all query executors at
+// query start. Rows carry their source partition ID; a consumer resolves a
+// record's compacted FieldNameIDs through the registry entry for that
+// partition. Plans without non-local exchanges skip the broadcast — the paper
+// notes broadcasting only when necessary keeps its cost negligible.
+#ifndef TC_QUERY_SCHEMA_BROADCAST_H_
+#define TC_QUERY_SCHEMA_BROADCAST_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace tc {
+
+class SchemaRegistry {
+ public:
+  /// Snapshots every partition's schema when `plan_has_nonlocal_exchange`;
+  /// otherwise returns an empty (not collected) registry.
+  static SchemaRegistry Collect(Dataset* dataset, bool plan_has_nonlocal_exchange);
+
+  bool collected() const { return collected_; }
+  size_t broadcast_bytes() const { return broadcast_bytes_; }
+
+  /// Schema of partition `pid`; null when not collected.
+  const Schema* ForPartition(int pid) const {
+    if (!collected_ || pid < 0 || static_cast<size_t>(pid) >= schemas_.size()) {
+      return nullptr;
+    }
+    return schemas_[static_cast<size_t>(pid)].get();
+  }
+
+ private:
+  bool collected_ = false;
+  size_t broadcast_bytes_ = 0;  // serialized size (what the wire would carry)
+  std::vector<std::unique_ptr<Schema>> schemas_;
+};
+
+}  // namespace tc
+
+#endif  // TC_QUERY_SCHEMA_BROADCAST_H_

@@ -1,0 +1,56 @@
+#include "schema/dictionary.h"
+
+namespace tc {
+
+uint32_t FieldNameDictionary::GetOrAdd(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  names_.emplace_back(name);
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t FieldNameDictionary::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+const std::string& FieldNameDictionary::NameOf(uint32_t id) const {
+  TC_CHECK(Contains(id));
+  return names_[id - 1];
+}
+
+void FieldNameDictionary::Serialize(Buffer* out) const {
+  PutVarint32(out, static_cast<uint32_t>(names_.size()));
+  for (const auto& n : names_) {
+    PutVarint32(out, static_cast<uint32_t>(n.size()));
+    PutString(out, n);
+  }
+}
+
+Result<FieldNameDictionary> FieldNameDictionary::Deserialize(const uint8_t* data,
+                                                             size_t size,
+                                                             size_t* consumed) {
+  const uint8_t* p = data;
+  const uint8_t* limit = data + size;
+  uint64_t count = 0;
+  size_t n = GetVarint64(p, limit, &count);
+  if (n == 0) return Status::Corruption("dictionary: bad count varint");
+  p += n;
+  FieldNameDictionary dict;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    n = GetVarint64(p, limit, &len);
+    if (n == 0 || p + n + len > limit) {
+      return Status::Corruption("dictionary: truncated entry");
+    }
+    p += n;
+    dict.GetOrAdd(std::string_view(reinterpret_cast<const char*>(p), len));
+    p += len;
+  }
+  *consumed = static_cast<size_t>(p - data);
+  return dict;
+}
+
+}  // namespace tc

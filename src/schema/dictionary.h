@@ -1,0 +1,51 @@
+// Field-name dictionary (paper §3.2.1, Figure 10c): canonicalizes repeated
+// field names across the schema tree. IDs start at 1 and are stable for the
+// lifetime of a partition — compacted records persist FieldNameIDs, so an ID,
+// once assigned, is never reused even if the schema node that referenced it is
+// later pruned by anti-schema maintenance.
+#ifndef TC_SCHEMA_DICTIONARY_H_
+#define TC_SCHEMA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tc {
+
+class FieldNameDictionary {
+ public:
+  static constexpr uint32_t kInvalidId = 0;
+
+  /// Returns the ID for `name`, assigning the next ID when unseen.
+  uint32_t GetOrAdd(std::string_view name);
+
+  /// Returns the ID for `name` or kInvalidId when absent.
+  uint32_t Lookup(std::string_view name) const;
+
+  /// Name for an assigned ID; CHECK-fails on out-of-range IDs.
+  const std::string& NameOf(uint32_t id) const;
+
+  bool Contains(uint32_t id) const { return id >= 1 && id <= names_.size(); }
+
+  /// Number of assigned IDs; the largest assigned ID equals size().
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+  void Serialize(Buffer* out) const;
+  static Result<FieldNameDictionary> Deserialize(const uint8_t* data, size_t size,
+                                                 size_t* consumed);
+
+  bool operator==(const FieldNameDictionary& o) const { return names_ == o.names_; }
+
+ private:
+  std::vector<std::string> names_;                      // id - 1 -> name
+  std::unordered_map<std::string, uint32_t> index_;     // name -> id
+};
+
+}  // namespace tc
+
+#endif  // TC_SCHEMA_DICTIONARY_H_

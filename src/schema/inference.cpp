@@ -1,0 +1,135 @@
+#include "schema/inference.h"
+
+namespace tc {
+namespace {
+
+Status AddValue(Schema* schema, SchemaNode::Ptr* slot, const AdmValue& v);
+
+Status AddObjectFields(Schema* schema, SchemaNode* node, const AdmValue& obj,
+                       const TypeDescriptor* declared) {
+  for (size_t i = 0; i < obj.field_count(); ++i) {
+    const AdmValue& fv = obj.field_value(i);
+    if (fv.tag() == AdmTag::kMissing) continue;  // missing == absent
+    if (declared != nullptr && declared->DeclaredIndex(obj.field_name(i)) >= 0) {
+      continue;  // declared fields are catalog metadata, never inferred
+    }
+    uint32_t id = schema->dict().GetOrAdd(obj.field_name(i));
+    SchemaNode::Ptr* child = node->FindFieldSlot(id);
+    if (child == nullptr) child = node->AddFieldSlot(id);
+    TC_RETURN_IF_ERROR(AddValue(schema, child, fv));
+  }
+  return Status::OK();
+}
+
+Status AddValue(Schema* schema, SchemaNode::Ptr* slot, const AdmValue& v) {
+  SchemaNode* uni = nullptr;
+  SchemaNode* node = AdaptSlot(slot, v.tag(), &uni);
+  if (uni != nullptr) uni->Increment();
+  node->Increment();
+  if (v.is_object()) return AddObjectFields(schema, node, v, nullptr);
+  if (v.is_collection()) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      TC_RETURN_IF_ERROR(AddValue(schema, node->ItemSlot(), v.item(i)));
+    }
+  }
+  return Status::OK();
+}
+
+Status RemoveValue(Schema* schema, SchemaNode::Ptr* slot, const AdmValue& v);
+
+Status RemoveObjectFields(Schema* schema, SchemaNode* node, const AdmValue& obj,
+                          const TypeDescriptor* declared) {
+  for (size_t i = 0; i < obj.field_count(); ++i) {
+    const AdmValue& fv = obj.field_value(i);
+    if (fv.tag() == AdmTag::kMissing) continue;
+    if (declared != nullptr && declared->DeclaredIndex(obj.field_name(i)) >= 0) {
+      continue;
+    }
+    uint32_t id = schema->dict().Lookup(obj.field_name(i));
+    if (id == FieldNameDictionary::kInvalidId) {
+      return Status::Corruption("anti-schema references unknown field '" +
+                                obj.field_name(i) + "'");
+    }
+    SchemaNode::Ptr* child = node->FindFieldSlot(id);
+    if (child == nullptr || *child == nullptr) {
+      return Status::Corruption("anti-schema references absent field '" +
+                                obj.field_name(i) + "'");
+    }
+    TC_RETURN_IF_ERROR(RemoveValue(schema, child, fv));
+    if (*child == nullptr) node->RemoveField(id);
+  }
+  return Status::OK();
+}
+
+// Decrements the node for `v` within `slot`; resets the slot to null when the
+// node's counter reaches zero. For unions: prunes dead variants and collapses
+// the union once a single variant remains.
+Status RemoveValue(Schema* schema, SchemaNode::Ptr* slot, const AdmValue& v) {
+  SchemaNode* node = slot->get();
+  SchemaNode* uni = nullptr;
+  if (node->tag() == AdmTag::kUnion) {
+    uni = node;
+    node = uni->FindVariant(v.tag());
+    if (node == nullptr) {
+      return Status::Corruption("anti-schema type not present in union");
+    }
+  } else if (node->tag() != v.tag()) {
+    return Status::Corruption(std::string("anti-schema type mismatch: schema has ") +
+                              AdmTagName(node->tag()) + ", record has " +
+                              AdmTagName(v.tag()));
+  }
+
+  if (v.is_object()) {
+    TC_RETURN_IF_ERROR(RemoveObjectFields(schema, node, v, nullptr));
+  } else if (v.is_collection()) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (node->item() == nullptr) {
+        return Status::Corruption("anti-schema item type missing from collection");
+      }
+      TC_RETURN_IF_ERROR(RemoveValue(schema, node->ItemSlot(), v.item(i)));
+    }
+  }
+
+  node->Decrement();
+  if (uni != nullptr) {
+    uni->Decrement();
+    if (node->count() == 0) uni->RemoveVariant(v.tag());
+    if (uni->count() == 0) {
+      slot->reset();
+    } else if (uni->variant_count() == 1) {
+      *slot = uni->TakeVariant(0);  // collapse union(T) -> T
+    }
+  } else if (node->count() == 0) {
+    slot->reset();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InferRecord(Schema* schema, const AdmValue& record,
+                   const TypeDescriptor* declared) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("records must be objects");
+  }
+  schema->root()->Increment();
+  TC_RETURN_IF_ERROR(AddObjectFields(schema, schema->root(), record, declared));
+  schema->BumpVersion();
+  return Status::OK();
+}
+
+Status RemoveRecord(Schema* schema, const AdmValue& record,
+                    const TypeDescriptor* declared) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("records must be objects");
+  }
+  if (schema->root()->count() == 0) {
+    return Status::Corruption("anti-schema applied to empty schema");
+  }
+  TC_RETURN_IF_ERROR(RemoveObjectFields(schema, schema->root(), record, declared));
+  schema->root()->Decrement();
+  schema->BumpVersion();
+  return Status::OK();
+}
+
+}  // namespace tc

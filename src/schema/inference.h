@@ -1,0 +1,30 @@
+// Schema inference and anti-schema maintenance over AdmValue trees
+// (paper §3.1, §3.2.2). The flush-time fast path that infers directly from
+// vector-based record bytes lives in format/vector_format.h; both paths
+// produce identical schema structures (verified by tests).
+#ifndef TC_SCHEMA_INFERENCE_H_
+#define TC_SCHEMA_INFERENCE_H_
+
+#include "adm/value.h"
+#include "common/status.h"
+#include "schema/schema_tree.h"
+#include "schema/type_descriptor.h"
+
+namespace tc {
+
+/// Folds `record` (an object) into `schema`. Fields declared in `declared`
+/// (e.g. the primary key) are skipped — their type information lives in the
+/// metadata catalog, not in the inferred schema. Fields whose value is
+/// `missing` do not contribute.
+Status InferRecord(Schema* schema, const AdmValue& record,
+                   const TypeDescriptor* declared);
+
+/// Processes the anti-schema of a deleted record: decrements the counter of
+/// every schema node the record touched, prunes nodes whose counter reaches
+/// zero, and collapses unions left with a single variant (paper Figure 11).
+Status RemoveRecord(Schema* schema, const AdmValue& record,
+                    const TypeDescriptor* declared);
+
+}  // namespace tc
+
+#endif  // TC_SCHEMA_INFERENCE_H_

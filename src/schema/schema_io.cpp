@@ -1,0 +1,131 @@
+#include "schema/schema_io.h"
+
+namespace tc {
+namespace {
+
+constexpr uint32_t kSchemaMagic = 0x54435348;  // "TCSH"
+
+void SerializeNode(const SchemaNode* node, Buffer* out) {
+  PutU8(out, static_cast<uint8_t>(node->tag()));
+  PutVarint64(out, node->count());
+  switch (node->tag()) {
+    case AdmTag::kObject:
+      PutVarint32(out, static_cast<uint32_t>(node->field_count()));
+      for (size_t i = 0; i < node->field_count(); ++i) {
+        PutVarint32(out, node->field_id(i));
+        SerializeNode(node->field_node(i), out);
+      }
+      break;
+    case AdmTag::kArray:
+    case AdmTag::kMultiset:
+      // A freshly created collection that never saw an item has a null item
+      // node; encode presence explicitly.
+      PutU8(out, node->item() != nullptr ? 1 : 0);
+      if (node->item() != nullptr) SerializeNode(node->item(), out);
+      break;
+    case AdmTag::kUnion:
+      PutVarint32(out, static_cast<uint32_t>(node->variant_count()));
+      for (size_t i = 0; i < node->variant_count(); ++i) {
+        SerializeNode(node->variant(i), out);
+      }
+      break;
+    default:
+      break;  // scalar leaves carry only tag + count
+  }
+}
+
+Status ReadVarint(const uint8_t*& p, const uint8_t* limit, uint64_t* v) {
+  size_t n = GetVarint64(p, limit, v);
+  if (n == 0) return Status::Corruption("schema: truncated varint");
+  p += n;
+  return Status::OK();
+}
+
+Status DeserializeNode(const uint8_t*& p, const uint8_t* limit, int depth,
+                       SchemaNode::Ptr* out) {
+  if (depth > 256) return Status::Corruption("schema: nesting too deep");
+  if (p >= limit) return Status::Corruption("schema: truncated node");
+  AdmTag tag = static_cast<AdmTag>(*p++);
+  if (static_cast<uint8_t>(tag) >= static_cast<uint8_t>(AdmTag::kNumTags)) {
+    return Status::Corruption("schema: bad tag");
+  }
+  uint64_t count = 0;
+  TC_RETURN_IF_ERROR(ReadVarint(p, limit, &count));
+  auto node = std::make_unique<SchemaNode>(tag);
+  node->set_count(count);
+  switch (tag) {
+    case AdmTag::kObject: {
+      uint64_t nfields = 0;
+      TC_RETURN_IF_ERROR(ReadVarint(p, limit, &nfields));
+      for (uint64_t i = 0; i < nfields; ++i) {
+        uint64_t id = 0;
+        TC_RETURN_IF_ERROR(ReadVarint(p, limit, &id));
+        SchemaNode::Ptr* slot = node->AddFieldSlot(static_cast<uint32_t>(id));
+        TC_RETURN_IF_ERROR(DeserializeNode(p, limit, depth + 1, slot));
+      }
+      break;
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      if (p >= limit) return Status::Corruption("schema: truncated collection");
+      uint8_t has_item = *p++;
+      if (has_item != 0) {
+        TC_RETURN_IF_ERROR(DeserializeNode(p, limit, depth + 1, node->ItemSlot()));
+      }
+      break;
+    }
+    case AdmTag::kUnion: {
+      uint64_t nvariants = 0;
+      TC_RETURN_IF_ERROR(ReadVarint(p, limit, &nvariants));
+      for (uint64_t i = 0; i < nvariants; ++i) {
+        SchemaNode::Ptr variant;
+        TC_RETURN_IF_ERROR(DeserializeNode(p, limit, depth + 1, &variant));
+        node->AddVariant(std::move(variant));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  *out = std::move(node);
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializeSchema(const Schema& schema, Buffer* out) {
+  PutFixed32(out, kSchemaMagic);
+  PutVarint64(out, schema.version());
+  schema.dict().Serialize(out);
+  SerializeNode(schema.root(), out);
+}
+
+Result<Schema> DeserializeSchema(const uint8_t* data, size_t size, size_t* consumed) {
+  const uint8_t* p = data;
+  const uint8_t* limit = data + size;
+  if (size < 4 || GetFixed32(p) != kSchemaMagic) {
+    return Status::Corruption("schema: bad magic");
+  }
+  p += 4;
+  uint64_t version = 0;
+  TC_RETURN_IF_ERROR(ReadVarint(p, limit, &version));
+  size_t dict_consumed = 0;
+  TC_ASSIGN_OR_RETURN(FieldNameDictionary dict,
+                      FieldNameDictionary::Deserialize(
+                          p, static_cast<size_t>(limit - p), &dict_consumed));
+  p += dict_consumed;
+  SchemaNode::Ptr root;
+  TC_RETURN_IF_ERROR(DeserializeNode(p, limit, 0, &root));
+  if (root->tag() != AdmTag::kObject) {
+    return Status::Corruption("schema: root must be an object");
+  }
+  Schema schema;
+  schema.set_version(version);
+  schema.dict() = dict;
+  // Rebuild the root in place: move fields from the deserialized node.
+  *schema.root() = std::move(*root);
+  *consumed = static_cast<size_t>(p - data);
+  return schema;
+}
+
+}  // namespace tc

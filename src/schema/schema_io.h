@@ -1,0 +1,22 @@
+// Schema persistence (paper §3.1.1): at the end of a flush, the component's
+// inferred in-memory schema is serialized into the component's metadata page.
+// Once persisted, on-disk schemas are immutable.
+#ifndef TC_SCHEMA_SCHEMA_IO_H_
+#define TC_SCHEMA_SCHEMA_IO_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "schema/schema_tree.h"
+
+namespace tc {
+
+/// Appends a self-delimiting serialization of `schema` to `out`.
+void SerializeSchema(const Schema& schema, Buffer* out);
+
+/// Parses a schema written by SerializeSchema from `data[0, size)`.
+/// `consumed` receives the number of bytes read.
+Result<Schema> DeserializeSchema(const uint8_t* data, size_t size, size_t* consumed);
+
+}  // namespace tc
+
+#endif  // TC_SCHEMA_SCHEMA_IO_H_

@@ -1,0 +1,127 @@
+#include "schema/schema_tree.h"
+
+namespace tc {
+
+SchemaNode::Ptr SchemaNode::Clone() const {
+  auto n = std::make_unique<SchemaNode>(tag_);
+  n->count_ = count_;
+  n->fields_.reserve(fields_.size());
+  for (const auto& [id, child] : fields_) {
+    n->fields_.emplace_back(id, child ? child->Clone() : nullptr);
+  }
+  if (item_) n->item_ = item_->Clone();
+  n->variants_.reserve(variants_.size());
+  for (const auto& v : variants_) n->variants_.push_back(v->Clone());
+  return n;
+}
+
+size_t SchemaNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& [id, child] : fields_) {
+    if (child) n += child->SubtreeSize();
+  }
+  if (item_) n += item_->SubtreeSize();
+  for (const auto& v : variants_) n += v->SubtreeSize();
+  return n;
+}
+
+bool SchemaNode::Equals(const SchemaNode& o) const {
+  if (tag_ != o.tag_ || count_ != o.count_) return false;
+  if (fields_.size() != o.fields_.size() || variants_.size() != o.variants_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].first != o.fields_[i].first) return false;
+    const SchemaNode* a = fields_[i].second.get();
+    const SchemaNode* b = o.fields_[i].second.get();
+    if ((a == nullptr) != (b == nullptr)) return false;
+    if (a != nullptr && !a->Equals(*b)) return false;
+  }
+  if ((item_ == nullptr) != (o.item_ == nullptr)) return false;
+  if (item_ != nullptr && !item_->Equals(*o.item_)) return false;
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    if (!variants_[i]->Equals(*o.variants_[i])) return false;
+  }
+  return true;
+}
+
+SchemaNode* AdaptSlot(SchemaNode::Ptr* slot, AdmTag observed,
+                      SchemaNode** union_wrapper) {
+  *union_wrapper = nullptr;
+  if (*slot == nullptr) {
+    *slot = std::make_unique<SchemaNode>(observed);
+    return slot->get();
+  }
+  SchemaNode* node = slot->get();
+  if (node->tag() == observed) return node;
+  if (node->tag() == AdmTag::kUnion) {
+    *union_wrapper = node;
+    SchemaNode* variant = node->FindVariant(observed);
+    if (variant == nullptr) {
+      variant = node->AddVariant(std::make_unique<SchemaNode>(observed));
+    }
+    return variant;
+  }
+  // Widen: replace the node with a union of {existing, fresh(observed)}.
+  auto uni = std::make_unique<SchemaNode>(AdmTag::kUnion);
+  uni->set_count(node->count());  // union counter == sum of variant counters
+  SchemaNode* wrapper = uni.get();
+  uni->AddVariant(std::move(*slot));
+  SchemaNode* fresh = uni->AddVariant(std::make_unique<SchemaNode>(observed));
+  *slot = std::move(uni);
+  *union_wrapper = wrapper;
+  return fresh;
+}
+
+namespace {
+
+void Render(const SchemaNode* n, const FieldNameDictionary& dict, std::string* out) {
+  if (n == nullptr) {
+    *out += "<null>";
+    return;
+  }
+  switch (n->tag()) {
+    case AdmTag::kObject: {
+      *out += "{";
+      for (size_t i = 0; i < n->field_count(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += dict.NameOf(n->field_id(i));
+        *out += ":";
+        Render(n->field_node(i), dict, out);
+      }
+      *out += "}(" + std::to_string(n->count()) + ")";
+      return;
+    }
+    case AdmTag::kArray:
+    case AdmTag::kMultiset: {
+      *out += (n->tag() == AdmTag::kArray) ? "array(" : "multiset(";
+      *out += std::to_string(n->count());
+      *out += ")<";
+      Render(n->item(), dict, out);
+      *out += ">";
+      return;
+    }
+    case AdmTag::kUnion: {
+      *out += "union(" + std::to_string(n->count()) + ")<";
+      for (size_t i = 0; i < n->variant_count(); ++i) {
+        if (i > 0) *out += "|";
+        Render(n->variant(i), dict, out);
+      }
+      *out += ">";
+      return;
+    }
+    default:
+      *out += AdmTagName(n->tag());
+      *out += "(" + std::to_string(n->count()) + ")";
+  }
+}
+
+}  // namespace
+
+std::string Schema::ToString() const {
+  std::string out;
+  Render(root_.get(), dict_, &out);
+  return out;
+}
+
+}  // namespace tc

@@ -1,0 +1,172 @@
+// The inferred schema structure (paper §3.2, Figure 10b): a tree whose inner
+// nodes are objects, collections (array/multiset), and unions, and whose leaves
+// are scalar types. Every node carries a Counter — the number of value
+// occurrences the tuple compactor has seen for that node — which makes delete
+// maintenance (anti-schema processing) possible.
+#ifndef TC_SCHEMA_SCHEMA_TREE_H_
+#define TC_SCHEMA_SCHEMA_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adm/types.h"
+#include "common/status.h"
+#include "schema/dictionary.h"
+
+namespace tc {
+
+class SchemaNode {
+ public:
+  using Ptr = std::unique_ptr<SchemaNode>;
+
+  explicit SchemaNode(AdmTag tag) : tag_(tag) {}
+
+  AdmTag tag() const { return tag_; }
+  uint64_t count() const { return count_; }
+  void set_count(uint64_t c) { count_ = c; }
+  void Increment() { ++count_; }
+  /// Decrements the counter; CHECK-fails on underflow (an anti-schema may only
+  /// remove occurrences that were previously added).
+  void Decrement() {
+    TC_CHECK(count_ > 0);
+    --count_;
+  }
+
+  // -- object nodes -----------------------------------------------------------
+  size_t field_count() const { return fields_.size(); }
+  uint32_t field_id(size_t i) const { return fields_[i].first; }
+  const SchemaNode* field_node(size_t i) const { return fields_[i].second.get(); }
+  SchemaNode* field_node(size_t i) { return fields_[i].second.get(); }
+
+  /// Slot (owning pointer cell) for a field, or nullptr when absent.
+  Ptr* FindFieldSlot(uint32_t id) {
+    for (auto& [fid, child] : fields_) {
+      if (fid == id) return &child;
+    }
+    return nullptr;
+  }
+  const SchemaNode* FindField(uint32_t id) const {
+    for (const auto& [fid, child] : fields_) {
+      if (fid == id) return child.get();
+    }
+    return nullptr;
+  }
+  /// Adds an empty slot for a new field (must not already exist).
+  Ptr* AddFieldSlot(uint32_t id) {
+    fields_.emplace_back(id, nullptr);
+    return &fields_.back().second;
+  }
+  void RemoveField(uint32_t id) {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].first == id) {
+        fields_.erase(fields_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  // -- collection nodes ---------------------------------------------------------
+  Ptr* ItemSlot() { return &item_; }
+  const SchemaNode* item() const { return item_.get(); }
+  SchemaNode* item() { return item_.get(); }
+
+  // -- union nodes ---------------------------------------------------------------
+  size_t variant_count() const { return variants_.size(); }
+  const SchemaNode* variant(size_t i) const { return variants_[i].get(); }
+  SchemaNode* variant(size_t i) { return variants_[i].get(); }
+  SchemaNode* FindVariant(AdmTag tag) {
+    for (auto& v : variants_) {
+      if (v->tag() == tag) return v.get();
+    }
+    return nullptr;
+  }
+  const SchemaNode* FindVariant(AdmTag tag) const {
+    return const_cast<SchemaNode*>(this)->FindVariant(tag);
+  }
+  SchemaNode* AddVariant(Ptr v) {
+    variants_.push_back(std::move(v));
+    return variants_.back().get();
+  }
+  Ptr TakeVariant(size_t i) {
+    Ptr out = std::move(variants_[i]);
+    variants_.erase(variants_.begin() + static_cast<ptrdiff_t>(i));
+    return out;
+  }
+  void RemoveVariant(AdmTag tag) {
+    for (size_t i = 0; i < variants_.size(); ++i) {
+      if (variants_[i]->tag() == tag) {
+        variants_.erase(variants_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  Ptr Clone() const;
+
+  /// Total number of nodes in this subtree (for tests/stats).
+  size_t SubtreeSize() const;
+
+  bool Equals(const SchemaNode& o) const;
+
+ private:
+  AdmTag tag_;
+  uint64_t count_ = 0;
+  // Object children in first-seen order; IDs reference the schema dictionary.
+  std::vector<std::pair<uint32_t, Ptr>> fields_;
+  Ptr item_;                    // collections: the single item node (may be a union)
+  std::vector<Ptr> variants_;   // unions: one child per distinct type tag
+};
+
+/// A partition's inferred schema: dictionary + tree + monotonically increasing
+/// version. The root is always an object node whose counter equals the number
+/// of live (inferred minus removed) records.
+class Schema {
+ public:
+  Schema() : root_(std::make_unique<SchemaNode>(AdmTag::kObject)) {}
+
+  FieldNameDictionary& dict() { return dict_; }
+  const FieldNameDictionary& dict() const { return dict_; }
+  SchemaNode* root() { return root_.get(); }
+  const SchemaNode* root() const { return root_.get(); }
+
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+  void set_version(uint64_t v) { version_ = v; }
+
+  /// Deep copy (used to snapshot a partition's schema for queries and to
+  /// persist an immutable copy into a flushed component's metadata page).
+  Schema Clone() const {
+    Schema s;
+    s.dict_ = dict_;
+    s.root_ = root_->Clone();
+    s.version_ = version_;
+    return s;
+  }
+
+  /// Human-readable rendering, e.g. `{name:string(6), age:union(4)<int(3)|string(1)>}`.
+  std::string ToString() const;
+
+  bool Equals(const Schema& o) const {
+    return dict_ == o.dict_ && root_->Equals(*o.root_);
+  }
+
+ private:
+  FieldNameDictionary dict_;
+  SchemaNode::Ptr root_;
+  uint64_t version_ = 0;
+};
+
+/// Resolves the slot's node for an observed type tag, performing the
+/// scalar->union widening of paper §3.1 when the observed tag differs from the
+/// existing node's tag. Creates the node when the slot is empty. Returns the
+/// node matching `observed`; `*union_wrapper` receives the union node passed
+/// through (or created), or nullptr when the slot is not a union.
+SchemaNode* AdaptSlot(SchemaNode::Ptr* slot, AdmTag observed,
+                      SchemaNode** union_wrapper);
+
+}  // namespace tc
+
+#endif  // TC_SCHEMA_SCHEMA_TREE_H_

@@ -1,0 +1,96 @@
+// Declared (user-defined) datatype descriptors — the equivalent of AsterixDB's
+// CREATE TYPE. A dataset always declares at least its primary key; a "closed"
+// dataset declares every field (paper §2.1, Figure 1). Declared fields are kept
+// in the metadata catalog, never inside records.
+#ifndef TC_SCHEMA_TYPE_DESCRIPTOR_H_
+#define TC_SCHEMA_TYPE_DESCRIPTOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "adm/types.h"
+
+namespace tc {
+
+/// One node of a declared type tree.
+class TypeDescriptor {
+ public:
+  using Ptr = std::shared_ptr<TypeDescriptor>;
+
+  static Ptr Scalar(AdmTag tag, bool optional = false) {
+    auto t = std::make_shared<TypeDescriptor>();
+    t->tag_ = tag;
+    t->optional_ = optional;
+    return t;
+  }
+
+  /// An object type. `open` permits undeclared extra fields in instances.
+  static Ptr Object(bool open) {
+    auto t = std::make_shared<TypeDescriptor>();
+    t->tag_ = AdmTag::kObject;
+    t->open_ = open;
+    return t;
+  }
+
+  static Ptr Collection(AdmTag tag, Ptr item, bool optional = false) {
+    auto t = std::make_shared<TypeDescriptor>();
+    t->tag_ = tag;
+    t->item_ = std::move(item);
+    t->optional_ = optional;
+    return t;
+  }
+
+  TypeDescriptor* AddField(std::string name, Ptr type) {
+    fields_.emplace_back(std::move(name), std::move(type));
+    return fields_.back().second.get();
+  }
+
+  AdmTag tag() const { return tag_; }
+  bool open() const { return open_; }
+  bool optional() const { return optional_; }
+  void set_optional(bool v) { optional_ = v; }
+
+  size_t field_count() const { return fields_.size(); }
+  const std::string& field_name(size_t i) const { return fields_[i].first; }
+  const Ptr& field_type(size_t i) const { return fields_[i].second; }
+
+  /// Declared index of `name`, or -1 when the field is not declared.
+  int DeclaredIndex(std::string_view name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].first == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  const Ptr& item_type() const { return item_; }
+
+ private:
+  AdmTag tag_ = AdmTag::kObject;
+  bool open_ = true;
+  bool optional_ = false;
+  std::vector<std::pair<std::string, Ptr>> fields_;
+  Ptr item_;  // collections only
+};
+
+/// The declared type of a dataset plus its primary key. The "inferred" and
+/// "open" experiment configurations declare only the primary key; "closed"
+/// declares the full record type.
+struct DatasetType {
+  TypeDescriptor::Ptr root;       // object type
+  std::string primary_key_field;  // must be a declared bigint field
+
+  static DatasetType OpenWithPk(const std::string& pk) {
+    DatasetType d;
+    d.root = TypeDescriptor::Object(/*open=*/true);
+    d.root->AddField(pk, TypeDescriptor::Scalar(AdmTag::kBigInt));
+    d.primary_key_field = pk;
+    return d;
+  }
+};
+
+}  // namespace tc
+
+#endif  // TC_SCHEMA_TYPE_DESCRIPTOR_H_

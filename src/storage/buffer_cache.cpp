@@ -1,0 +1,163 @@
+#include "storage/buffer_cache.h"
+
+#include <atomic>
+
+namespace tc {
+namespace {
+
+uint64_t NextFileId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+std::string LafPath(const std::string& path) { return path + ".laf"; }
+
+}  // namespace
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Create(
+    std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
+    std::shared_ptr<const Compressor> compressor) {
+  auto pf = std::unique_ptr<PagedFile>(new PagedFile());
+  pf->fs_ = std::move(fs);
+  pf->path_ = path;
+  pf->page_size_ = page_size;
+  pf->compressor_ = compressor != nullptr
+                        ? std::move(compressor)
+                        : GetCompressor(CompressionKind::kNone);
+  pf->file_id_ = NextFileId();
+  TC_ASSIGN_OR_RETURN(pf->file_, pf->fs_->Create(path));
+  return pf;
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(
+    std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
+    std::shared_ptr<const Compressor> compressor) {
+  auto pf = std::unique_ptr<PagedFile>(new PagedFile());
+  pf->fs_ = std::move(fs);
+  pf->path_ = path;
+  pf->page_size_ = page_size;
+  pf->compressor_ = compressor != nullptr
+                        ? std::move(compressor)
+                        : GetCompressor(CompressionKind::kNone);
+  pf->file_id_ = NextFileId();
+  pf->finished_ = true;
+  TC_ASSIGN_OR_RETURN(pf->file_, pf->fs_->Open(path));
+  if (pf->compressed()) {
+    TC_ASSIGN_OR_RETURN(pf->entries_, LoadLaf(pf->fs_.get(), LafPath(path)));
+    TC_ASSIGN_OR_RETURN(pf->laf_bytes_, pf->fs_->FileSize(LafPath(path)));
+    pf->append_offset_ = pf->file_->Size();
+  } else {
+    uint64_t size = pf->file_->Size();
+    if (size % page_size != 0) {
+      return Status::Corruption("paged file size not page-aligned: " + path);
+    }
+    pf->entries_.resize(size / page_size);
+    for (size_t i = 0; i < pf->entries_.size(); ++i) {
+      pf->entries_[i] = {i * page_size, static_cast<uint32_t>(page_size)};
+    }
+    pf->append_offset_ = size;
+  }
+  return pf;
+}
+
+Status PagedFile::Remove(FileSystem* fs, const std::string& path) {
+  TC_RETURN_IF_ERROR(fs->Delete(path));
+  if (fs->Exists(LafPath(path))) TC_RETURN_IF_ERROR(fs->Delete(LafPath(path)));
+  return Status::OK();
+}
+
+Status PagedFile::AppendPage(const uint8_t* data) {
+  TC_CHECK(!finished_);
+  if (compressed()) {
+    Buffer out;
+    out.reserve(page_size_);
+    TC_RETURN_IF_ERROR(compressor_->Compress(data, page_size_, &out));
+    TC_RETURN_IF_ERROR(file_->Write(append_offset_, out.data(), out.size()));
+    entries_.push_back({append_offset_, static_cast<uint32_t>(out.size())});
+    append_offset_ += out.size();
+  } else {
+    TC_RETURN_IF_ERROR(file_->Write(append_offset_, data, page_size_));
+    entries_.push_back({append_offset_, static_cast<uint32_t>(page_size_)});
+    append_offset_ += page_size_;
+  }
+  return Status::OK();
+}
+
+Status PagedFile::Finish() {
+  TC_CHECK(!finished_);
+  TC_RETURN_IF_ERROR(file_->Sync());
+  if (compressed()) {
+    TC_RETURN_IF_ERROR(WriteLaf(fs_.get(), LafPath(path_), entries_));
+    TC_ASSIGN_OR_RETURN(laf_bytes_, fs_->FileSize(LafPath(path_)));
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Status PagedFile::ReadPage(uint32_t page_no, uint8_t* out) const {
+  if (page_no >= entries_.size()) {
+    return Status::OutOfRange("page " + std::to_string(page_no) + " of " +
+                              std::to_string(entries_.size()));
+  }
+  const LafEntry& e = entries_[page_no];
+  if (!compressed()) {
+    return file_->Read(e.offset, page_size_, out);
+  }
+  Buffer raw(e.length);
+  TC_RETURN_IF_ERROR(file_->Read(e.offset, e.length, raw.data()));
+  size_t out_size = 0;
+  TC_RETURN_IF_ERROR(
+      compressor_->Decompress(raw.data(), raw.size(), out, page_size_, &out_size));
+  if (out_size != page_size_) {
+    return Status::Corruption("page decompressed to unexpected size");
+  }
+  return Status::OK();
+}
+
+uint64_t PagedFile::physical_bytes() const { return append_offset_ + laf_bytes_; }
+
+Result<BufferCache::PageRef> BufferCache::GetPage(const PagedFile* file,
+                                                  uint32_t page_no) {
+  TC_CHECK(file->page_size() == page_size_);
+  Key key{file->file_id(), page_no};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.page;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto page = std::make_shared<Buffer>(page_size_);
+  TC_RETURN_IF_ERROR(file->ReadPage(page_no, page->data()));
+  PageRef ref = page;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.find(key) == map_.end()) {
+      lru_.push_front(key);
+      map_[key] = Entry{ref, lru_.begin()};
+      while (map_.size() > capacity_ && !lru_.empty()) {
+        Key victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+      }
+    }
+  }
+  return ref;
+}
+
+void BufferCache::InvalidateFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.file_id == file_id) {
+      lru_.erase(it->second.lru_pos);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tc

@@ -1,0 +1,212 @@
+#include "storage/compressor.h"
+
+#include <cstring>
+
+namespace tc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Noop codec
+// ---------------------------------------------------------------------------
+
+class NoneCompressor final : public Compressor {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kNone; }
+  std::string name() const override { return "none"; }
+
+  Status Compress(const uint8_t* in, size_t n, Buffer* out) const override {
+    PutBytes(out, in, n);
+    return Status::OK();
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, uint8_t* out, size_t out_cap,
+                    size_t* out_size) const override {
+    if (n > out_cap) return Status::Corruption("none: output buffer too small");
+    std::memcpy(out, in, n);
+    *out_size = n;
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Snappy-like LZ77 codec.
+//
+// Stream layout: varint(uncompressed_length) then a sequence of tagged ops:
+//   literal:  tag = (len-1) << 2 | 0 for len <= 60; tag 60<<2 means one extra
+//             length byte follows (len-1), tag 61<<2 means two bytes.
+//   copy:     tag = (len-4) << 2 | 2, followed by a 2-byte little-endian
+//             offset; 4 <= len <= 64, 1 <= offset < 65536.
+// ---------------------------------------------------------------------------
+
+constexpr int kHashBits = 14;
+constexpr size_t kHashTableSize = 1u << kHashBits;
+constexpr size_t kMaxCopyLen = 64;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kMinMatch = 4;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t HashOf(uint32_t v) { return (v * 0x1e35a7bdu) >> (32 - kHashBits); }
+
+void EmitLiteral(const uint8_t* p, size_t len, Buffer* out) {
+  while (len > 0) {
+    size_t chunk = len;
+    if (chunk <= 60) {
+      out->push_back(static_cast<uint8_t>((chunk - 1) << 2));
+    } else if (chunk <= 256) {
+      out->push_back(60 << 2);
+      out->push_back(static_cast<uint8_t>(chunk - 1));
+    } else {
+      if (chunk > 65536) chunk = 65536;
+      out->push_back(61 << 2);
+      out->push_back(static_cast<uint8_t>((chunk - 1) & 0xff));
+      out->push_back(static_cast<uint8_t>((chunk - 1) >> 8));
+    }
+    PutBytes(out, p, chunk);
+    p += chunk;
+    len -= chunk;
+  }
+}
+
+void EmitCopy(size_t offset, size_t len, Buffer* out) {
+  while (len >= kMinMatch) {
+    size_t chunk = len < kMaxCopyLen ? len : kMaxCopyLen;
+    // Avoid leaving a sub-minimum tail: shrink this op so the tail is emittable.
+    if (len - chunk > 0 && len - chunk < kMinMatch) chunk = len - kMinMatch;
+    out->push_back(static_cast<uint8_t>(((chunk - 4) << 2) | 2));
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    len -= chunk;
+  }
+}
+
+class SnappyLikeCompressor final : public Compressor {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kSnappy; }
+  std::string name() const override { return "snappy-like"; }
+
+  Status Compress(const uint8_t* in, size_t n, Buffer* out) const override {
+    PutVarint64(out, n);
+    if (n == 0) return Status::OK();
+    if (n < kMinMatch + 4) {
+      EmitLiteral(in, n, out);
+      return Status::OK();
+    }
+
+    uint16_t table[kHashTableSize];
+    std::memset(table, 0, sizeof(table));
+    // Positions are stored +1 so 0 means "empty"; works for inputs < 64 KiB.
+    // For larger inputs we compress in 60 KiB blocks sharing the table.
+    size_t block_start = 0;
+    const size_t kBlock = 60 * 1024;
+    while (block_start < n) {
+      size_t block_len = n - block_start < kBlock ? n - block_start : kBlock;
+      CompressBlock(in + block_start, block_len, table, out);
+      std::memset(table, 0, sizeof(table));
+      block_start += block_len;
+    }
+    return Status::OK();
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, uint8_t* out, size_t out_cap,
+                    size_t* out_size) const override {
+    const uint8_t* p = in;
+    const uint8_t* limit = in + n;
+    uint64_t expected = 0;
+    size_t consumed = GetVarint64(p, limit, &expected);
+    if (consumed == 0) return Status::Corruption("snappy: bad length varint");
+    if (expected > out_cap) return Status::Corruption("snappy: output too small");
+    p += consumed;
+    size_t pos = 0;
+    while (p < limit) {
+      uint8_t tag = *p++;
+      if ((tag & 3) == 0) {  // literal
+        size_t len = (tag >> 2) + 1;
+        if (len == 61) {
+          if (p >= limit) return Status::Corruption("snappy: truncated literal len");
+          len = static_cast<size_t>(*p++) + 1;
+        } else if (len == 62) {
+          if (p + 2 > limit) return Status::Corruption("snappy: truncated literal len");
+          len = static_cast<size_t>(p[0] | (p[1] << 8)) + 1;
+          p += 2;
+        }
+        if (p + len > limit || pos + len > expected) {
+          return Status::Corruption("snappy: literal overruns buffer");
+        }
+        std::memcpy(out + pos, p, len);
+        p += len;
+        pos += len;
+      } else if ((tag & 3) == 2) {  // copy
+        size_t len = ((tag >> 2) & 0x3f) + 4;
+        if (p + 2 > limit) return Status::Corruption("snappy: truncated copy");
+        size_t offset = static_cast<size_t>(p[0] | (p[1] << 8));
+        p += 2;
+        if (offset == 0 || offset > pos || pos + len > expected) {
+          return Status::Corruption("snappy: bad copy");
+        }
+        for (size_t i = 0; i < len; ++i) {  // byte-wise: offsets may overlap
+          out[pos + i] = out[pos + i - offset];
+        }
+        pos += len;
+      } else {
+        return Status::Corruption("snappy: unknown tag");
+      }
+    }
+    if (pos != expected) return Status::Corruption("snappy: length mismatch");
+    *out_size = pos;
+    return Status::OK();
+  }
+
+ private:
+  static void CompressBlock(const uint8_t* in, size_t n, uint16_t* table,
+                            Buffer* out) {
+    size_t ip = 0;
+    size_t literal_start = 0;
+    if (n >= kMinMatch + 4) {
+      size_t ip_limit = n - kMinMatch - 4;
+      while (ip <= ip_limit) {
+        uint32_t h = HashOf(Load32(in + ip));
+        size_t candidate = table[h];
+        table[h] = static_cast<uint16_t>(ip + 1);
+        if (candidate != 0) {
+          size_t cpos = candidate - 1;
+          size_t offset = ip - cpos;
+          if (offset > 0 && offset <= kMaxOffset &&
+              Load32(in + cpos) == Load32(in + ip)) {
+            size_t len = kMinMatch;
+            size_t max_len = n - ip;
+            if (max_len > kMaxCopyLen) max_len = kMaxCopyLen;
+            while (len < max_len && in[cpos + len] == in[ip + len]) ++len;
+            EmitLiteral(in + literal_start, ip - literal_start, out);
+            EmitCopy(offset, len, out);
+            ip += len;
+            literal_start = ip;
+            continue;
+          }
+        }
+        ++ip;
+      }
+    }
+    EmitLiteral(in + literal_start, n - literal_start, out);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Compressor> GetCompressor(CompressionKind kind) {
+  static const auto none = std::make_shared<NoneCompressor>();
+  static const auto snappy = std::make_shared<SnappyLikeCompressor>();
+  switch (kind) {
+    case CompressionKind::kNone:
+      return none;
+    case CompressionKind::kSnappy:
+      return snappy;
+  }
+  return none;
+}
+
+}  // namespace tc

@@ -1,0 +1,42 @@
+// Block compressors for page-level compression (paper §2.4). The paper uses
+// Snappy; this repo implements a from-scratch LZ77 codec with Snappy-style
+// literal/copy tagging (offline environment, no third-party code) plus a noop
+// codec. Pages are compressed on write at the buffer-cache boundary and
+// decompressed to their fixed configured size on read.
+#ifndef TC_STORAGE_COMPRESSOR_H_
+#define TC_STORAGE_COMPRESSOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tc {
+
+enum class CompressionKind {
+  kNone = 0,
+  kSnappy = 1,  // the from-scratch snappy-like codec
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+  virtual CompressionKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Appends the compressed form of `in[0, n)` to `out`.
+  virtual Status Compress(const uint8_t* in, size_t n, Buffer* out) const = 0;
+
+  /// Decompresses into `out[0, out_cap)`; `*out_size` receives the original
+  /// length. Fails if the original data does not fit `out_cap`.
+  virtual Status Decompress(const uint8_t* in, size_t n, uint8_t* out,
+                            size_t out_cap, size_t* out_size) const = 0;
+};
+
+/// Returns a process-wide shared instance for `kind`.
+std::shared_ptr<const Compressor> GetCompressor(CompressionKind kind);
+
+}  // namespace tc
+
+#endif  // TC_STORAGE_COMPRESSOR_H_

@@ -1,0 +1,43 @@
+#include "storage/device_model.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/env_config.h"
+
+namespace tc {
+namespace {
+
+double Slowdown() {
+  static const double v = static_cast<double>(EnvInt64("TC_DEVICE_SLOWDOWN", 32));
+  return v > 0 ? v : 1.0;
+}
+
+}  // namespace
+
+DeviceProfile DeviceProfile::SataSsd() {
+  return {"sata-ssd", 550.0 / Slowdown(), 520.0 / Slowdown(), 60.0};
+}
+
+DeviceProfile DeviceProfile::NvmeSsd() {
+  return {"nvme-ssd", 3400.0 / Slowdown(), 2500.0 / Slowdown(), 15.0};
+}
+
+void DeviceModel::OnRead(size_t bytes) {
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  Throttle(bytes, profile_.read_mbps);
+}
+
+void DeviceModel::OnWrite(size_t bytes) {
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  Throttle(bytes, profile_.write_mbps);
+}
+
+void DeviceModel::Throttle(size_t bytes, double mbps) {
+  if (mbps <= 0) return;
+  double micros = profile_.latency_us + static_cast<double>(bytes) / mbps;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(micros)));
+}
+
+}  // namespace tc

@@ -1,0 +1,61 @@
+// Filesystem abstraction: a POSIX-backed implementation for real runs and an
+// in-memory implementation for tests and crash-recovery simulation. All LSM
+// and WAL I/O goes through this layer, where the DeviceModel throttle is
+// applied.
+#ifndef TC_STORAGE_FILE_H_
+#define TC_STORAGE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/device_model.h"
+
+namespace tc {
+
+/// Random-access file handle.
+class File {
+ public:
+  virtual ~File() = default;
+  virtual Status Read(uint64_t offset, size_t n, uint8_t* buf) = 0;
+  virtual Status Write(uint64_t offset, const uint8_t* buf, size_t n) = 0;
+  virtual Status Append(const uint8_t* buf, size_t n, uint64_t* offset) = 0;
+  virtual uint64_t Size() const = 0;
+  virtual Status Sync() = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual Result<std::unique_ptr<File>> Open(const std::string& path) = 0;
+  virtual Result<std::unique_ptr<File>> Create(const std::string& path) = 0;
+  virtual Status Delete(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+  /// Names (not paths) of files whose name starts with `prefix` in `dir`.
+  virtual Result<std::vector<std::string>> List(const std::string& dir,
+                                                const std::string& prefix) const = 0;
+  virtual Status CreateDir(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) const = 0;
+
+  /// Attaches a device model; all subsequently opened files are throttled
+  /// through it. May be null (unthrottled).
+  void set_device(std::shared_ptr<DeviceModel> device) { device_ = std::move(device); }
+  DeviceModel* device() const { return device_.get(); }
+
+ protected:
+  std::shared_ptr<DeviceModel> device_;
+};
+
+/// Heap-backed filesystem for tests; contents survive Open/Close cycles within
+/// the process, which lets recovery tests "restart" the engine.
+std::shared_ptr<FileSystem> MakeMemFileSystem();
+
+/// POSIX filesystem rooted at the native namespace.
+std::shared_ptr<FileSystem> MakePosixFileSystem();
+
+}  // namespace tc
+
+#endif  // TC_STORAGE_FILE_H_

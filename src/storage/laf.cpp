@@ -1,0 +1,50 @@
+#include "storage/laf.h"
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace tc {
+namespace {
+constexpr uint32_t kLafMagic = 0x54434c41;  // "TCLA"
+}  // namespace
+
+Status WriteLaf(FileSystem* fs, const std::string& path,
+                const std::vector<LafEntry>& entries) {
+  Buffer buf;
+  PutFixed32(&buf, kLafMagic);
+  PutFixed32(&buf, static_cast<uint32_t>(entries.size()));
+  for (const LafEntry& e : entries) {
+    PutFixed64(&buf, e.offset);
+    PutFixed32(&buf, e.length);
+  }
+  PutFixed32(&buf, Crc32c(buf.data(), buf.size()));
+  TC_ASSIGN_OR_RETURN(auto file, fs->Create(path));
+  TC_RETURN_IF_ERROR(file->Write(0, buf.data(), buf.size()));
+  return file->Sync();
+}
+
+Result<std::vector<LafEntry>> LoadLaf(FileSystem* fs, const std::string& path) {
+  TC_ASSIGN_OR_RETURN(auto file, fs->Open(path));
+  uint64_t size = file->Size();
+  if (size < 12) return Status::Corruption("laf: file too small");
+  Buffer buf(size);
+  TC_RETURN_IF_ERROR(file->Read(0, size, buf.data()));
+  if (GetFixed32(buf.data()) != kLafMagic) return Status::Corruption("laf: bad magic");
+  uint32_t count = GetFixed32(buf.data() + 4);
+  if (size != 8 + static_cast<uint64_t>(count) * 12 + 4) {
+    return Status::Corruption("laf: size mismatch");
+  }
+  uint32_t stored_crc = GetFixed32(buf.data() + size - 4);
+  if (Crc32c(buf.data(), size - 4) != stored_crc) {
+    return Status::Corruption("laf: checksum mismatch");
+  }
+  std::vector<LafEntry> entries(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* p = buf.data() + 8 + 12 * static_cast<size_t>(i);
+    entries[i].offset = GetFixed64(p);
+    entries[i].length = GetFixed32(p + 8);
+  }
+  return entries;
+}
+
+}  // namespace tc

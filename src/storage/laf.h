@@ -1,0 +1,30 @@
+// Look-Aside File (paper §2.4, Figure 6): sidecar of (offset, length) entry
+// pairs locating arbitrary-size compressed pages inside a data file, so the
+// engine's fixed-size page abstraction survives compression. Entries are 12
+// bytes (u64 offset + u32 length), exactly as in the paper.
+#ifndef TC_STORAGE_LAF_H_
+#define TC_STORAGE_LAF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace tc {
+
+struct LafEntry {
+  uint64_t offset = 0;
+  uint32_t length = 0;
+};
+
+/// Writes `entries` to `path` with a checksum trailer.
+Status WriteLaf(FileSystem* fs, const std::string& path,
+                const std::vector<LafEntry>& entries);
+
+/// Loads a LAF written by WriteLaf; verifies the checksum.
+Result<std::vector<LafEntry>> LoadLaf(FileSystem* fs, const std::string& path);
+
+}  // namespace tc
+
+#endif  // TC_STORAGE_LAF_H_

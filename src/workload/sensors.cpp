@@ -1,0 +1,126 @@
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+// Fixed structure: every record has exactly the same fields (paper Table 1:
+// min = max = avg = 248 scalar values, depth 3, doubles dominant, and a high
+// field-name-size to value-size ratio — names like "temperature_calibration"
+// against 8-byte doubles).
+constexpr size_t kReadingsPerRecord = 117;  // 117*2 + 14 = 248 scalars
+
+class SensorsGenerator final : public WorkloadGenerator {
+ public:
+  explicit SensorsGenerator(uint64_t seed) : WorkloadGenerator(seed) {}
+
+  const char* name() const override { return "sensors"; }
+
+  AdmValue NextRecord() override {
+    int64_t id = static_cast<int64_t>(next_id_++);
+    report_time_ += 500 + static_cast<int64_t>(rng_.Uniform(1000));
+
+    AdmValue r = AdmValue::Object();
+    r.AddField("id", AdmValue::BigInt(id));                                   // 1
+    r.AddField("sensor_id",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(1000))));  // 2
+    r.AddField("report_time", AdmValue::BigInt(report_time_));               // 3
+    r.AddField("battery_voltage", AdmValue::Double(3.0 + rng_.NextDouble()));  // 4
+    r.AddField("cpu_temperature",
+               AdmValue::Double(35.0 + rng_.NextDouble() * 30.0));           // 5
+    r.AddField("signal_strength",
+               AdmValue::Double(-90.0 + rng_.NextDouble() * 60.0));          // 6
+    r.AddField("uptime_seconds",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(10000000))));  // 7
+    r.AddField("firmware_build",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(4000))));  // 8
+
+    AdmValue calibration = AdmValue::Object();
+    calibration.AddField("temperature_offset",
+                         AdmValue::Double(rng_.NextDouble() * 0.5 - 0.25));  // 9
+    calibration.AddField("temperature_gain",
+                         AdmValue::Double(0.98 + rng_.NextDouble() * 0.04));  // 10
+    calibration.AddField("last_calibrated",
+                         AdmValue::BigInt(report_time_ -
+                                          static_cast<int64_t>(rng_.Uniform(86400000))));  // 11
+    r.AddField("calibration", std::move(calibration));
+
+    AdmValue status = AdmValue::Object();
+    status.AddField("error_count",
+                    AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(16))));  // 12
+    status.AddField("state_code",
+                    AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(4))));   // 13
+    status.AddField("memory_free_bytes",
+                    AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(262144))));  // 14
+    r.AddField("status", std::move(status));
+
+    AdmValue readings = AdmValue::Array();
+    int64_t ts = report_time_ - 60000;
+    double base = 15.0 + rng_.NextDouble() * 20.0;
+    for (size_t i = 0; i < kReadingsPerRecord; ++i) {
+      AdmValue reading = AdmValue::Object();
+      reading.AddField("temp",
+                       AdmValue::Double(base + rng_.NextDouble() * 4.0 - 2.0));
+      reading.AddField("timestamp", AdmValue::BigInt(ts));
+      ts += 60000 / static_cast<int64_t>(kReadingsPerRecord);
+      readings.Append(std::move(reading));
+    }
+    r.AddField("readings", std::move(readings));
+    return r;
+  }
+
+  DatasetType ClosedType() const override {
+    DatasetType d;
+    d.primary_key_field = "id";
+    auto big = [] { return TypeDescriptor::Scalar(AdmTag::kBigInt); };
+    auto dbl = [] { return TypeDescriptor::Scalar(AdmTag::kDouble); };
+
+    auto root = TypeDescriptor::Object(false);
+    root->AddField("id", big());
+    root->AddField("sensor_id", big());
+    root->AddField("report_time", big());
+    root->AddField("battery_voltage", dbl());
+    root->AddField("cpu_temperature", dbl());
+    root->AddField("signal_strength", dbl());
+    root->AddField("uptime_seconds", big());
+    root->AddField("firmware_build", big());
+
+    auto calibration = TypeDescriptor::Object(false);
+    calibration->AddField("temperature_offset", dbl());
+    calibration->AddField("temperature_gain", dbl());
+    calibration->AddField("last_calibrated", big());
+    root->AddField("calibration", calibration);
+
+    auto status = TypeDescriptor::Object(false);
+    status->AddField("error_count", big());
+    status->AddField("state_code", big());
+    status->AddField("memory_free_bytes", big());
+    root->AddField("status", status);
+
+    auto reading = TypeDescriptor::Object(false);
+    reading->AddField("temp", dbl());
+    reading->AddField("timestamp", big());
+    root->AddField("readings", TypeDescriptor::Collection(AdmTag::kArray, reading));
+    d.root = root;
+    return d;
+  }
+
+ private:
+  int64_t report_time_ = 1556496000000;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> MakeSensorsGenerator(uint64_t seed) {
+  return std::make_unique<SensorsGenerator>(seed);
+}
+
+std::unique_ptr<WorkloadGenerator> MakeGenerator(const std::string& dataset,
+                                                 uint64_t seed) {
+  if (dataset == "twitter") return MakeTwitterGenerator(seed);
+  if (dataset == "wos") return MakeWosGenerator(seed);
+  if (dataset == "sensors") return MakeSensorsGenerator(seed);
+  TC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace tc

@@ -1,0 +1,299 @@
+#include <array>
+
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+const std::array<const char*, 16> kHashtags = {
+    "jobs",    "news",    "sports",   "music",   "love",   "travel",
+    "foodie",  "fitness", "gaming",   "movies",  "crypto", "fashion",
+    "science", "health",  "politics", "weather"};
+
+const std::array<const char*, 10> kLangs = {"en", "es", "pt", "ja", "ar",
+                                            "fr", "de", "ko", "tr", "it"};
+
+const std::array<const char*, 8> kTimeZones = {
+    "Pacific Time (US & Canada)", "Eastern Time (US & Canada)",
+    "Central Time (US & Canada)", "London",
+    "Tokyo",                      "Madrid",
+    "Brasilia",                   "Sydney"};
+
+const std::array<const char*, 6> kSources = {
+    "<a href=\"http://twitter.com\">Twitter Web Client</a>",
+    "<a href=\"http://twitter.com/download/iphone\">Twitter for iPhone</a>",
+    "<a href=\"http://twitter.com/download/android\">Twitter for Android</a>",
+    "<a href=\"http://instagram.com\">Instagram</a>",
+    "<a href=\"http://ifttt.com\">IFTTT</a>",
+    "<a href=\"https://about.twitter.com/products/tweetdeck\">TweetDeck</a>"};
+
+class TwitterGenerator final : public WorkloadGenerator {
+ public:
+  explicit TwitterGenerator(uint64_t seed) : WorkloadGenerator(seed) {}
+
+  const char* name() const override { return "twitter"; }
+
+  AdmValue NextRecord() override {
+    int64_t id = static_cast<int64_t>(next_id_++);
+    // Monotonically increasing tweet timestamps (the paper generates these
+    // for the secondary-index experiments, §4.4.5).
+    ts_ms_ += 50 + static_cast<int64_t>(rng_.Uniform(200));
+
+    AdmValue t = AdmValue::Object();
+    t.AddField("id", AdmValue::BigInt(id));
+    t.AddField("timestamp_ms", AdmValue::BigInt(ts_ms_));
+    t.AddField("created_at", AdmValue::String(FormatCreatedAt()));
+    t.AddField("text", AdmValue::String(TweetText()));
+    t.AddField("source", AdmValue::String(kSources[rng_.Uniform(kSources.size())]));
+    t.AddField("truncated", AdmValue::Boolean(rng_.Bernoulli(0.12)));
+    if (rng_.Bernoulli(0.30)) {
+      t.AddField("in_reply_to_status_id",
+                 AdmValue::BigInt(static_cast<int64_t>(rng_.Next() >> 16)));
+      t.AddField("in_reply_to_user_id",
+                 AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(5000000))));
+    }
+    t.AddField("user", User());
+    t.AddField("entities", Entities());
+    if (rng_.Bernoulli(0.08)) {
+      double lat = -90.0 + rng_.NextDouble() * 180.0;
+      double lon = -180.0 + rng_.NextDouble() * 360.0;
+      t.AddField("coordinates", AdmValue::Point(lon, lat));
+    }
+    if (rng_.Bernoulli(0.15)) t.AddField("place", Place());
+    t.AddField("quote_count", AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(50))));
+    t.AddField("reply_count", AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(100))));
+    t.AddField("retweet_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(1000))));
+    t.AddField("favorite_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(5000))));
+    t.AddField("lang", AdmValue::String(kLangs[rng_.Uniform(kLangs.size())]));
+    t.AddField("filter_level", AdmValue::String("low"));
+    if (rng_.Bernoulli(0.25)) {
+      t.AddField("possibly_sensitive", AdmValue::Boolean(rng_.Bernoulli(0.1)));
+    }
+    t.AddField("favorited", AdmValue::Boolean(false));
+    t.AddField("retweeted", AdmValue::Boolean(false));
+    t.AddField("contributors", AdmValue::Null());
+    return t;
+  }
+
+  DatasetType ClosedType() const override {
+    DatasetType d;
+    d.primary_key_field = "id";
+    auto root = TypeDescriptor::Object(/*open=*/false);
+    auto big = [] { return TypeDescriptor::Scalar(AdmTag::kBigInt); };
+    auto str = [] { return TypeDescriptor::Scalar(AdmTag::kString); };
+    auto boolean = [] { return TypeDescriptor::Scalar(AdmTag::kBoolean); };
+    auto opt = [](TypeDescriptor::Ptr t) {
+      t->set_optional(true);
+      return t;
+    };
+    root->AddField("id", big());
+    root->AddField("timestamp_ms", big());
+    root->AddField("created_at", str());
+    root->AddField("text", str());
+    root->AddField("source", str());
+    root->AddField("truncated", boolean());
+    root->AddField("in_reply_to_status_id", opt(big()));
+    root->AddField("in_reply_to_user_id", opt(big()));
+
+    auto user = TypeDescriptor::Object(false);
+    user->AddField("id", big());
+    user->AddField("name", str());
+    user->AddField("screen_name", str());
+    user->AddField("description", opt(str()));
+    user->AddField("verified", boolean());
+    user->AddField("followers_count", big());
+    user->AddField("friends_count", big());
+    user->AddField("statuses_count", big());
+    user->AddField("favourites_count", big());
+    user->AddField("created_at", str());
+    user->AddField("lang", str());
+    user->AddField("location", opt(str()));
+    user->AddField("time_zone", opt(str()));
+    user->AddField("utc_offset", opt(big()));
+    user->AddField("profile_image_url", str());
+    user->AddField("profile_background_color", str());
+    root->AddField("user", user);
+
+    auto indices = TypeDescriptor::Collection(AdmTag::kArray, big());
+    auto hashtag = TypeDescriptor::Object(false);
+    hashtag->AddField("text", str());
+    hashtag->AddField("indices", indices);
+    auto url = TypeDescriptor::Object(false);
+    url->AddField("url", str());
+    url->AddField("expanded_url", str());
+    url->AddField("display_url", str());
+    url->AddField("indices", TypeDescriptor::Collection(AdmTag::kArray, big()));
+    auto mention = TypeDescriptor::Object(false);
+    mention->AddField("screen_name", str());
+    mention->AddField("name", str());
+    mention->AddField("id", big());
+    mention->AddField("indices", TypeDescriptor::Collection(AdmTag::kArray, big()));
+    auto entities = TypeDescriptor::Object(false);
+    entities->AddField("hashtags", TypeDescriptor::Collection(AdmTag::kArray, hashtag));
+    entities->AddField("urls", TypeDescriptor::Collection(AdmTag::kArray, url));
+    entities->AddField("user_mentions",
+                       TypeDescriptor::Collection(AdmTag::kArray, mention));
+    root->AddField("entities", entities);
+
+    root->AddField("coordinates", opt(TypeDescriptor::Scalar(AdmTag::kPoint)));
+    auto place = TypeDescriptor::Object(false);
+    place->AddField("id", str());
+    place->AddField("place_type", str());
+    place->AddField("name", str());
+    place->AddField("full_name", str());
+    place->AddField("country_code", str());
+    place->AddField("country", str());
+    root->AddField("place", opt(place));
+    root->AddField("quote_count", big());
+    root->AddField("reply_count", big());
+    root->AddField("retweet_count", big());
+    root->AddField("favorite_count", big());
+    root->AddField("lang", str());
+    root->AddField("filter_level", str());
+    root->AddField("possibly_sensitive", opt(boolean()));
+    root->AddField("favorited", boolean());
+    root->AddField("retweeted", boolean());
+    root->AddField("contributors", opt(TypeDescriptor::Scalar(AdmTag::kNull)));
+    d.root = root;
+    return d;
+  }
+
+ private:
+  std::string FormatCreatedAt() {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "Wed Apr %02d %02d:%02d:%02d +0000 2019",
+                  static_cast<int>(1 + rng_.Uniform(30)),
+                  static_cast<int>(rng_.Uniform(24)),
+                  static_cast<int>(rng_.Uniform(60)),
+                  static_cast<int>(rng_.Uniform(60)));
+    return buf;
+  }
+
+  std::string TweetText() {
+    std::string text;
+    size_t words = 8 + rng_.Uniform(18);
+    for (size_t i = 0; i < words; ++i) {
+      if (!text.empty()) text.push_back(' ');
+      text += rng_.AlphaString(2 + rng_.Uniform(9));
+    }
+    // A popular hashtag appears in ~10% of tweets ("jobs" is the Q3 filter).
+    if (rng_.Bernoulli(0.35)) {
+      text += " #";
+      text += rng_.Bernoulli(0.28) ? kHashtags[0]
+                                   : kHashtags[rng_.Uniform(kHashtags.size())];
+    }
+    return text;
+  }
+
+  AdmValue User() {
+    AdmValue u = AdmValue::Object();
+    u.AddField("id", AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(5000000))));
+    u.AddField("name", AdmValue::String("user_" + rng_.AlphaString(8)));
+    u.AddField("screen_name", AdmValue::String(rng_.AlphaString(10)));
+    if (rng_.Bernoulli(0.6)) {
+      u.AddField("description", AdmValue::String(rng_.AlphaString(40 + rng_.Uniform(80))));
+    }
+    u.AddField("verified", AdmValue::Boolean(rng_.Bernoulli(0.02)));
+    u.AddField("followers_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(100000))));
+    u.AddField("friends_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(5000))));
+    u.AddField("statuses_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(200000))));
+    u.AddField("favourites_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(50000))));
+    u.AddField("created_at", AdmValue::String(FormatCreatedAt()));
+    u.AddField("lang", AdmValue::String(kLangs[rng_.Uniform(kLangs.size())]));
+    if (rng_.Bernoulli(0.5)) {
+      u.AddField("location", AdmValue::String(rng_.AlphaString(6 + rng_.Uniform(18))));
+    }
+    if (rng_.Bernoulli(0.4)) {
+      u.AddField("time_zone",
+                 AdmValue::String(kTimeZones[rng_.Uniform(kTimeZones.size())]));
+      u.AddField("utc_offset",
+                 AdmValue::BigInt(-43200 + 3600 * static_cast<int64_t>(rng_.Uniform(25))));
+    }
+    u.AddField("profile_image_url",
+               AdmValue::String("http://pbs.twimg.com/profile_images/" +
+                                rng_.AlphaString(20) + ".jpg"));
+    u.AddField("profile_background_color", AdmValue::String(rng_.AlphaString(6)));
+    return u;
+  }
+
+  AdmValue Entities() {
+    AdmValue e = AdmValue::Object();
+    AdmValue hashtags = AdmValue::Array();
+    size_t n_tags = rng_.Uniform(4);
+    if (rng_.Bernoulli(0.10)) n_tags = std::max<size_t>(n_tags, 1);
+    for (size_t i = 0; i < n_tags; ++i) {
+      AdmValue h = AdmValue::Object();
+      // ~10% of tweets carry the popular "jobs" hashtag overall.
+      const char* tag = (i == 0 && rng_.Bernoulli(0.28))
+                            ? kHashtags[0]
+                            : kHashtags[rng_.Uniform(kHashtags.size())];
+      h.AddField("text", AdmValue::String(tag));
+      AdmValue idx = AdmValue::Array();
+      int64_t start = static_cast<int64_t>(rng_.Uniform(120));
+      idx.Append(AdmValue::BigInt(start));
+      idx.Append(AdmValue::BigInt(start + 1 + static_cast<int64_t>(rng_.Uniform(12))));
+      h.AddField("indices", std::move(idx));
+      hashtags.Append(std::move(h));
+    }
+    e.AddField("hashtags", std::move(hashtags));
+
+    AdmValue urls = AdmValue::Array();
+    for (size_t i = 0, n = rng_.Uniform(2); i < n; ++i) {
+      AdmValue u = AdmValue::Object();
+      std::string slug = rng_.AlphaString(10);
+      u.AddField("url", AdmValue::String("https://t.co/" + slug));
+      u.AddField("expanded_url",
+                 AdmValue::String("https://" + rng_.AlphaString(12) + ".com/" + slug));
+      u.AddField("display_url", AdmValue::String(slug));
+      AdmValue idx = AdmValue::Array();
+      idx.Append(AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(100))));
+      idx.Append(AdmValue::BigInt(static_cast<int64_t>(100 + rng_.Uniform(40))));
+      u.AddField("indices", std::move(idx));
+      urls.Append(std::move(u));
+    }
+    e.AddField("urls", std::move(urls));
+
+    AdmValue mentions = AdmValue::Array();
+    for (size_t i = 0, n = rng_.Uniform(3); i < n; ++i) {
+      AdmValue m = AdmValue::Object();
+      m.AddField("screen_name", AdmValue::String(rng_.AlphaString(10)));
+      m.AddField("name", AdmValue::String("user_" + rng_.AlphaString(7)));
+      m.AddField("id", AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(5000000))));
+      AdmValue idx = AdmValue::Array();
+      idx.Append(AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(100))));
+      idx.Append(AdmValue::BigInt(static_cast<int64_t>(100 + rng_.Uniform(40))));
+      m.AddField("indices", std::move(idx));
+      mentions.Append(std::move(m));
+    }
+    e.AddField("user_mentions", std::move(mentions));
+    return e;
+  }
+
+  AdmValue Place() {
+    AdmValue p = AdmValue::Object();
+    p.AddField("id", AdmValue::String(rng_.AlphaString(16)));
+    p.AddField("place_type", AdmValue::String("city"));
+    std::string city = rng_.AlphaString(8);
+    p.AddField("name", AdmValue::String(city));
+    p.AddField("full_name", AdmValue::String(city + ", " + rng_.AlphaString(2)));
+    p.AddField("country_code", AdmValue::String(rng_.AlphaString(2)));
+    p.AddField("country", AdmValue::String(rng_.AlphaString(9)));
+    return p;
+  }
+
+  int64_t ts_ms_ = 1556496000000;  // 2019-04-29
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> MakeTwitterGenerator(uint64_t seed) {
+  return std::make_unique<TwitterGenerator>(seed);
+}
+
+}  // namespace tc

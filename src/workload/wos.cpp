@@ -1,0 +1,317 @@
+#include <array>
+
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+// USA appears often so the Q3 collaboration query has work to do.
+const std::array<const char*, 14> kCountries = {
+    "USA",     "China",  "Germany", "England", "Japan",  "France",  "Canada",
+    "Italy",   "Spain",  "Brazil",  "India",   "Russia", "Australia", "Korea"};
+
+const std::array<const char*, 12> kSubjects = {
+    "Computer Science", "Physics",    "Chemistry",  "Mathematics",
+    "Biology",          "Medicine",   "Engineering", "Materials Science",
+    "Neuroscience",     "Psychology", "Economics",   "Geoscience"};
+
+const std::array<const char*, 6> kDocTypes = {"Article", "Review", "Letter",
+                                              "Editorial", "Note", "Meeting"};
+
+// Web of Science records converted from XML with xml-to-json (paper §4.1):
+// elements that appear once become objects, repeated elements become arrays —
+// producing fields whose type is a union of object and array-of-object.
+class WosGenerator final : public WorkloadGenerator {
+ public:
+  explicit WosGenerator(uint64_t seed) : WorkloadGenerator(seed) {}
+
+  const char* name() const override { return "wos"; }
+
+  AdmValue NextRecord() override {
+    int64_t id = static_cast<int64_t>(next_id_++);
+    AdmValue r = AdmValue::Object();
+    r.AddField("id", AdmValue::BigInt(id));
+    r.AddField("uid", AdmValue::String("WOS:" + rng_.AlphaString(15)));
+
+    AdmValue static_data = AdmValue::Object();
+    static_data.AddField("summary", Summary());
+    static_data.AddField("fullrecord_metadata", FullRecordMetadata());
+    r.AddField("static_data", std::move(static_data));
+
+    AdmValue dynamic_data = AdmValue::Object();
+    AdmValue citation = AdmValue::Object();
+    citation.AddField("count", AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(400))));
+    dynamic_data.AddField("citation_related", std::move(citation));
+    r.AddField("dynamic_data", std::move(dynamic_data));
+    return r;
+  }
+
+  DatasetType ClosedType() const override {
+    // Union-typed fields (name, address_name, p, doctype) cannot be
+    // pre-declared (the paper hit the same limitation); they stay in the open
+    // part of their enclosing objects.
+    DatasetType d;
+    d.primary_key_field = "id";
+    auto big = [] { return TypeDescriptor::Scalar(AdmTag::kBigInt); };
+    auto str = [] { return TypeDescriptor::Scalar(AdmTag::kString); };
+
+    auto root = TypeDescriptor::Object(false);
+    root->AddField("id", big());
+    root->AddField("uid", str());
+
+    auto pub_info = TypeDescriptor::Object(false);
+    pub_info->AddField("pubyear", big());
+    pub_info->AddField("pubmonth", str());
+    pub_info->AddField("pubtype", str());
+    pub_info->AddField("issue", str());
+    pub_info->AddField("vol", str());
+    pub_info->AddField("page_count", big());
+
+    auto title = TypeDescriptor::Object(false);
+    title->AddField("type", str());
+    title->AddField("content", str());
+    auto titles = TypeDescriptor::Object(false);
+    titles->AddField("count", big());
+    titles->AddField("title", TypeDescriptor::Collection(AdmTag::kArray, title));
+
+    auto names = TypeDescriptor::Object(/*open=*/true);  // `name` is a union
+    names->AddField("count", big());
+
+    auto doctypes = TypeDescriptor::Object(/*open=*/true);  // `doctype` is a union
+
+    auto summary = TypeDescriptor::Object(false);
+    summary->AddField("pub_info", pub_info);
+    summary->AddField("titles", titles);
+    summary->AddField("names", names);
+    summary->AddField("doctypes", doctypes);
+
+    auto subject = TypeDescriptor::Object(false);
+    subject->AddField("ascatype", str());
+    subject->AddField("value", str());
+    auto subjects = TypeDescriptor::Object(false);
+    subjects->AddField("subject", TypeDescriptor::Collection(AdmTag::kArray, subject));
+    auto category_info = TypeDescriptor::Object(false);
+    category_info->AddField("subjects", subjects);
+
+    auto addresses = TypeDescriptor::Object(/*open=*/true);  // `address_name` union
+    addresses->AddField("count", big());
+
+    auto abstract_text = TypeDescriptor::Object(/*open=*/true);  // `p` is a union
+    auto abstract_obj = TypeDescriptor::Object(false);
+    abstract_obj->AddField("abstract_text", abstract_text);
+    auto abstracts = TypeDescriptor::Object(false);
+    abstracts->AddField("abstract", abstract_obj);
+
+    auto language = TypeDescriptor::Object(false);
+    language->AddField("type", str());
+    language->AddField("content", str());
+    auto languages = TypeDescriptor::Object(false);
+    languages->AddField("language", language);
+
+    auto reference = TypeDescriptor::Object(false);
+    reference->AddField("uid", str());
+    reference->AddField("year", big());
+    reference->AddField("cited_work", str());
+    reference->AddField("cited_author", str());
+    auto references = TypeDescriptor::Object(false);
+    references->AddField("count", big());
+    references->AddField("reference",
+                         TypeDescriptor::Collection(AdmTag::kArray, reference));
+
+    auto frm = TypeDescriptor::Object(false);
+    frm->AddField("category_info", category_info);
+    frm->AddField("addresses", addresses);
+    frm->AddField("abstracts", abstracts);
+    frm->AddField("languages", languages);
+    frm->AddField("references", references);
+
+    auto static_data = TypeDescriptor::Object(false);
+    static_data->AddField("summary", summary);
+    static_data->AddField("fullrecord_metadata", frm);
+    root->AddField("static_data", static_data);
+
+    auto citation = TypeDescriptor::Object(false);
+    citation->AddField("count", big());
+    auto dynamic_data = TypeDescriptor::Object(false);
+    dynamic_data->AddField("citation_related", citation);
+    root->AddField("dynamic_data", dynamic_data);
+
+    d.root = root;
+    return d;
+  }
+
+ private:
+  AdmValue Author() {
+    AdmValue a = AdmValue::Object();
+    std::string last = rng_.AlphaString(4 + rng_.Uniform(8));
+    std::string first = rng_.AlphaString(3 + rng_.Uniform(7));
+    a.AddField("role", AdmValue::String("author"));
+    a.AddField("seq_no", AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(20)) + 1));
+    a.AddField("display_name", AdmValue::String(last + ", " + first));
+    a.AddField("full_name", AdmValue::String(last + ", " + first));
+    a.AddField("last_name", AdmValue::String(last));
+    a.AddField("first_name", AdmValue::String(first));
+    return a;
+  }
+
+  AdmValue Summary() {
+    AdmValue s = AdmValue::Object();
+    AdmValue pub_info = AdmValue::Object();
+    pub_info.AddField("pubyear",
+                      AdmValue::BigInt(1980 + static_cast<int64_t>(rng_.Uniform(37))));
+    pub_info.AddField("pubmonth", AdmValue::String(rng_.AlphaString(3)));
+    pub_info.AddField("pubtype", AdmValue::String("Journal"));
+    pub_info.AddField("issue", AdmValue::String(std::to_string(rng_.Uniform(12) + 1)));
+    pub_info.AddField("vol", AdmValue::String(std::to_string(rng_.Uniform(200) + 1)));
+    pub_info.AddField("page_count",
+                      AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(30)) + 2));
+    s.AddField("pub_info", std::move(pub_info));
+
+    AdmValue titles = AdmValue::Object();
+    AdmValue title_arr = AdmValue::Array();
+    for (const char* type : {"source", "item"}) {
+      AdmValue t = AdmValue::Object();
+      t.AddField("type", AdmValue::String(type));
+      std::string words;
+      for (size_t i = 0, n = 5 + rng_.Uniform(9); i < n; ++i) {
+        if (!words.empty()) words.push_back(' ');
+        words += rng_.AlphaString(3 + rng_.Uniform(9));
+      }
+      t.AddField("content", AdmValue::String(words));
+      title_arr.Append(std::move(t));
+    }
+    titles.AddField("count", AdmValue::BigInt(2));
+    titles.AddField("title", std::move(title_arr));
+    s.AddField("titles", std::move(titles));
+
+    // UNION: a single author converts to an object, several to an array.
+    AdmValue names = AdmValue::Object();
+    size_t n_authors = 1 + rng_.Uniform(8);
+    names.AddField("count", AdmValue::BigInt(static_cast<int64_t>(n_authors)));
+    if (n_authors == 1) {
+      names.AddField("name", Author());
+    } else {
+      AdmValue arr = AdmValue::Array();
+      for (size_t i = 0; i < n_authors; ++i) arr.Append(Author());
+      names.AddField("name", std::move(arr));
+    }
+    s.AddField("names", std::move(names));
+
+    // UNION: one doctype -> string, several -> array of strings.
+    AdmValue doctypes = AdmValue::Object();
+    if (rng_.Bernoulli(0.8)) {
+      doctypes.AddField("doctype",
+                        AdmValue::String(kDocTypes[rng_.Uniform(kDocTypes.size())]));
+    } else {
+      AdmValue arr = AdmValue::Array();
+      arr.Append(AdmValue::String(kDocTypes[rng_.Uniform(kDocTypes.size())]));
+      arr.Append(AdmValue::String(kDocTypes[rng_.Uniform(kDocTypes.size())]));
+      doctypes.AddField("doctype", std::move(arr));
+    }
+    s.AddField("doctypes", std::move(doctypes));
+    return s;
+  }
+
+  AdmValue AddressName() {
+    AdmValue spec = AdmValue::Object();
+    spec.AddField("full_address", AdmValue::String(rng_.AlphaString(25 + rng_.Uniform(30))));
+    spec.AddField("city", AdmValue::String(rng_.AlphaString(6 + rng_.Uniform(8))));
+    spec.AddField("country",
+                  AdmValue::String(rng_.Bernoulli(0.35)
+                                       ? kCountries[0]
+                                       : kCountries[rng_.Uniform(kCountries.size())]));
+    AdmValue orgs = AdmValue::Object();
+    orgs.AddField("organization", AdmValue::String("Univ " + rng_.AlphaString(10)));
+    spec.AddField("organizations", std::move(orgs));
+    AdmValue a = AdmValue::Object();
+    a.AddField("address_spec", std::move(spec));
+    return a;
+  }
+
+  AdmValue FullRecordMetadata() {
+    AdmValue m = AdmValue::Object();
+
+    AdmValue subjects = AdmValue::Object();
+    AdmValue subject_arr = AdmValue::Array();
+    for (size_t i = 0, n = 1 + rng_.Uniform(3); i < n; ++i) {
+      AdmValue sub = AdmValue::Object();
+      sub.AddField("ascatype",
+                   AdmValue::String(rng_.Bernoulli(0.5) ? "extended" : "traditional"));
+      sub.AddField("value", AdmValue::String(kSubjects[rng_.Uniform(kSubjects.size())]));
+      subject_arr.Append(std::move(sub));
+    }
+    subjects.AddField("subject", std::move(subject_arr));
+    AdmValue category_info = AdmValue::Object();
+    category_info.AddField("subjects", std::move(subjects));
+    m.AddField("category_info", std::move(category_info));
+
+    // UNION: one address -> object, several -> array (Q3/Q4 rely on the
+    // array case for multi-country collaborations).
+    AdmValue addresses = AdmValue::Object();
+    size_t n_addr = 1 + rng_.Uniform(5);
+    addresses.AddField("count", AdmValue::BigInt(static_cast<int64_t>(n_addr)));
+    if (n_addr == 1) {
+      addresses.AddField("address_name", AddressName());
+    } else {
+      AdmValue arr = AdmValue::Array();
+      for (size_t i = 0; i < n_addr; ++i) arr.Append(AddressName());
+      addresses.AddField("address_name", std::move(arr));
+    }
+    m.AddField("addresses", std::move(addresses));
+
+    // UNION: abstract paragraphs — one -> string, several -> array of strings.
+    AdmValue abstract_text = AdmValue::Object();
+    size_t n_paras = 1 + rng_.Uniform(3);
+    auto paragraph = [&] {
+      std::string p;
+      for (size_t w = 0, n = 60 + rng_.Uniform(120); w < n; ++w) {
+        if (!p.empty()) p.push_back(' ');
+        p += rng_.AlphaString(2 + rng_.Uniform(9));
+      }
+      return p;
+    };
+    if (n_paras == 1) {
+      abstract_text.AddField("p", AdmValue::String(paragraph()));
+    } else {
+      AdmValue arr = AdmValue::Array();
+      for (size_t i = 0; i < n_paras; ++i) arr.Append(AdmValue::String(paragraph()));
+      abstract_text.AddField("p", std::move(arr));
+    }
+    AdmValue abstract_obj = AdmValue::Object();
+    abstract_obj.AddField("abstract_text", std::move(abstract_text));
+    AdmValue abstracts = AdmValue::Object();
+    abstracts.AddField("abstract", std::move(abstract_obj));
+    m.AddField("abstracts", std::move(abstracts));
+
+    AdmValue language = AdmValue::Object();
+    language.AddField("type", AdmValue::String("primary"));
+    language.AddField("content", AdmValue::String("English"));
+    AdmValue languages = AdmValue::Object();
+    languages.AddField("language", std::move(language));
+    m.AddField("languages", std::move(languages));
+
+    AdmValue references = AdmValue::Object();
+    AdmValue ref_arr = AdmValue::Array();
+    size_t n_refs = 5 + rng_.Uniform(25);
+    for (size_t i = 0; i < n_refs; ++i) {
+      AdmValue ref = AdmValue::Object();
+      ref.AddField("uid", AdmValue::String("WOS:" + rng_.AlphaString(15)));
+      ref.AddField("year", AdmValue::BigInt(1950 + static_cast<int64_t>(rng_.Uniform(66))));
+      ref.AddField("cited_work", AdmValue::String(rng_.AlphaString(10 + rng_.Uniform(25))));
+      ref.AddField("cited_author", AdmValue::String(rng_.AlphaString(5 + rng_.Uniform(10))));
+      ref_arr.Append(std::move(ref));
+    }
+    references.AddField("count", AdmValue::BigInt(static_cast<int64_t>(n_refs)));
+    references.AddField("reference", std::move(ref_arr));
+    m.AddField("references", std::move(references));
+    return m;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> MakeWosGenerator(uint64_t seed) {
+  return std::make_unique<WosGenerator>(seed);
+}
+
+}  // namespace tc

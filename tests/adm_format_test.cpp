@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "adm/parser.h"
+#include "adm/printer.h"
+#include "format/adm_format.h"
+#include "tests/test_util.h"
+
+namespace tc {
+namespace {
+
+AdmValue R(const std::string& text) { return ParseAdm(text).ValueOrDie(); }
+DatasetType PkType() { return DatasetType::OpenWithPk("id"); }
+
+DatasetType ClosedEmployeeType() {
+  DatasetType d;
+  d.primary_key_field = "id";
+  d.root = TypeDescriptor::Object(false);
+  d.root->AddField("id", TypeDescriptor::Scalar(AdmTag::kBigInt));
+  d.root->AddField("name", TypeDescriptor::Scalar(AdmTag::kString));
+  auto dep = TypeDescriptor::Object(false);
+  dep->AddField("name", TypeDescriptor::Scalar(AdmTag::kString));
+  dep->AddField("age", TypeDescriptor::Scalar(AdmTag::kBigInt));
+  d.root->AddField("dependents", TypeDescriptor::Collection(AdmTag::kMultiset, dep));
+  return d;
+}
+
+TEST(AdmFormat, OpenRoundTrip) {
+  DatasetType type = PkType();
+  AdmValue rec = R(R"({"id": 3, "a": [1, {"b": "x"}], "c": point(1.0, 2.0)})");
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+  AdmValue out;
+  ASSERT_TRUE(DecodeAdmRecord(b.data(), b.size(), type, &out).ok());
+  EXPECT_EQ(out, rec);
+}
+
+TEST(AdmFormat, ClosedRoundTripAndFieldOrder) {
+  DatasetType type = ClosedEmployeeType();
+  AdmValue rec = R(R"({"id": 1, "name": "Ann",
+                      "dependents": {{ {"name": "Bob", "age": 6} }} })");
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+  AdmValue out;
+  ASSERT_TRUE(DecodeAdmRecord(b.data(), b.size(), type, &out).ok());
+  // Decoded closed records present declared fields in declared order.
+  EXPECT_EQ(PrintAdm(out), PrintAdm(rec));
+}
+
+TEST(AdmFormat, ClosedIsSmallerThanOpen) {
+  // Closed records omit field names — the core premise of paper Figure 7/16.
+  DatasetType open_type = PkType();
+  DatasetType closed_type = ClosedEmployeeType();
+  AdmValue rec = R(R"({"id": 1, "name": "Ann",
+                      "dependents": {{ {"name": "Bob", "age": 6},
+                                       {"name": "Carol", "age": 10} }} })");
+  Buffer open_bytes, closed_bytes;
+  ASSERT_TRUE(EncodeAdmRecord(rec, open_type, &open_bytes).ok());
+  ASSERT_TRUE(EncodeAdmRecord(rec, closed_type, &closed_bytes).ok());
+  EXPECT_LT(closed_bytes.size(), open_bytes.size());
+}
+
+TEST(AdmFormat, AbsentDeclaredOptionalField) {
+  DatasetType type = ClosedEmployeeType();
+  AdmValue rec = R(R"({"id": 2, "name": "Nodeps"})");
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+  AdmValue out;
+  ASSERT_TRUE(DecodeAdmRecord(b.data(), b.size(), type, &out).ok());
+  EXPECT_EQ(out.field_count(), 2u);
+  EXPECT_EQ(out.FindField("dependents"), nullptr);
+}
+
+TEST(AdmFormat, MixedDeclaredAndOpenFields) {
+  DatasetType type = ClosedEmployeeType();
+  AdmValue rec = R(R"({"id": 4, "name": "Mixed", "extra_open": {"deep": [true]}})");
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+  AdmValue out;
+  ASSERT_TRUE(DecodeAdmRecord(b.data(), b.size(), type, &out).ok());
+  EXPECT_EQ(out.FindField("extra_open")->FindField("deep")->item(0).bool_value(),
+            true);
+}
+
+TEST(AdmFormat, PropertyRandomRoundTrip) {
+  DatasetType type = PkType();
+  Rng rng(808);
+  for (int i = 0; i < 300; ++i) {
+    AdmValue rec = testutil::RandomRecord(&rng, i, 5);
+    Buffer b;
+    ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+    AdmValue out;
+    ASSERT_TRUE(DecodeAdmRecord(b.data(), b.size(), type, &out).ok());
+    EXPECT_EQ(PrintAdm(out), PrintAdm(rec)) << i;
+  }
+}
+
+TEST(AdmGetPath, DirectAndNested) {
+  DatasetType type = PkType();
+  AdmValue rec = R(R"({"id": 3, "user": {"name": "Ann", "tags": ["a", "b"]}})");
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+
+  AdmValue v;
+  ASSERT_TRUE(AdmGetPath(b.data(), b.size(), type,
+                         {PathStep::Field("user"), PathStep::Field("name")}, &v)
+                  .ok());
+  EXPECT_EQ(v.string_value(), "Ann");
+
+  ASSERT_TRUE(AdmGetPath(b.data(), b.size(), type,
+                         {PathStep::Field("user"), PathStep::Field("tags"),
+                          PathStep::Index(1)},
+                         &v)
+                  .ok());
+  EXPECT_EQ(v.string_value(), "b");
+
+  // Missing paths yield `missing`, not errors.
+  ASSERT_TRUE(
+      AdmGetPath(b.data(), b.size(), type, {PathStep::Field("nope")}, &v).ok());
+  EXPECT_EQ(v.tag(), AdmTag::kMissing);
+  ASSERT_TRUE(AdmGetPath(b.data(), b.size(), type,
+                         {PathStep::Field("user"), PathStep::Field("tags"),
+                          PathStep::Index(9)},
+                         &v)
+                  .ok());
+  EXPECT_EQ(v.tag(), AdmTag::kMissing);
+}
+
+TEST(AdmGetPath, DeclaredFieldAccess) {
+  DatasetType type = ClosedEmployeeType();
+  AdmValue rec = R(R"({"id": 7, "name": "Zed",
+                      "dependents": {{ {"name": "Kid", "age": 1} }} })");
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(rec, type, &b).ok());
+  AdmValue v;
+  ASSERT_TRUE(AdmGetPath(b.data(), b.size(), type, {PathStep::Field("name")}, &v).ok());
+  EXPECT_EQ(v.string_value(), "Zed");
+  ASSERT_TRUE(AdmGetPath(b.data(), b.size(), type,
+                         {PathStep::Field("dependents"), PathStep::Index(0),
+                          PathStep::Field("age")},
+                         &v)
+                  .ok());
+  EXPECT_EQ(v.int_value(), 1);
+}
+
+TEST(AdmFormat, DecodeRejectsTruncation) {
+  DatasetType type = PkType();
+  Buffer b;
+  ASSERT_TRUE(EncodeAdmRecord(R(R"({"id": 1, "s": "hello"})"), type, &b).ok());
+  AdmValue out;
+  EXPECT_FALSE(DecodeAdmRecord(b.data(), b.size() / 2, type, &out).ok());
+}
+
+}  // namespace
+}  // namespace tc

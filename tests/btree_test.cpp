@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lsm/btree_component.h"
+
+namespace tc {
+namespace {
+
+struct BtreeFixture {
+  std::shared_ptr<FileSystem> fs = MakeMemFileSystem();
+  BufferCache cache{4096, 1024};
+
+  std::shared_ptr<BtreeComponent> Build(
+      const std::vector<std::tuple<int64_t, bool, std::string>>& entries,
+      CompressionKind codec = CompressionKind::kNone) {
+    auto compressor = GetCompressor(codec);
+    auto b = BtreeComponentBuilder::Create(fs, "comp", 4096, compressor)
+                 .ValueOrDie();
+    for (const auto& [k, anti, payload] : entries) {
+      Status st = b->Add(BtreeKey{k, 0}, anti, payload);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    EXPECT_TRUE(b->Finish(1, 1, {}).ok());
+    EXPECT_TRUE(b->MarkValid().ok());
+    return BtreeComponent::Open(fs, &cache, "comp", 4096, compressor).ValueOrDie();
+  }
+};
+
+TEST(Btree, EmptyComponent) {
+  BtreeFixture fx;
+  auto c = fx.Build({});
+  EXPECT_EQ(c->meta().n_entries, 0u);
+  auto hit = c->Get(BtreeKey{1, 0}).ValueOrDie();
+  EXPECT_FALSE(hit.has_value());
+  BtreeComponent::Iterator it(c.get());
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(Btree, SingleLeafLookups) {
+  BtreeFixture fx;
+  auto c = fx.Build({{1, false, "one"}, {5, false, "five"}, {9, false, "nine"}});
+  EXPECT_EQ(c->Get(BtreeKey{5, 0}).ValueOrDie()->payload,
+            Buffer({'f', 'i', 'v', 'e'}));
+  EXPECT_FALSE(c->Get(BtreeKey{4, 0}).ValueOrDie().has_value());
+  EXPECT_FALSE(c->Get(BtreeKey{0, 0}).ValueOrDie().has_value());
+  EXPECT_FALSE(c->Get(BtreeKey{10, 0}).ValueOrDie().has_value());
+}
+
+TEST(Btree, RejectsNonIncreasingKeys) {
+  auto fs = MakeMemFileSystem();
+  auto b = BtreeComponentBuilder::Create(fs, "x", 4096, nullptr).ValueOrDie();
+  ASSERT_TRUE(b->Add(BtreeKey{5, 0}, false, "a").ok());
+  EXPECT_FALSE(b->Add(BtreeKey{5, 0}, false, "b").ok());
+  EXPECT_FALSE(b->Add(BtreeKey{4, 0}, false, "c").ok());
+}
+
+TEST(Btree, RejectsOversizedPayload) {
+  auto fs = MakeMemFileSystem();
+  auto b = BtreeComponentBuilder::Create(fs, "x", 4096, nullptr).ValueOrDie();
+  std::string big(5000, 'x');
+  EXPECT_FALSE(b->Add(BtreeKey{1, 0}, false, big).ok());
+}
+
+TEST(Btree, AntiMatterEntries) {
+  BtreeFixture fx;
+  auto c = fx.Build({{1, false, "live"}, {2, true, ""}, {3, false, "alive"}});
+  EXPECT_EQ(c->meta().n_entries, 2u);
+  EXPECT_EQ(c->meta().n_anti, 1u);
+  auto hit = c->Get(BtreeKey{2, 0}).ValueOrDie();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->anti);
+}
+
+class BtreeScale : public ::testing::TestWithParam<std::tuple<int, CompressionKind>> {
+};
+
+TEST_P(BtreeScale, MultiLevelPointAndRange) {
+  auto [n, codec] = GetParam();
+  BtreeFixture fx;
+  std::vector<std::tuple<int64_t, bool, std::string>> entries;
+  for (int i = 0; i < n; ++i) {
+    // Sparse keys to exercise miss paths.
+    entries.emplace_back(i * 3, false, "payload_" + std::to_string(i * 3));
+  }
+  auto c = fx.Build(entries, codec);
+  EXPECT_EQ(c->meta().n_entries, static_cast<uint64_t>(n));
+  EXPECT_EQ(c->meta().min_key.a, 0);
+  EXPECT_EQ(c->meta().max_key.a, (n - 1) * 3);
+  if (n > 200) {
+    EXPECT_GT(c->page_count(), 2u);  // must be multi-level
+  }
+
+  Rng rng(n);
+  for (int t = 0; t < 500; ++t) {
+    int64_t k = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(n * 3)));
+    auto hit = c->Get(BtreeKey{k, 0}).ValueOrDie();
+    if (k % 3 == 0) {
+      ASSERT_TRUE(hit.has_value()) << k;
+      EXPECT_EQ(std::string(hit->payload.begin(), hit->payload.end()),
+                "payload_" + std::to_string(k));
+    } else {
+      EXPECT_FALSE(hit.has_value()) << k;
+    }
+  }
+
+  // Full scan returns every key in order.
+  BtreeComponent::Iterator it(c.get());
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  int count = 0;
+  int64_t prev = -1;
+  while (it.Valid()) {
+    EXPECT_GT(it.key().a, prev);
+    prev = it.key().a;
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, n);
+
+  // Seek semantics: first key >= target.
+  if (n >= 4) {
+    ASSERT_TRUE(it.Seek(BtreeKey{7, 0}).ok());
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key().a, 9);
+  }
+  ASSERT_TRUE(it.Seek(BtreeKey{(n - 1) * 3 + 1, 0}).ok());
+  EXPECT_FALSE(it.Valid());
+  ASSERT_TRUE(it.Seek(BtreeKey{-100, 0}).ok());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().a, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BtreeScale,
+    ::testing::Combine(::testing::Values(1, 10, 500, 5000),
+                       ::testing::Values(CompressionKind::kNone,
+                                         CompressionKind::kSnappy)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == CompressionKind::kNone ? "_raw" : "_snappy");
+    });
+
+TEST(Btree, CompositeKeyOrdering) {
+  BtreeFixture fx;
+  auto fs = fx.fs;
+  auto b = BtreeComponentBuilder::Create(fs, "comp2", 4096, nullptr).ValueOrDie();
+  // Secondary-index style: same .a, different .b.
+  ASSERT_TRUE(b->Add(BtreeKey{10, 1}, false, "").ok());
+  ASSERT_TRUE(b->Add(BtreeKey{10, 2}, false, "").ok());
+  ASSERT_TRUE(b->Add(BtreeKey{11, 0}, false, "").ok());
+  ASSERT_TRUE(b->Finish(1, 1, {}).ok());
+  ASSERT_TRUE(b->MarkValid().ok());
+  auto c = BtreeComponent::Open(fs, &fx.cache, "comp2", 4096, nullptr).ValueOrDie();
+  BtreeComponent::Iterator it(c.get());
+  ASSERT_TRUE(it.Seek(BtreeKey{10, INT64_MIN}).ok());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().b, 1);
+  ASSERT_TRUE(it.Next().ok());
+  EXPECT_EQ(it.key().b, 2);
+}
+
+TEST(Btree, SchemaBlobPersistsAcrossPages) {
+  BtreeFixture fx;
+  auto b = BtreeComponentBuilder::Create(fx.fs, "blob", 4096, nullptr).ValueOrDie();
+  ASSERT_TRUE(b->Add(BtreeKey{1, 0}, false, "x").ok());
+  Buffer blob(10000);  // spans 3 metadata pages
+  for (size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<uint8_t>(i * 7);
+  ASSERT_TRUE(b->Finish(3, 7, blob).ok());
+  ASSERT_TRUE(b->MarkValid().ok());
+  auto c = BtreeComponent::Open(fx.fs, &fx.cache, "blob", 4096, nullptr).ValueOrDie();
+  EXPECT_EQ(c->meta().cid_min, 3u);
+  EXPECT_EQ(c->meta().cid_max, 7u);
+  EXPECT_EQ(c->meta().schema_blob, blob);
+}
+
+TEST(Btree, ValidityMarkerLifecycle) {
+  auto fs = MakeMemFileSystem();
+  auto b = BtreeComponentBuilder::Create(fs, "v", 4096, nullptr).ValueOrDie();
+  ASSERT_TRUE(b->Add(BtreeKey{1, 0}, false, "x").ok());
+  ASSERT_TRUE(b->Finish(1, 1, {}).ok());
+  // Finished but not valid: a crash here must discard the component (§3.1.2).
+  EXPECT_FALSE(BtreeComponent::IsValid(fs.get(), "v"));
+  ASSERT_TRUE(b->MarkValid().ok());
+  EXPECT_TRUE(BtreeComponent::IsValid(fs.get(), "v"));
+  ASSERT_TRUE(BtreeComponent::Destroy(fs.get(), "v").ok());
+  EXPECT_FALSE(fs->Exists("v"));
+  EXPECT_FALSE(fs->Exists("v.valid"));
+}
+
+TEST(Btree, FooterCorruptionDetected) {
+  BtreeFixture fx;
+  auto c = fx.Build({{1, false, "x"}});
+  // Flip a byte in the footer (last page) of the underlying file.
+  auto f = fx.fs->Open("comp").ValueOrDie();
+  uint64_t size = f->Size();
+  uint8_t byte;
+  ASSERT_TRUE(f->Read(size - 4096 + 6, 1, &byte).ok());
+  byte ^= 0x40;
+  ASSERT_TRUE(f->Write(size - 4096 + 6, &byte, 1).ok());
+  EXPECT_FALSE(BtreeComponent::Open(fx.fs, &fx.cache, "comp", 4096, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace tc

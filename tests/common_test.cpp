@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/bit_packer.h"
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace tc {
+namespace {
+
+TEST(Bytes, FixedRoundTrip) {
+  Buffer b;
+  PutFixed16(&b, 0xBEEF);
+  PutFixed32(&b, 0xDEADBEEF);
+  PutFixed64(&b, 0x0123456789ABCDEFull);
+  PutDouble(&b, 3.14159);
+  PutFloat(&b, 2.5f);
+  const uint8_t* p = b.data();
+  EXPECT_EQ(GetFixed16(p), 0xBEEF);
+  EXPECT_EQ(GetFixed32(p + 2), 0xDEADBEEF);
+  EXPECT_EQ(GetFixed64(p + 6), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(GetDouble(p + 14), 3.14159);
+  EXPECT_FLOAT_EQ(GetFloat(p + 22), 2.5f);
+}
+
+TEST(Bytes, OverwriteFixed32) {
+  Buffer b(8, 0);
+  OverwriteFixed32(&b, 2, 0xCAFEBABE);
+  EXPECT_EQ(GetFixed32(b.data() + 2), 0xCAFEBABE);
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}) {
+    Buffer b;
+    PutVarint64(&b, v);
+    uint64_t out = 0;
+    size_t n = GetVarint64(b.data(), b.data() + b.size(), &out);
+    EXPECT_EQ(n, b.size());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Varint, TruncatedInputFails) {
+  Buffer b;
+  PutVarint64(&b, 1ull << 40);
+  uint64_t out = 0;
+  EXPECT_EQ(GetVarint64(b.data(), b.data() + b.size() - 1, &out), 0u);
+}
+
+TEST(Varint, RandomRoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Next() >> rng.Uniform(64);
+    Buffer b;
+    PutVarint64(&b, v);
+    uint64_t out = 0;
+    ASSERT_EQ(GetVarint64(b.data(), b.data() + b.size(), &out), b.size());
+    ASSERT_EQ(out, v);
+  }
+}
+
+TEST(Zigzag, RoundTrip) {
+  const int64_t cases[] = {0,         1,         -1,    2, -2, INT64_MAX,
+                           INT64_MIN, 123456789, -987654321};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+}
+
+TEST(BitsFor, Values) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 2);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(255), 8);
+  EXPECT_EQ(BitsFor(256), 9);
+}
+
+TEST(BitPacker, RoundTripAllWidths) {
+  for (int width = 0; width <= 57; ++width) {
+    Buffer b;
+    BitPacker packer(&b);
+    Rng rng(width + 1);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 100; ++i) {
+      uint64_t mask = width == 0 ? 0 : (width == 64 ? ~0ull : (1ull << width) - 1);
+      uint64_t v = rng.Next() & mask;
+      values.push_back(v);
+      packer.Append(v, width);
+    }
+    packer.Finish();
+    BitReader reader(b.data(), b.size());
+    for (uint64_t v : values) {
+      ASSERT_EQ(reader.Read(width), v) << "width=" << width;
+    }
+  }
+}
+
+TEST(BitPacker, MixedWidthsWithByteAlignment) {
+  Buffer b;
+  BitPacker packer(&b);
+  packer.Append(5, 3);
+  packer.Append(1000, 11);
+  packer.Append(1, 1);
+  packer.Finish();
+  BitReader reader(b.data(), b.size());
+  EXPECT_EQ(reader.Read(3), 5u);
+  EXPECT_EQ(reader.Read(11), 1000u);
+  EXPECT_EQ(reader.Read(1), 1u);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32-C("123456789") == 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32, DetectsCorruption) {
+  std::string data = "hello world, this is a checksum test";
+  uint32_t crc = Crc32c(data.data(), data.size());
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32c(data.data(), data.size()), crc);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace tc

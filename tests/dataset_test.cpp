@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "adm/parser.h"
+#include "adm/printer.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+using testutil::DatasetFixture;
+using testutil::SmallOptions;
+
+AdmValue R(const std::string& text) { return ParseAdm(text).ValueOrDie(); }
+
+class DatasetModes : public ::testing::TestWithParam<SchemaMode> {};
+
+TEST_P(DatasetModes, InsertGetFlushGet) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(GetParam()), 2).ok());
+  AdmValue rec = R(R"({"id": 11, "name": "Kim", "age": 26})");
+  ASSERT_TRUE(fx.dataset->Insert(rec).ok());
+  auto got = fx.dataset->Get(11).ValueOrDie();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(PrintAdm(*got), PrintAdm(rec));
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  got = fx.dataset->Get(11).ValueOrDie();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(PrintAdm(*got), PrintAdm(rec));
+  EXPECT_FALSE(fx.dataset->Get(999).ValueOrDie().has_value());
+}
+
+TEST_P(DatasetModes, UpsertAndDeleteAcrossFlushes) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(GetParam()), 2).ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 1, "v": "first"})")).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  ASSERT_TRUE(fx.dataset->Upsert(R(R"({"id": 1, "v": "second", "extra": 2})")).ok());
+  auto got = fx.dataset->Get(1).ValueOrDie();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->FindField("v")->string_value(), "second");
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  ASSERT_TRUE(fx.dataset->Delete(1).ok());
+  EXPECT_FALSE(fx.dataset->Get(1).ValueOrDie().has_value());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  EXPECT_FALSE(fx.dataset->Get(1).ValueOrDie().has_value());
+}
+
+TEST_P(DatasetModes, WorkloadRoundTripThroughFlushes) {
+  // Every workload record survives encode -> flush (-> compact) -> decode in
+  // every storage mode.
+  DatasetFixture fx;
+  DatasetOptions o = SmallOptions(GetParam(), /*memtable_kb=*/256);
+  auto gen = MakeTwitterGenerator(3);
+  if (GetParam() == SchemaMode::kClosed) o.type = gen->ClosedType();
+  ASSERT_TRUE(fx.Open(std::move(o), 2).ok());
+  std::vector<AdmValue> records;
+  for (int i = 0; i < 60; ++i) {
+    records.push_back(gen->NextRecord());
+    ASSERT_TRUE(fx.dataset->Insert(records.back()).ok()) << i;
+  }
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  for (const auto& rec : records) {
+    int64_t pk = rec.FindField("id")->int_value();
+    auto got = fx.dataset->Get(pk).ValueOrDie();
+    ASSERT_TRUE(got.has_value()) << pk;
+    if (GetParam() == SchemaMode::kClosed) {
+      // Closed decode reorders fields to declared order; compare field sets.
+      EXPECT_EQ(got->field_count(), rec.field_count()) << pk;
+      for (size_t f = 0; f < rec.field_count(); ++f) {
+        const AdmValue* v = got->FindField(rec.field_name(f));
+        ASSERT_NE(v, nullptr) << rec.field_name(f);
+        EXPECT_EQ(PrintAdm(*v), PrintAdm(rec.field_value(f)));
+      }
+    } else if (GetParam() == SchemaMode::kBson) {
+      // BSON is lossy on exotic types; spot-check core fields.
+      EXPECT_EQ(got->FindField("text")->string_value(),
+                rec.FindField("text")->string_value());
+    } else {
+      EXPECT_EQ(PrintAdm(*got), PrintAdm(rec)) << pk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DatasetModes,
+    ::testing::Values(SchemaMode::kOpen, SchemaMode::kClosed,
+                      SchemaMode::kInferred, SchemaMode::kSchemalessVB,
+                      SchemaMode::kBson),
+    [](const auto& info) {
+      std::string name = SchemaModeName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Dataset, InferredIsSmallestOnDisk) {
+  // The Figure 16 ordering at miniature scale: inferred < closed < open.
+  auto gen_seed = 77;
+  uint64_t sizes[3];
+  SchemaMode modes[3] = {SchemaMode::kOpen, SchemaMode::kClosed,
+                         SchemaMode::kInferred};
+  for (int m = 0; m < 3; ++m) {
+    DatasetFixture fx;
+    DatasetOptions o = SmallOptions(modes[m], 512);
+    auto gen = MakeSensorsGenerator(gen_seed);
+    if (modes[m] == SchemaMode::kClosed) o.type = gen->ClosedType();
+    ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+    for (int i = 0; i < 40; ++i) ASSERT_TRUE(fx.dataset->Insert(gen->NextRecord()).ok());
+    ASSERT_TRUE(fx.dataset->FlushAll().ok());
+    sizes[m] = fx.dataset->TotalPhysicalBytes();
+  }
+  EXPECT_LT(sizes[2], sizes[1]);  // inferred < closed
+  EXPECT_LT(sizes[1], sizes[0]);  // closed < open
+}
+
+TEST(Dataset, CompressionShrinksFootprint) {
+  uint64_t raw = 0, compressed = 0;
+  for (bool comp : {false, true}) {
+    DatasetFixture fx;
+    DatasetOptions o = SmallOptions(SchemaMode::kOpen, 512);
+    o.compression = comp;
+    ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+    auto gen = MakeTwitterGenerator(5);
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE(fx.dataset->Insert(gen->NextRecord()).ok());
+    ASSERT_TRUE(fx.dataset->FlushAll().ok());
+    (comp ? compressed : raw) = fx.dataset->TotalPhysicalBytes();
+  }
+  EXPECT_LT(compressed, raw);
+}
+
+TEST(Dataset, PartitionSchemasEvolveIndependently) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 4).ok());
+  // Craft records landing in specific partitions with disjoint field names.
+  int placed = 0;
+  for (int64_t pk = 0; placed < 8; ++pk) {
+    size_t p = fx.dataset->PartitionOf(pk);
+    AdmValue rec = AdmValue::Object();
+    rec.AddField("id", AdmValue::BigInt(pk));
+    rec.AddField("only_p" + std::to_string(p), AdmValue::BigInt(1));
+    ASSERT_TRUE(fx.dataset->Insert(rec).ok());
+    ++placed;
+  }
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  // Each partition's schema contains only its own field names (§3.4.1).
+  for (size_t p = 0; p < 4; ++p) {
+    Schema s = fx.dataset->partition(p)->SchemaSnapshot();
+    for (size_t q = 0; q < 4; ++q) {
+      uint32_t id = s.dict().Lookup("only_p" + std::to_string(q));
+      if (q == p) continue;  // own field may or may not exist (hash spread)
+      EXPECT_EQ(id, FieldNameDictionary::kInvalidId)
+          << "partition " << p << " leaked field of partition " << q;
+    }
+  }
+}
+
+TEST(Dataset, RecoveryRestoresSchemaAndData) {
+  DatasetFixture fx;
+  DatasetOptions o = SmallOptions(SchemaMode::kInferred);
+  o.wal_sync_every = 1;
+  // One partition so the int-typed and string-typed "a" meet in one schema.
+  ASSERT_TRUE(fx.Open(o, 1).ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 1, "a": 5, "b": "x"})")).ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 2, "a": "str"})")).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 3, "c": true})")).ok());
+  // "Crash" (no flush of record 3; it is in the WAL) and restart.
+  ASSERT_TRUE(fx.Reopen(o, 1).ok());
+  for (int64_t pk : {1, 2, 3}) {
+    EXPECT_TRUE(fx.dataset->Get(pk).ValueOrDie().has_value()) << pk;
+  }
+  // Schema survived recovery: the union on "a" is still known (§3.1.2).
+  std::string s = fx.dataset->partition(0)->SchemaSnapshot().ToString();
+  EXPECT_NE(s.find("union"), std::string::npos) << s;
+}
+
+TEST(Dataset, BulkLoadProducesOneComponentPerPartition) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 2).ok());
+  auto gen = MakeWosGenerator(9);
+  std::vector<AdmValue> records;
+  for (int i = 0; i < 30; ++i) records.push_back(gen->NextRecord());
+  ASSERT_TRUE(fx.dataset->BulkLoad(records).ok());
+  for (size_t p = 0; p < 2; ++p) {
+    EXPECT_LE(fx.dataset->partition(p)->primary()->component_count(), 1u);
+  }
+  for (const auto& rec : records) {
+    int64_t pk = rec.FindField("id")->int_value();
+    auto got = fx.dataset->Get(pk).ValueOrDie();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(PrintAdm(*got), PrintAdm(rec));
+  }
+}
+
+TEST(Dataset, PrimaryKeyIndexReducesLookups) {
+  // Upserting fresh keys with a PK index skips old-version point lookups
+  // (paper §3.2.2 / Figure 17b setup).
+  uint64_t with_index, without_index;
+  for (bool use_pk : {false, true}) {
+    DatasetFixture fx;
+    DatasetOptions o = SmallOptions(SchemaMode::kInferred, 64);
+    o.primary_key_index = use_pk;
+    ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+    auto gen = MakeTwitterGenerator(13);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(fx.dataset->Upsert(gen->NextRecord()).ok());
+    }
+    (use_pk ? with_index : without_index) =
+        fx.dataset->AggregateStats().old_version_lookups;
+  }
+  EXPECT_LT(with_index, without_index);
+}
+
+TEST(Dataset, MissingPrimaryKeyRejected) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 1).ok());
+  EXPECT_FALSE(fx.dataset->Insert(R(R"({"name": "nopk"})")).ok());
+  EXPECT_FALSE(fx.dataset->InsertJson(R"({"id": "not-an-int"})").ok());
+  EXPECT_TRUE(fx.dataset->InsertJson(R"({"id": 5, "ok": true})").ok());
+}
+
+}  // namespace
+}  // namespace tc

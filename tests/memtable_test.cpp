@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "lsm/memtable.h"
+
+namespace tc {
+namespace {
+
+Buffer B(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+TEST(MemTable, PutGetDelete) {
+  MemTable m;
+  EXPECT_TRUE(m.empty());
+  m.Put(BtreeKey{1, 0}, B("v1"), std::nullopt);
+  ASSERT_NE(m.Get(BtreeKey{1, 0}), nullptr);
+  EXPECT_FALSE(m.Get(BtreeKey{1, 0})->anti);
+  EXPECT_EQ(m.Get(BtreeKey{1, 0})->payload, B("v1"));
+  m.Delete(BtreeKey{1, 0}, std::nullopt);
+  EXPECT_TRUE(m.Get(BtreeKey{1, 0})->anti);
+  EXPECT_EQ(m.entry_count(), 1u);  // tombstone occupies the slot
+  EXPECT_EQ(m.Get(BtreeKey{2, 0}), nullptr);
+}
+
+TEST(MemTable, OldPayloadCapturedOnceAndRetained) {
+  MemTable m;
+  // First touch of key 1 captures the on-disk version.
+  m.Put(BtreeKey{1, 0}, B("new1"), B("disk_old"));
+  // Later updates must NOT overwrite the captured old version: its
+  // anti-schema has to be processed exactly once at flush (§3.2.2).
+  m.Put(BtreeKey{1, 0}, B("new2"), std::nullopt);
+  m.Delete(BtreeKey{1, 0}, std::nullopt);
+  const MemTable::Entry* e = m.Get(BtreeKey{1, 0});
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->anti);
+  EXPECT_TRUE(e->has_old);
+  EXPECT_EQ(e->old_payload, B("disk_old"));
+}
+
+TEST(MemTable, PurelyInMemoryVersionHasNoOld) {
+  MemTable m;
+  m.Put(BtreeKey{1, 0}, B("a"), std::nullopt);
+  m.Put(BtreeKey{1, 0}, B("b"), std::nullopt);
+  const MemTable::Entry* e = m.Get(BtreeKey{1, 0});
+  EXPECT_FALSE(e->has_old);
+  EXPECT_EQ(e->payload, B("b"));
+}
+
+TEST(MemTable, IterationIsKeyOrdered) {
+  MemTable m;
+  m.Put(BtreeKey{5, 0}, B("5"), std::nullopt);
+  m.Put(BtreeKey{1, 0}, B("1"), std::nullopt);
+  m.Put(BtreeKey{3, 0}, B("3"), std::nullopt);
+  int64_t prev = INT64_MIN;
+  size_t n = 0;
+  for (auto it = m.begin(); it != m.end(); ++it) {
+    EXPECT_GT(it->first.a, prev);
+    prev = it->first.a;
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(m.LowerBound(BtreeKey{2, 0})->first.a, 3);
+}
+
+TEST(MemTable, ByteAccountingMovesWithPayloads) {
+  MemTable m;
+  size_t base = m.approximate_bytes();
+  m.Put(BtreeKey{1, 0}, Buffer(1000, 'x'), std::nullopt);
+  size_t after_put = m.approximate_bytes();
+  EXPECT_GE(after_put, base + 1000);
+  m.Put(BtreeKey{1, 0}, Buffer(10, 'y'), std::nullopt);
+  EXPECT_LT(m.approximate_bytes(), after_put);
+  m.Clear();
+  EXPECT_EQ(m.approximate_bytes(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace tc

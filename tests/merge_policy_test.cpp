@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "lsm/merge_policy.h"
+
+namespace tc {
+namespace {
+
+constexpr uint64_t kMB = 1 << 20;
+
+TEST(NoMerge, NeverMerges) {
+  auto p = MakeNoMergePolicy();
+  EXPECT_FALSE(p->Decide({kMB, kMB, kMB, kMB, kMB, kMB, kMB, kMB}).merge);
+}
+
+TEST(Prefix, UnderToleranceNoMerge) {
+  // Figure 17 configuration: max mergeable size with tolerance 5.
+  auto p = MakePrefixMergePolicy(32 * kMB, 5);
+  EXPECT_FALSE(p->Decide({kMB, kMB, kMB, kMB, kMB}).merge);
+}
+
+TEST(Prefix, MergesWhenToleranceExceeded) {
+  auto p = MakePrefixMergePolicy(32 * kMB, 5);
+  MergeDecision d = p->Decide({kMB, kMB, kMB, kMB, kMB, kMB});
+  ASSERT_TRUE(d.merge);
+  EXPECT_EQ(d.begin, 0u);
+  EXPECT_EQ(d.end, 6u);  // all six fit under the 32 MB cap
+}
+
+TEST(Prefix, RespectsMaxMergeableSize) {
+  auto p = MakePrefixMergePolicy(10 * kMB, 3);
+  // Four 4MB components: only the two newest fit under 10MB... (4+4=8, +4=12).
+  MergeDecision d = p->Decide({4 * kMB, 4 * kMB, 4 * kMB, 4 * kMB});
+  ASSERT_TRUE(d.merge);
+  EXPECT_EQ(d.end - d.begin, 2u);
+}
+
+TEST(Prefix, IgnoresComponentsLargerThanMax) {
+  auto p = MakePrefixMergePolicy(10 * kMB, 2);
+  // A 64MB component at position 1 stops the mergeable run.
+  MergeDecision d = p->Decide({kMB, 64 * kMB, kMB, kMB, kMB});
+  EXPECT_FALSE(d.merge);  // run length 1 <= tolerance
+  // Run of 3 small ones before the big one.
+  d = p->Decide({kMB, kMB, kMB, 64 * kMB, kMB});
+  ASSERT_TRUE(d.merge);
+  EXPECT_EQ(d.begin, 0u);
+  EXPECT_EQ(d.end, 3u);
+}
+
+TEST(Prefix, PairwiseFallbackWhenOverflowing) {
+  auto p = MakePrefixMergePolicy(5 * kMB, 1);
+  MergeDecision d = p->Decide({4 * kMB, 4 * kMB});
+  ASSERT_TRUE(d.merge);
+  EXPECT_EQ(d.end - d.begin, 2u);
+}
+
+TEST(Constant, MergesAllPastK) {
+  auto p = MakeConstantMergePolicy(3);
+  EXPECT_FALSE(p->Decide({kMB, kMB, kMB}).merge);
+  MergeDecision d = p->Decide({kMB, kMB, kMB, kMB});
+  ASSERT_TRUE(d.merge);
+  EXPECT_EQ(d.begin, 0u);
+  EXPECT_EQ(d.end, 4u);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "adm/parser.h"
+#include "adm/printer.h"
+#include "format/pax_page.h"
+#include "tests/test_util.h"
+
+namespace tc {
+namespace {
+
+AdmValue R(const std::string& text) { return ParseAdm(text).ValueOrDie(); }
+
+std::vector<std::pair<std::string, AdmTag>> SensorColumns() {
+  return {{"id", AdmTag::kBigInt},
+          {"temp", AdmTag::kDouble},
+          {"label", AdmTag::kString}};
+}
+
+TEST(PaxPage, BuildAndReadBack) {
+  PaxPageBuilder b(SensorColumns());
+  ASSERT_TRUE(b.Add(R(R"({"id": 1, "temp": 20.5, "label": "a"})")).ok());
+  ASSERT_TRUE(b.Add(R(R"({"id": 2, "temp": 21.5})")).ok());  // label absent
+  ASSERT_TRUE(b.Add(R(R"({"id": 3, "label": "ccc"})")).ok());
+  Buffer page;
+  b.Finish(&page);
+
+  PaxPageView view(page.data(), page.size());
+  ASSERT_TRUE(view.Validate().ok());
+  EXPECT_EQ(view.column_count(), 3);
+  EXPECT_EQ(view.record_count(), 3);
+  int id = view.FindColumn("id");
+  int temp = view.FindColumn("temp");
+  int label = view.FindColumn("label");
+  ASSERT_GE(id, 0);
+  ASSERT_GE(temp, 0);
+  ASSERT_GE(label, 0);
+  EXPECT_EQ(view.FindColumn("nope"), -1);
+
+  EXPECT_EQ(view.Get(id, 0).ValueOrDie().int_value(), 1);
+  EXPECT_EQ(view.Get(id, 2).ValueOrDie().int_value(), 3);
+  EXPECT_DOUBLE_EQ(view.Get(temp, 1).ValueOrDie().double_value(), 21.5);
+  EXPECT_EQ(view.Get(temp, 2).ValueOrDie().tag(), AdmTag::kMissing);
+  EXPECT_EQ(view.Get(label, 0).ValueOrDie().string_value(), "a");
+  EXPECT_EQ(view.Get(label, 1).ValueOrDie().tag(), AdmTag::kMissing);
+  EXPECT_EQ(view.Get(label, 2).ValueOrDie().string_value(), "ccc");
+  EXPECT_EQ(b.spilled_count(), 0u);
+}
+
+TEST(PaxPage, SumColumnFastPath) {
+  PaxPageBuilder b({{"v", AdmTag::kDouble}});
+  double expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double v = i * 0.5;
+    expected += v;
+    AdmValue rec = AdmValue::Object();
+    rec.AddField("v", AdmValue::Double(v));
+    ASSERT_TRUE(b.Add(rec).ok());
+  }
+  Buffer page;
+  b.Finish(&page);
+  PaxPageView view(page.data(), page.size());
+  EXPECT_DOUBLE_EQ(view.SumColumn(view.FindColumn("v")).ValueOrDie(), expected);
+}
+
+TEST(PaxPage, NonConformingRecordsSpill) {
+  PaxPageBuilder b({{"id", AdmTag::kBigInt}});
+  ASSERT_TRUE(b.Add(R(R"({"id": 1})")).ok());
+  // Extra field -> spill; type mismatch -> spill.
+  ASSERT_TRUE(b.Add(R(R"({"id": 2, "nested": {"x": 1}})")).ok());
+  ASSERT_TRUE(b.Add(R(R"({"id": "three"})")).ok());
+  EXPECT_EQ(b.spilled_count(), 2u);
+  Buffer page;
+  b.Finish(&page);
+  PaxPageView view(page.data(), page.size());
+  ASSERT_TRUE(view.Validate().ok());
+  int id = view.FindColumn("id");
+  EXPECT_EQ(view.Get(id, 0).ValueOrDie().int_value(), 1);
+  EXPECT_EQ(view.Get(id, 1).ValueOrDie().tag(), AdmTag::kMissing);
+  auto spilled = view.SpilledRows().ValueOrDie();
+  ASSERT_EQ(spilled.size(), 2u);
+  EXPECT_EQ(spilled[0].first, 1u);
+  EXPECT_EQ(spilled[1].first, 2u);
+  AdmValue back = R(spilled[0].second);
+  EXPECT_EQ(PrintAdm(back),
+            PrintAdm(R(R"({"id": 2, "nested": {"x": 1}})")));
+}
+
+TEST(PaxPage, MixedTypesAcrossColumns) {
+  PaxPageBuilder b({{"flag", AdmTag::kBoolean},
+                    {"when", AdmTag::kDate},
+                    {"where", AdmTag::kPoint},
+                    {"small", AdmTag::kSmallInt}});
+  AdmValue rec = AdmValue::Object();
+  rec.AddField("flag", AdmValue::Boolean(true));
+  rec.AddField("when", AdmValue::Date(17000));
+  rec.AddField("where", AdmValue::Point(1.5, -2.5));
+  rec.AddField("small", AdmValue::SmallInt(-7));
+  ASSERT_TRUE(b.Add(rec).ok());
+  Buffer page;
+  b.Finish(&page);
+  PaxPageView view(page.data(), page.size());
+  EXPECT_TRUE(view.Get(view.FindColumn("flag"), 0).ValueOrDie().bool_value());
+  EXPECT_EQ(view.Get(view.FindColumn("when"), 0).ValueOrDie().int_value(), 17000);
+  EXPECT_DOUBLE_EQ(view.Get(view.FindColumn("where"), 0).ValueOrDie().point_y(),
+                   -2.5);
+  EXPECT_EQ(view.Get(view.FindColumn("small"), 0).ValueOrDie().int_value(), -7);
+}
+
+TEST(PaxPage, ValidateRejectsCorruption) {
+  PaxPageBuilder b({{"id", AdmTag::kBigInt}});
+  ASSERT_TRUE(b.Add(R(R"({"id": 1})")).ok());
+  Buffer page;
+  b.Finish(&page);
+  Buffer bad = page;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(PaxPageView(bad.data(), bad.size()).Validate().ok());
+  EXPECT_FALSE(PaxPageView(page.data(), 6).Validate().ok());
+}
+
+TEST(PaxPage, PropertyRandomScalarRecords) {
+  Rng rng(404);
+  std::vector<std::pair<std::string, AdmTag>> cols = {
+      {"a", AdmTag::kBigInt}, {"b", AdmTag::kDouble}, {"c", AdmTag::kString}};
+  PaxPageBuilder b(cols);
+  std::vector<AdmValue> records;
+  for (int i = 0; i < 500; ++i) {
+    AdmValue rec = AdmValue::Object();
+    if (rng.Bernoulli(0.9)) rec.AddField("a", AdmValue::BigInt(rng.Range(-100, 100)));
+    if (rng.Bernoulli(0.7)) rec.AddField("b", AdmValue::Double(rng.NextDouble()));
+    if (rng.Bernoulli(0.5)) {
+      rec.AddField("c", AdmValue::String(rng.AlphaString(rng.Uniform(12))));
+    }
+    records.push_back(rec);
+    ASSERT_TRUE(b.Add(rec).ok());
+  }
+  Buffer page;
+  b.Finish(&page);
+  PaxPageView view(page.data(), page.size());
+  ASSERT_TRUE(view.Validate().ok());
+  for (uint32_t r = 0; r < records.size(); ++r) {
+    for (const auto& [name, tag] : cols) {
+      const AdmValue* expected = records[r].FindField(name);
+      AdmValue got = view.Get(view.FindColumn(name), r).ValueOrDie();
+      if (expected == nullptr) {
+        EXPECT_EQ(got.tag(), AdmTag::kMissing) << r << " " << name;
+      } else {
+        EXPECT_EQ(PrintAdm(got), PrintAdm(*expected)) << r << " " << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc

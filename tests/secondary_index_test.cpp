@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adm/parser.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+using testutil::DatasetFixture;
+using testutil::SmallOptions;
+
+AdmValue R(const std::string& text) { return ParseAdm(text).ValueOrDie(); }
+
+DatasetOptions WithSecondary(SchemaMode mode) {
+  DatasetOptions o = SmallOptions(mode);
+  o.secondary_index_field = "ts";
+  return o;
+}
+
+TEST(SecondaryIndex, RangeScanReturnsMatchingPks) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(WithSecondary(SchemaMode::kInferred), 2).ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    AdmValue rec = AdmValue::Object();
+    rec.AddField("id", AdmValue::BigInt(i));
+    rec.AddField("ts", AdmValue::BigInt(1000 + i * 10));
+    rec.AddField("v", AdmValue::String("x"));
+    ASSERT_TRUE(fx.dataset->Insert(rec).ok());
+  }
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  auto pks = fx.dataset->SecondaryRangeScan(1100, 1190).ValueOrDie();
+  std::sort(pks.begin(), pks.end());
+  ASSERT_EQ(pks.size(), 10u);
+  EXPECT_EQ(pks.front(), 10);
+  EXPECT_EQ(pks.back(), 19);
+}
+
+TEST(SecondaryIndex, UpdateMovesEntry) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(WithSecondary(SchemaMode::kInferred), 1).ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 1, "ts": 100})")).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  ASSERT_TRUE(fx.dataset->Upsert(R(R"({"id": 1, "ts": 900})")).ok());
+  EXPECT_TRUE(fx.dataset->SecondaryRangeScan(50, 150).ValueOrDie().empty());
+  auto pks = fx.dataset->SecondaryRangeScan(850, 950).ValueOrDie();
+  ASSERT_EQ(pks.size(), 1u);
+  EXPECT_EQ(pks[0], 1);
+}
+
+TEST(SecondaryIndex, DeleteRemovesEntry) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(WithSecondary(SchemaMode::kInferred), 1).ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 7, "ts": 500})")).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  ASSERT_TRUE(fx.dataset->Delete(7).ok());
+  EXPECT_TRUE(fx.dataset->SecondaryRangeScan(0, 1000).ValueOrDie().empty());
+}
+
+TEST(SecondaryIndex, DuplicateSecondaryKeysAllowed) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(WithSecondary(SchemaMode::kInferred), 1).ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    AdmValue rec = AdmValue::Object();
+    rec.AddField("id", AdmValue::BigInt(i));
+    rec.AddField("ts", AdmValue::BigInt(42));  // same secondary key
+    ASSERT_TRUE(fx.dataset->Insert(rec).ok());
+  }
+  auto pks = fx.dataset->SecondaryRangeScan(42, 42).ValueOrDie();
+  EXPECT_EQ(pks.size(), 5u);
+}
+
+TEST(SecondaryIndex, SelectivitySweepMatchesScan) {
+  // The Figure 24 access path: secondary range scan + primary point lookups
+  // must agree with a full-scan filter, across selectivities.
+  DatasetFixture fx;
+  DatasetOptions o = WithSecondary(SchemaMode::kInferred);
+  o.secondary_index_field = "timestamp_ms";
+  ASSERT_TRUE(fx.Open(std::move(o), 2).ok());
+  auto gen = MakeTwitterGenerator(21);
+  std::vector<std::pair<int64_t, int64_t>> pk_ts;
+  for (int i = 0; i < 200; ++i) {
+    AdmValue rec = gen->NextRecord();
+    pk_ts.emplace_back(rec.FindField("id")->int_value(),
+                       rec.FindField("timestamp_ms")->int_value());
+    ASSERT_TRUE(fx.dataset->Insert(rec).ok());
+  }
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  int64_t lo_ts = pk_ts.front().second;
+  int64_t hi_ts = pk_ts.back().second;
+  for (double sel : {0.01, 0.1, 0.5}) {
+    int64_t hi = lo_ts + static_cast<int64_t>((hi_ts - lo_ts) * sel);
+    auto pks = fx.dataset->SecondaryRangeScan(lo_ts, hi).ValueOrDie();
+    size_t expected = 0;
+    for (const auto& [pk, ts] : pk_ts) {
+      if (ts >= lo_ts && ts <= hi) ++expected;
+    }
+    EXPECT_EQ(pks.size(), expected) << "sel=" << sel;
+    // Every returned pk resolves through the primary index.
+    for (int64_t pk : pks) {
+      EXPECT_TRUE(fx.dataset->Get(pk).ValueOrDie().has_value());
+    }
+  }
+}
+
+TEST(SecondaryIndex, MissingFieldRejected) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(WithSecondary(SchemaMode::kInferred), 1).ok());
+  EXPECT_FALSE(fx.dataset->Insert(R(R"({"id": 1, "other": 5})")).ok());
+}
+
+TEST(SecondaryIndex, RangeScanWithoutIndexFails) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 1).ok());
+  EXPECT_FALSE(fx.dataset->SecondaryRangeScan(0, 10).ok());
+}
+
+}  // namespace
+}  // namespace tc
