@@ -1,7 +1,7 @@
 // Micro-benchmarks for the LSM engine: memtable inserts, point lookups,
 // scans, and the flush-time cost of the tuple compactor (the design-choice
-// ablation called out in DESIGN.md: flush-time inference keeps the ingest
-// path free of schema work — compare BM_MemtableInsert with
+// ablation called out in docs/ARCHITECTURE.md: flush-time inference keeps the
+// ingest path free of schema work — compare BM_MemtableInsert with
 // BM_MemtableInsertEagerInference).
 #include <benchmark/benchmark.h>
 

@@ -37,7 +37,8 @@ enum class AdmTag : uint8_t {
   // Control tag: closes the current nesting scope in the vector-based format.
   // The paper re-emits the parent's type tag as the scope-close marker; with
   // objects nested directly in objects that is ambiguous, so this repo uses a
-  // dedicated control tag at the same 1-byte cost (see DESIGN.md §5.1).
+  // dedicated control tag at the same 1-byte cost (see the record-layout
+  // notes at the top of format/vector_format.h).
   kEndNest = 22,
   kNumTags = 23,
 };

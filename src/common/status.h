@@ -116,19 +116,24 @@ class Result {
     }                                                                           \
   } while (0)
 
-#define TC_RETURN_IF_ERROR(expr)              \
-  do {                                        \
-    ::tc::Status _st = (expr);                \
-    if (!_st.ok()) return _st;                \
+#define TC_CONCAT_IMPL(a, b) a##b
+#define TC_CONCAT(a, b) TC_CONCAT_IMPL(a, b)
+
+#define TC_RETURN_IF_ERROR_IMPL(st, expr) \
+  do {                                    \
+    ::tc::Status st = (expr);             \
+    if (!st.ok()) return st;              \
   } while (0)
+
+// The status local is line-unique so nested uses (e.g. inside a lambda passed
+// to the guarded expression) don't shadow under -Wshadow.
+#define TC_RETURN_IF_ERROR(expr) \
+  TC_RETURN_IF_ERROR_IMPL(TC_CONCAT(_st_, __LINE__), expr)
 
 #define TC_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
   auto var = (expr);                             \
   if (!var.ok()) return var.status();            \
   lhs = std::move(var).value();
-
-#define TC_CONCAT_IMPL(a, b) a##b
-#define TC_CONCAT(a, b) TC_CONCAT_IMPL(a, b)
 
 /// TC_ASSIGN_OR_RETURN(auto x, FallibleExpr()) — binds x or early-returns.
 #define TC_ASSIGN_OR_RETURN(lhs, expr) \

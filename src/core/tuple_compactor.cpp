@@ -1,6 +1,39 @@
 #include "core/tuple_compactor.h"
 
-// TupleCompactor is header-only; this TU anchors it in the library so its
-// vtable has a home and future out-of-line additions have a place to live.
+namespace tc {
 
-namespace tc {}  // namespace tc
+Status TupleCompactor::TransformLive(std::string_view payload, Buffer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorRecordView view(reinterpret_cast<const uint8_t*>(payload.data()),
+                        payload.size());
+  return InferAndCompactVectorRecord(view, *type_, &schema_, out);
+}
+
+Status TupleCompactor::OnRemovedVersion(std::string_view old_payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorRecordView view(reinterpret_cast<const uint8_t*>(old_payload.data()),
+                        old_payload.size());
+  return RemoveVectorRecord(view, *type_, &schema_);
+}
+
+Status TupleCompactor::OnFlushEnd(Buffer* schema_blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SerializeSchema(schema_, schema_blob);
+  return Status::OK();
+}
+
+Status TupleCompactor::OnRecoveredSchema(const Buffer& blob) {
+  return LoadSchema(blob);
+}
+
+Status TupleCompactor::LoadSchema(const Buffer& blob) {
+  if (blob.empty()) return Status::OK();
+  size_t consumed = 0;
+  TC_ASSIGN_OR_RETURN(Schema s,
+                      DeserializeSchema(blob.data(), blob.size(), &consumed));
+  std::lock_guard<std::mutex> lock(mu_);
+  schema_ = std::move(s);
+  return Status::OK();
+}
+
+}  // namespace tc

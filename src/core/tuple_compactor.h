@@ -24,39 +24,17 @@ class TupleCompactor final : public FlushTransformer {
 
   Status OnFlushBegin() override { return Status::OK(); }
 
-  Status TransformLive(std::string_view payload, Buffer* out) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    VectorRecordView view(reinterpret_cast<const uint8_t*>(payload.data()),
-                          payload.size());
-    return InferAndCompactVectorRecord(view, *type_, &schema_, out);
-  }
-
-  Status OnRemovedVersion(std::string_view old_payload) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    VectorRecordView view(reinterpret_cast<const uint8_t*>(old_payload.data()),
-                          old_payload.size());
-    return RemoveVectorRecord(view, *type_, &schema_);
-  }
-
-  Status OnFlushEnd(Buffer* schema_blob) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    SerializeSchema(schema_, schema_blob);
-    return Status::OK();
-  }
-
-  Status OnRecoveredSchema(const Buffer& blob) override { return LoadSchema(blob); }
+  // The virtual overrides below are defined out of line in
+  // tuple_compactor.cpp; TransformLive is the class's key function, so the
+  // vtable is emitted exactly once, in the tc library.
+  Status TransformLive(std::string_view payload, Buffer* out) override;
+  Status OnRemovedVersion(std::string_view old_payload) override;
+  Status OnFlushEnd(Buffer* schema_blob) override;
+  Status OnRecoveredSchema(const Buffer& blob) override;
 
   /// Crash recovery (paper §3.1.2): reload the newest valid component's
   /// persisted schema as the in-memory schema.
-  Status LoadSchema(const Buffer& blob) {
-    if (blob.empty()) return Status::OK();
-    size_t consumed = 0;
-    TC_ASSIGN_OR_RETURN(Schema s, DeserializeSchema(blob.data(), blob.size(),
-                                                    &consumed));
-    std::lock_guard<std::mutex> lock(mu_);
-    schema_ = std::move(s);
-    return Status::OK();
-  }
+  Status LoadSchema(const Buffer& blob);
 
   /// Consistent deep copy for queries (schema broadcast) and tests.
   Schema Snapshot() const {

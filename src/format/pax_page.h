@@ -10,7 +10,7 @@
 // rest of the records — constant-time location of any column for any record,
 // versus the row-wise vector format's linear walk (Figure 22).
 //
-// Scope of the prototype (see DESIGN.md §4): root-level scalar columns with
+// Scope of the prototype: root-level scalar columns with
 // one type per field (no unions); a record containing anything else is
 // spilled whole in row form and its column slots read as missing. This is
 // enough to quantify the future-work hypothesis — see micro_formats'

@@ -455,7 +455,7 @@ namespace {
 
 enum class FlushMode { kInferOnly, kCompactOnly, kInferAndCompact };
 
-Status FlushWalk(const VectorRecordView& view, const DatasetType& type,
+Status FlushWalk(const VectorRecordView& view, const DatasetType& /*type*/,
                  Schema* schema, FlushMode mode, Buffer* out) {
   TC_RETURN_IF_ERROR(view.Validate());
   const bool infer = mode != FlushMode::kCompactOnly;

@@ -5,7 +5,7 @@
 // only the tag and field-name vectors, and lets compaction replace inline
 // field names with dictionary FieldNameIDs without touching the value vectors.
 //
-// Record layout (DESIGN.md §5.1):
+// Record layout:
 //   header (30 bytes):
 //     u32 total_length
 //     u32 tag_count

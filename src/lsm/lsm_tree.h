@@ -37,17 +37,17 @@ class FlushTransformer {
     return Status::OK();
   }
   /// Processes the anti-schema of a removed on-disk record version (§3.2.2).
-  virtual Status OnRemovedVersion(std::string_view old_payload) {
+  virtual Status OnRemovedVersion(std::string_view /*old_payload*/) {
     return Status::OK();
   }
   /// Produces the schema blob persisted in the component's metadata page;
   /// leave empty for datasets without inferred schemas.
-  virtual Status OnFlushEnd(Buffer* schema_blob) { return Status::OK(); }
+  virtual Status OnFlushEnd(Buffer* /*schema_blob*/) { return Status::OK(); }
   /// Called during startup after on-disk components are recovered and before
   /// the WAL is replayed: `blob` is the newest valid component's schema
   /// (paper §3.1.2 — recovery reloads the schema, then replays the log, and
   /// the replayed memtable flushes through the compactor normally).
-  virtual Status OnRecoveredSchema(const Buffer& blob) { return Status::OK(); }
+  virtual Status OnRecoveredSchema(const Buffer& /*blob*/) { return Status::OK(); }
 };
 
 struct LsmTreeOptions {

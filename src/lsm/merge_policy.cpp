@@ -6,7 +6,7 @@ namespace {
 class NoMergePolicy final : public MergePolicy {
  public:
   const char* name() const override { return "no-merge"; }
-  MergeDecision Decide(const std::vector<uint64_t>& sizes) const override {
+  MergeDecision Decide(const std::vector<uint64_t>& /*sizes*/) const override {
     return {};
   }
 };

@@ -109,7 +109,7 @@ class MemFileSystem final : public FileSystem {
     return names;
   }
 
-  Status CreateDir(const std::string& path) override { return Status::OK(); }
+  Status CreateDir(const std::string& /*path*/) override { return Status::OK(); }
 
   Result<uint64_t> FileSize(const std::string& path) const override {
     std::lock_guard<std::mutex> lock(mu_);

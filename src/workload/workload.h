@@ -3,8 +3,7 @@
 // Clarivate Web of Science dump, and the authors' synthetic sensor data) are
 // not redistributable; since the tuple compactor's scope is record *metadata*,
 // generators matched on record size, scalar counts, nesting depth, dominant
-// type, and union-type presence preserve every effect the paper measures
-// (DESIGN.md §3, substitution 2).
+// type, and union-type presence preserve every effect the paper measures.
 #ifndef TC_WORKLOAD_WORKLOAD_H_
 #define TC_WORKLOAD_WORKLOAD_H_
 

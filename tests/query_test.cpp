@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include "adm/parser.h"
 #include "query/paper_queries.h"
 #include "tests/test_util.h"
 #include "workload/workload.h"
@@ -10,8 +9,6 @@ namespace {
 
 using testutil::DatasetFixture;
 using testutil::SmallOptions;
-
-AdmValue R(const std::string& text) { return ParseAdm(text).ValueOrDie(); }
 
 struct QueryFixture {
   DatasetFixture fx;
