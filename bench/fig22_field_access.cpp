@@ -45,7 +45,7 @@ double CountWhere(Dataset* ds, const std::string& field, size_t threads) {
         ds, qo,
         [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
           return {std::make_unique<ScanOperator>(ctx.partition, ctx.accessor,
-                                                 ScanSpec{paths, false},
+                                                 ScanSpec{paths, false, nullptr},
                                                  ctx.counters)};
         },
         [&](int) -> RowSink {

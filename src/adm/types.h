@@ -6,6 +6,7 @@
 #define TC_ADM_TYPES_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace tc {
 
@@ -93,6 +94,78 @@ inline bool IsVariableLengthScalar(AdmTag t) {
 }
 
 const char* AdmTagName(AdmTag t);
+
+/// Comparison operators shared by the query layer's predicates and the
+/// packed-leaf comparator kernels of the vector format (§3.4.2-deep: filter
+/// evaluation below record assembly).
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// Tags whose payload is an exact integer (compared as int64 when both sides
+/// are in the family). Booleans are excluded: they only support kEq/kNe.
+inline bool IsIntFamily(AdmTag t) {
+  switch (t) {
+    case AdmTag::kTinyInt:
+    case AdmTag::kSmallInt:
+    case AdmTag::kInt:
+    case AdmTag::kBigInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+    case AdmTag::kDateTime:
+    case AdmTag::kDuration:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool IsFloatFamily(AdmTag t) {
+  return t == AdmTag::kFloat || t == AdmTag::kDouble;
+}
+
+inline bool IsNumericTag(AdmTag t) { return IsIntFamily(t) || IsFloatFamily(t); }
+
+// Comparison primitives shared by AdmScalarSatisfies and the packed-leaf
+// kernels — both paths MUST route through these so lowered predicates and
+// row-level filters agree bit-for-bit (NaN ordering included).
+template <typename T>
+inline bool CompareSatisfies(const T& a, CompareOp op, const T& b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+inline char AsciiFold(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+inline bool StringSatisfies(std::string_view a, CompareOp op, std::string_view b,
+                            bool fold_case) {
+  if (!fold_case) return CompareSatisfies(a, op, b);
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  int cmp = 0;
+  for (size_t i = 0; i < n && cmp == 0; ++i) {
+    unsigned char ca = static_cast<unsigned char>(AsciiFold(a[i]));
+    unsigned char cb = static_cast<unsigned char>(AsciiFold(b[i]));
+    cmp = ca < cb ? -1 : (ca > cb ? 1 : 0);
+  }
+  if (cmp == 0) cmp = a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+  return CompareSatisfies(cmp, op, 0);
+}
 
 }  // namespace tc
 

@@ -81,4 +81,49 @@ size_t AdmValue::Depth() const {
   return 1 + mx;
 }
 
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool AdmScalarSatisfies(const AdmValue& v, CompareOp op, const AdmValue& literal,
+                        bool fold_case) {
+  AdmTag vt = v.tag();
+  AdmTag lt = literal.tag();
+  if (vt == AdmTag::kMissing || vt == AdmTag::kNull || !v.is_scalar()) return false;
+  if (lt == AdmTag::kMissing || lt == AdmTag::kNull || !literal.is_scalar()) {
+    return false;
+  }
+  if (IsIntFamily(vt) && IsIntFamily(lt)) {
+    return CompareSatisfies(v.int_value(), op, literal.int_value());
+  }
+  if (IsNumericTag(vt) && IsNumericTag(lt)) {
+    double a = IsIntFamily(vt) ? static_cast<double>(v.int_value()) : v.double_value();
+    double b = IsIntFamily(lt) ? static_cast<double>(literal.int_value())
+                               : literal.double_value();
+    return CompareSatisfies(a, op, b);
+  }
+  if (vt != lt) return false;  // cross-family: incomparable
+  switch (vt) {
+    case AdmTag::kBoolean:
+      if (op != CompareOp::kEq && op != CompareOp::kNe) return false;
+      return CompareSatisfies(static_cast<int64_t>(v.bool_value()), op,
+                              static_cast<int64_t>(literal.bool_value()));
+    case AdmTag::kString:
+      return StringSatisfies(v.string_value(), op, literal.string_value(), fold_case);
+    case AdmTag::kBinary:
+    case AdmTag::kUuid:
+      return StringSatisfies(v.string_value(), op, literal.string_value(), false);
+    default:
+      return false;  // point has no ordering
+  }
+}
+
 }  // namespace tc

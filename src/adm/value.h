@@ -157,6 +157,18 @@ class AdmValue {
   std::vector<AdmValue> children_;        // object field values or collection items
 };
 
+/// Three-valued-logic-collapsed scalar comparison: true iff `v` is a scalar
+/// comparable with `literal` and `v op literal` holds. Missing, null, nested
+/// values, and cross-family comparisons (e.g. string vs bigint) are false for
+/// EVERY operator, including kNe — the SQL++ unknown-propagates-to-false WHERE
+/// semantics. Integer-family pairs compare as int64; mixed numeric pairs as
+/// double; string/binary/uuid lexicographically within their own family;
+/// booleans support kEq/kNe only. `fold_case` folds ASCII case on string
+/// comparisons. This is the semantic contract the packed-leaf kernels in
+/// format/vector_format.h must reproduce bit-for-bit.
+bool AdmScalarSatisfies(const AdmValue& v, CompareOp op, const AdmValue& literal,
+                        bool fold_case = false);
+
 }  // namespace tc
 
 #endif  // TC_ADM_VALUE_H_

@@ -307,6 +307,162 @@ Status VectorRecordWalker::Next(Item* item, bool* done) {
   return Status::OK();
 }
 
+size_t VectorRecordWalker::TryFixedRun(AdmTag* tag, const uint8_t** base) {
+  // Only legal inside a collection scope: object fields consume name slots,
+  // which a wholesale tag-run consume would leave behind.
+  if (stack_.empty() || stack_.back() == AdmTag::kObject) return 0;
+  if (tag_pos_ >= view_.tag_count()) return 0;
+  const uint8_t* d = view_.data();
+  uint8_t t0 = d[kVectorHeaderSize + tag_pos_];
+  if (t0 >= static_cast<uint8_t>(AdmTag::kNumTags)) return 0;
+  AdmTag t = static_cast<AdmTag>(t0);
+  int width = FixedWidthOf(t);
+  if (!IsFixedLengthScalar(t) || width < 0) return 0;
+  // Scalar tags open no scopes, so consecutive identical tags are by
+  // construction consecutive items of the current collection scope.
+  size_t count = 1;
+  while (tag_pos_ + count < view_.tag_count() &&
+         d[kVectorHeaderSize + tag_pos_ + count] == t0) {
+    ++count;
+  }
+  size_t start = view_.offset(0) + fixed_pos_;
+  size_t bytes = count * static_cast<size_t>(width);
+  if (start + bytes > view_.offset(1)) return 0;  // corrupt; let Next() report it
+  *tag = t;
+  *base = width > 0 ? d + start : nullptr;
+  tag_pos_ += count;
+  fixed_pos_ += bytes;
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Packed-leaf comparator kernels (§3.4.2-deep)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int64_t PackedIntOf(AdmTag tag, const uint8_t* p) {
+  switch (tag) {
+    case AdmTag::kTinyInt:
+      return static_cast<int8_t>(p[0]);
+    case AdmTag::kSmallInt:
+      return static_cast<int16_t>(GetFixed16(p));
+    case AdmTag::kInt:
+    case AdmTag::kDate:
+    case AdmTag::kTime:
+      return static_cast<int32_t>(GetFixed32(p));
+    default:  // bigint/datetime/duration
+      return static_cast<int64_t>(GetFixed64(p));
+  }
+}
+
+double PackedDoubleOf(AdmTag tag, const uint8_t* p) {
+  if (tag == AdmTag::kFloat) return GetFloat(p);
+  if (tag == AdmTag::kDouble) return GetDouble(p);
+  return static_cast<double>(PackedIntOf(tag, p));
+}
+
+/// Op dispatch happens ONCE, outside the loop; the per-element loop is a
+/// branch-free accumulate over contiguous packed values, which the compiler
+/// can vectorize.
+template <typename LitT, typename LoadFn>
+bool AnyRunSatisfies(const uint8_t* base, size_t count, size_t width,
+                     CompareOp op, LitT lit, LoadFn load) {
+  auto any = [&](auto pred) {
+    bool hit = false;
+    for (size_t i = 0; i < count; ++i) hit |= pred(load(base + i * width));
+    return hit;
+  };
+  switch (op) {
+    case CompareOp::kEq: return any([&](LitT v) { return v == lit; });
+    case CompareOp::kNe: return any([&](LitT v) { return v != lit; });
+    case CompareOp::kLt: return any([&](LitT v) { return v < lit; });
+    case CompareOp::kLe: return any([&](LitT v) { return v <= lit; });
+    case CompareOp::kGt: return any([&](LitT v) { return v > lit; });
+    case CompareOp::kGe: return any([&](LitT v) { return v >= lit; });
+  }
+  return false;
+}
+
+bool LiteralComparable(const AdmValue& literal) {
+  AdmTag lt = literal.tag();
+  return lt != AdmTag::kMissing && lt != AdmTag::kNull && literal.is_scalar();
+}
+
+}  // namespace
+
+bool PackedLeafSatisfies(const VectorRecordWalker::Item& item, CompareOp op,
+                         const AdmValue& literal, bool fold_case) {
+  AdmTag vt = item.tag;
+  if (vt == AdmTag::kMissing || vt == AdmTag::kNull || !IsScalar(vt)) return false;
+  if (!LiteralComparable(literal)) return false;
+  AdmTag lt = literal.tag();
+  if (IsIntFamily(vt) && IsIntFamily(lt)) {
+    return CompareSatisfies(PackedIntOf(vt, item.fixed), op, literal.int_value());
+  }
+  if (IsNumericTag(vt) && IsNumericTag(lt)) {
+    double b = IsIntFamily(lt) ? static_cast<double>(literal.int_value())
+                               : literal.double_value();
+    return CompareSatisfies(PackedDoubleOf(vt, item.fixed), op, b);
+  }
+  if (vt != lt) return false;  // cross-family: incomparable
+  switch (vt) {
+    case AdmTag::kBoolean:
+      if (op != CompareOp::kEq && op != CompareOp::kNe) return false;
+      return CompareSatisfies(static_cast<int64_t>(item.fixed[0] != 0), op,
+                              static_cast<int64_t>(literal.bool_value()));
+    case AdmTag::kString:
+      return StringSatisfies(item.var, op, literal.string_value(), fold_case);
+    case AdmTag::kBinary:
+      return StringSatisfies(item.var, op, literal.string_value(), false);
+    case AdmTag::kUuid:
+      return StringSatisfies(
+          std::string_view(reinterpret_cast<const char*>(item.fixed), 16), op,
+          literal.string_value(), false);
+    default:
+      return false;  // point has no ordering
+  }
+}
+
+bool AnyPackedFixedSatisfies(AdmTag tag, const uint8_t* base, size_t count,
+                             CompareOp op, const AdmValue& literal) {
+  if (count == 0 || !LiteralComparable(literal)) return false;
+  int width = FixedWidthOf(tag);
+  if (width <= 0) return false;  // null/missing runs never satisfy
+  AdmTag lt = literal.tag();
+  size_t w = static_cast<size_t>(width);
+  if (IsIntFamily(tag) && IsIntFamily(lt)) {
+    return AnyRunSatisfies(base, count, w, op, literal.int_value(),
+                           [tag](const uint8_t* p) { return PackedIntOf(tag, p); });
+  }
+  if (IsNumericTag(tag) && IsNumericTag(lt)) {
+    double b = IsIntFamily(lt) ? static_cast<double>(literal.int_value())
+                               : literal.double_value();
+    return AnyRunSatisfies(base, count, w, op, b, [tag](const uint8_t* p) {
+      return PackedDoubleOf(tag, p);
+    });
+  }
+  if (tag != lt) return false;
+  if (tag == AdmTag::kBoolean) {
+    if (op != CompareOp::kEq && op != CompareOp::kNe) return false;
+    return AnyRunSatisfies(base, count, w, op,
+                           static_cast<int64_t>(literal.bool_value()),
+                           [](const uint8_t* p) {
+                             return static_cast<int64_t>(p[0] != 0);
+                           });
+  }
+  if (tag == AdmTag::kUuid) {
+    for (size_t i = 0; i < count; ++i) {
+      if (StringSatisfies(
+              std::string_view(reinterpret_cast<const char*>(base + i * w), 16),
+              op, literal.string_value(), false)) {
+        return true;
+      }
+    }
+  }
+  return false;  // point has no ordering; var-length tags are never fixed runs
+}
+
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------

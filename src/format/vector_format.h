@@ -93,6 +93,16 @@ class VectorRecordWalker {
   /// (kEov itself is not emitted as an item).
   Status Next(Item* item, bool* done);
 
+  /// Position-selective fast path for predicate evaluation (§3.4.2-deep): when
+  /// the cursor stands inside a collection scope at the start of one or more
+  /// consecutive items with the same fixed-width scalar tag, consumes the whole
+  /// run and returns its contiguous packed payload in `*base` (null for
+  /// zero-width tags) with the tag in `*tag`. Returns the run length, or 0
+  /// (cursor unmoved) when the next item is not such a run start. Collection
+  /// items carry no name slots, so consuming them wholesale keeps every other
+  /// cursor consistent.
+  size_t TryFixedRun(AdmTag* tag, const uint8_t** base);
+
   int depth() const { return static_cast<int>(stack_.size()); }
 
  private:
@@ -115,6 +125,26 @@ Status DecodeVectorRecord(const VectorRecordView& view, const DatasetType& type,
 /// Decodes one scalar walker item into a value (shared with the query layer's
 /// field-access walker).
 AdmValue DecodeVectorScalarItem(const VectorRecordWalker::Item& item);
+
+// ---------------------------------------------------------------------------
+// Packed-leaf comparator kernels (§3.4.2-deep): predicate evaluation directly
+// on the packed value vectors, before any record/Row assembly. Both kernels
+// are exactly equivalent to AdmScalarSatisfies over the decoded item — the
+// scan-predicate tests assert this per tag and operator.
+// ---------------------------------------------------------------------------
+
+/// Evaluates `value op literal` on one packed scalar leaf without
+/// materializing an AdmValue.
+bool PackedLeafSatisfies(const VectorRecordWalker::Item& item, CompareOp op,
+                         const AdmValue& literal, bool fold_case = false);
+
+/// Vectorized kernel over a contiguous run of `count` packed fixed-width
+/// scalars of type `tag` (as returned by VectorRecordWalker::TryFixedRun):
+/// returns whether ANY element satisfies `op` against `literal` — the
+/// existential [*] predicate over an array of scalars, evaluated as one tight
+/// typed loop over the packed bytes.
+bool AnyPackedFixedSatisfies(AdmTag tag, const uint8_t* base, size_t count,
+                             CompareOp op, const AdmValue& literal);
 
 /// Resolves the field name of a walker item given the enclosing object's
 /// declared descriptor (nullable) and the schema dictionary (nullable for

@@ -515,7 +515,14 @@ Status LsmTree::Iterator::FindNext(bool include_current) {
         }
       }
     }
-    if (!anti) {
+    // The payload filter sees the surviving version only, while its bytes are
+    // still pinned — rejected entries skip the copy below entirely.
+    bool skip = anti;
+    if (!skip && filter_ != nullptr) {
+      TC_ASSIGN_OR_RETURN(bool keep, filter_(payload));
+      skip = !keep;
+    }
+    if (!skip) {
       key_ = min_key;
       if (from_mem) {
         payload_ = payload;
@@ -529,7 +536,7 @@ Status LsmTree::Iterator::FindNext(bool include_current) {
       valid_ = true;
       return Status::OK();
     }
-    // Annihilated key: advance all sources past it and continue.
+    // Annihilated or filtered key: advance all sources past it and continue.
     if (mem_it_ != tree_->mem_.end() && mem_it_->first == min_key) ++mem_it_;
     for (auto& cur : cursors_) {
       if (cur->Valid() && cur->key() == min_key) TC_RETURN_IF_ERROR(cur->Next());

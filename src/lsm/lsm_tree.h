@@ -120,6 +120,19 @@ class LsmTree {
   class Iterator {
    public:
     explicit Iterator(LsmTree* tree);
+
+    /// Pre-assembly payload predicate (§3.4.2-deep). Must be installed before
+    /// positioning; entries whose payload fails it are skipped by the cursor
+    /// itself. The predicate runs on the SURVIVING version of each key, after
+    /// anti-matter annihilation across components — evaluating it inside the
+    /// per-component cursors would be unsound, since a non-matching newer
+    /// version must still shadow an older matching one. Rejected entries skip
+    /// the pinned-page payload copy and never surface to the operator tree.
+    /// The callback is format-aware (the LSM tree itself stays format-
+    /// agnostic) and may count scanned/filtered rows.
+    using PayloadFilter = std::function<Result<bool>(std::string_view)>;
+    void set_payload_filter(PayloadFilter filter) { filter_ = std::move(filter); }
+
     Status SeekToFirst();
     Status Seek(const BtreeKey& key);
     bool Valid() const { return valid_; }
@@ -134,6 +147,7 @@ class LsmTree {
     MemTable::ConstIterator mem_it_;
     std::vector<std::shared_ptr<BtreeComponent>> comps_;
     std::vector<std::unique_ptr<BtreeComponent::Iterator>> cursors_;
+    PayloadFilter filter_;
     bool valid_ = false;
     BtreeKey key_;
     std::string_view payload_;

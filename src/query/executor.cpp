@@ -86,6 +86,7 @@ Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
   for (const auto& c : counters) {
     stats.rows_scanned += c.rows;
     stats.bytes_scanned += c.bytes;
+    stats.rows_filtered_pre_assembly += c.filtered_pre_assembly;
   }
   stats.schema_broadcast_bytes = registry.broadcast_bytes();
   return stats;

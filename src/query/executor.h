@@ -17,6 +17,11 @@ namespace tc {
 struct QueryOptions {
   /// The §3.4.2 consolidation + pushdown optimization; Figure 23 disables it.
   bool consolidate_field_access = true;
+  /// Deep pushdown: lower eligible filter predicates below record assembly
+  /// into the scan (ScanSpec::predicate), so non-matching positions are
+  /// rejected on the packed value vectors and never assembled. Closes the
+  /// Figure 23 Q4 anomaly; fig23's "no-deep" mode disables it.
+  bool pushdown_scan_predicates = true;
   /// Declares that the plan repartitions records (group-by/order across
   /// partitions): triggers the schema broadcast of §3.4.1.
   bool has_nonlocal_exchange = false;
@@ -26,8 +31,13 @@ struct QueryOptions {
 
 struct QueryStats {
   double wall_seconds = 0;
+  /// Rows/bytes the scans READ — including rows a lowered scan predicate
+  /// rejected before assembly (those additionally count in
+  /// rows_filtered_pre_assembly; they are scanned-but-filtered, not dropped
+  /// from accounting).
   uint64_t rows_scanned = 0;
   uint64_t bytes_scanned = 0;
+  uint64_t rows_filtered_pre_assembly = 0;
   size_t schema_broadcast_bytes = 0;
 };
 

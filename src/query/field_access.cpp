@@ -97,6 +97,9 @@ AdmValue NavigateAdmValue(const AdmValue& v, const std::vector<PathStep>& steps,
 
 // ---------------------------------------------------------------------------
 // Vector-based multi-path extraction: one linear walk serving all paths.
+// MatchVectorRecord (scan_predicate.cpp) mirrors this walk skeleton with
+// in-place compares instead of materialization; keep structural changes in
+// sync (the scan-predicate equivalence tests pin the two together).
 // ---------------------------------------------------------------------------
 
 namespace {

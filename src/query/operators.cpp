@@ -3,11 +3,36 @@
 #include <algorithm>
 
 #include "adm/printer.h"
+#include "query/scan_predicate.h"
 
 namespace tc {
 
 Status ScanOperator::Open() {
   it_ = std::make_unique<LsmTree::Iterator>(partition_->primary());
+  counts_in_filter_ = false;
+  if (spec_.predicate != nullptr) {
+    if (!accessor_->SupportsScanPredicate()) {
+      return Status::NotSupported("scan predicate on this storage format");
+    }
+    // Lower the predicate into the merged LSM cursor: non-matching positions
+    // are rejected on the packed payload bytes and never assembled. They are
+    // still rows the scan read, so the filter callback owns the counters.
+    pred_paths_ = spec_.predicate->Paths();
+    const RecordAccessor* accessor = accessor_;
+    std::shared_ptr<const ScanPredicate> pred = spec_.predicate;
+    const std::vector<FieldPath>* paths = &pred_paths_;
+    ScanCounters* counters = counters_;
+    it_->set_payload_filter(
+        [accessor, pred, paths, counters](std::string_view payload) -> Result<bool> {
+          ++counters->rows;
+          counters->bytes += payload.size();
+          TC_ASSIGN_OR_RETURN(bool match,
+                              accessor->Matches(payload, *pred, *paths));
+          if (!match) ++counters->filtered_pre_assembly;
+          return match;
+        });
+    counts_in_filter_ = true;
+  }
   first_ = true;
   return Status::OK();
 }
@@ -21,8 +46,10 @@ Result<bool> ScanOperator::Next(Row* row) {
   }
   if (!it_->Valid()) return false;
   std::string_view payload = it_->payload();
-  ++counters_->rows;
-  counters_->bytes += payload.size();
+  if (!counts_in_filter_) {
+    ++counters_->rows;
+    counters_->bytes += payload.size();
+  }
 
   row->partition = partition_->partition_id();
   row->cols.clear();
@@ -37,6 +64,17 @@ Result<bool> ScanOperator::Next(Row* row) {
   return true;
 }
 
+Status LookupOperator::Open() {
+  pos_ = 0;
+  if (spec_.predicate != nullptr) {
+    if (!accessor_->SupportsScanPredicate()) {
+      return Status::NotSupported("scan predicate on this storage format");
+    }
+    pred_paths_ = spec_.predicate->Paths();
+  }
+  return Status::OK();
+}
+
 Result<bool> LookupOperator::Next(Row* row) {
   while (pos_ < pks_.size()) {
     int64_t pk = pks_[pos_++];
@@ -46,6 +84,14 @@ Result<bool> LookupOperator::Next(Row* row) {
                           payload->size());
     ++counters_->rows;
     counters_->bytes += view.size();
+    if (spec_.predicate != nullptr) {
+      TC_ASSIGN_OR_RETURN(
+          bool match, accessor_->Matches(view, *spec_.predicate, pred_paths_));
+      if (!match) {
+        ++counters_->filtered_pre_assembly;
+        continue;
+      }
+    }
     row->partition = partition_->partition_id();
     row->cols.clear();
     if (!spec_.paths.empty()) {

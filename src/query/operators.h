@@ -32,14 +32,22 @@ class Operator {
   virtual Result<bool> Next(Row* row) = 0;
 };
 
+struct ScanPredicate;  // query/scan_predicate.h
+
 struct ScanSpec {
   std::vector<FieldPath> paths;  // columns to extract (may be empty)
   bool attach_record = false;    // carry raw bytes (SELECT *)
+  /// Pre-assembly predicate slot (§3.4.2-deep): when set, the scan evaluates
+  /// the conjunction on each record's packed vectors and skips column
+  /// extraction / record attachment for non-matching positions. Skipped rows
+  /// still count as scanned (they were read) plus filtered_pre_assembly.
+  std::shared_ptr<const ScanPredicate> predicate;
 };
 
 struct ScanCounters {
-  uint64_t rows = 0;
-  uint64_t bytes = 0;
+  uint64_t rows = 0;   // rows read, INCLUDING pre-assembly-filtered ones
+  uint64_t bytes = 0;  // payload bytes read, including filtered rows
+  uint64_t filtered_pre_assembly = 0;  // rows rejected before assembly
 };
 
 /// Full scan of one partition's primary LSM index.
@@ -60,6 +68,10 @@ class ScanOperator final : public Operator {
   ScanCounters* counters_;
   std::unique_ptr<LsmTree::Iterator> it_;
   bool first_ = true;
+  // When the predicate is lowered into the LSM cursor, the cursor's filter
+  // callback owns row/byte counting (it sees filtered rows too).
+  bool counts_in_filter_ = false;
+  std::vector<FieldPath> pred_paths_;  // pred->Paths(), precomputed at Open
 };
 
 /// Point-lookup source: emits the records of the given primary keys (the
@@ -71,10 +83,7 @@ class LookupOperator final : public Operator {
       : partition_(partition), accessor_(accessor), pks_(std::move(pks)),
         spec_(std::move(spec)), counters_(counters) {}
 
-  Status Open() override {
-    pos_ = 0;
-    return Status::OK();
-  }
+  Status Open() override;
   Result<bool> Next(Row* row) override;
 
  private:
@@ -84,6 +93,7 @@ class LookupOperator final : public Operator {
   ScanSpec spec_;
   ScanCounters* counters_;
   size_t pos_ = 0;
+  std::vector<FieldPath> pred_paths_;  // pred->Paths(), precomputed at Open
 };
 
 class FilterOperator final : public Operator {

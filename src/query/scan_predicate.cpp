@@ -1,0 +1,263 @@
+#include "query/scan_predicate.h"
+
+namespace tc {
+
+std::vector<FieldPath> ScanPredicate::Paths() const {
+  std::vector<FieldPath> paths;
+  paths.reserve(terms.size());
+  for (const auto& t : terms) paths.push_back(t.path);
+  return paths;
+}
+
+bool EvalPredicateTerm(const AdmValue& extracted, const PredicateTerm& term) {
+  if (term.path.HasWildcard()) {
+    // Wildcard extraction yields a (possibly empty) array; the term holds iff
+    // SOME matched item satisfies the comparison. Nested items never do.
+    if (!extracted.is_collection()) return false;
+    for (size_t i = 0; i < extracted.size(); ++i) {
+      if (AdmScalarSatisfies(extracted.item(i), term.op, term.literal,
+                             term.fold_case)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return AdmScalarSatisfies(extracted, term.op, term.literal, term.fold_case);
+}
+
+bool EvalPredicateRow(const std::vector<AdmValue>& cols, const ScanPredicate& pred,
+                      size_t first_col) {
+  TC_CHECK(first_col + pred.terms.size() <= cols.size());
+  for (size_t i = 0; i < pred.terms.size(); ++i) {
+    if (!EvalPredicateTerm(cols[first_col + i], pred.terms[i])) return false;
+  }
+  return true;
+}
+
+FilterOperator::Predicate MakeRowPredicate(
+    std::shared_ptr<const ScanPredicate> pred, size_t first_col) {
+  return [pred, first_col](const Row& row) {
+    return EvalPredicateRow(row.cols, *pred, first_col);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Lowered evaluation over the packed vectors.
+//
+// The walk skeleton (scope stack, active-path matching, declared-type
+// propagation) deliberately mirrors GetValuesVector in field_access.cpp; the
+// terminal behavior differs enough — in-place compares with conjunction
+// short-circuits and term states here, subtree materialization with builder
+// fan-out there — that parameterizing one walker over both would bury the
+// §4.4.4 hot loop under callbacks. A structural change to either walk MUST be
+// mirrored in the other; LoweredPredicateEquivalence.RandomizedAcrossModesAndChurn
+// pins the two together.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Active {
+  size_t term;  // index into pred.terms
+  size_t step;  // the step this scope's children are matched against
+};
+
+struct MatchScope {
+  bool is_object = false;
+  size_t item_index = 0;                 // running index for collection scopes
+  const TypeDescriptor* decl = nullptr;  // object: own type; collection: item type
+  std::vector<Active> actives;
+};
+
+/// The vectorized-run fast path applies when every active in a collection
+/// scope is an undecidable-per-item-free terminal [*] compare: consuming a
+/// whole scalar run at once then needs no per-item bookkeeping.
+bool AllTerminalWildcards(const MatchScope& scope,
+                          const std::vector<PredicateTerm>& terms) {
+  for (const Active& a : scope.actives) {
+    const auto& steps = terms[a.term].path.steps;
+    if (a.step + 1 != steps.size()) return false;
+    if (steps[a.step].kind != PathStep::kWildcard) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& type,
+                               const Schema* schema, const ScanPredicate& pred) {
+  TC_RETURN_IF_ERROR(view.Validate());
+  const std::vector<PredicateTerm>& terms = pred.terms;
+  if (terms.empty()) return true;
+
+  // Term states: false = undecided, true = satisfied. A term decided
+  // unsatisfiable short-circuits the whole conjunction instead.
+  std::vector<uint8_t> satisfied(terms.size(), 0);
+  size_t undecided = terms.size();
+  for (const auto& t : terms) {
+    // The empty path denotes the root object, which is never a scalar.
+    if (t.path.steps.empty()) return false;
+  }
+
+  VectorRecordWalker walker(view);
+  VectorRecordWalker::Item it;
+  bool done = false;
+  TC_RETURN_IF_ERROR(walker.Next(&it, &done));
+  if (done || it.tag != AdmTag::kObject) {
+    return Status::Corruption("vb: record root is not an object");
+  }
+
+  std::vector<MatchScope> scopes;
+  scopes.push_back({});
+  {
+    MatchScope& root = scopes.back();
+    root.is_object = true;
+    root.decl = type.root.get();
+    for (size_t t = 0; t < terms.size(); ++t) root.actives.push_back({t, 0});
+  }
+  std::string name;
+  while (true) {
+    {
+      MatchScope& scope = scopes.back();
+      if (!scope.is_object && !scope.actives.empty() &&
+          AllTerminalWildcards(scope, terms)) {
+        AdmTag run_tag;
+        const uint8_t* run_base = nullptr;
+        size_t run = walker.TryFixedRun(&run_tag, &run_base);
+        if (run > 0) {
+          for (const Active& a : scope.actives) {
+            if (satisfied[a.term]) continue;
+            if (AnyPackedFixedSatisfies(run_tag, run_base, run, terms[a.term].op,
+                                        terms[a.term].literal)) {
+              satisfied[a.term] = 1;
+              if (--undecided == 0) return true;
+            }
+          }
+          scope.item_index += run;
+          continue;
+        }
+      }
+    }
+    TC_RETURN_IF_ERROR(walker.Next(&it, &done));
+    if (done) break;
+    if (it.tag == AdmTag::kEndNest) {
+      scopes.pop_back();
+      if (scopes.empty()) return Status::Corruption("vb: scope underflow");
+      if (!scopes.back().is_object) ++scopes.back().item_index;
+      continue;
+    }
+    MatchScope& scope = scopes.back();
+    name.clear();
+    if (scope.is_object && !scope.actives.empty()) {
+      TC_RETURN_IF_ERROR(ResolveVectorFieldName(it, scope.decl, schema, &name));
+    }
+
+    std::vector<Active> child_actives;
+    for (const Active& a : scope.actives) {
+      const PathStep& st = terms[a.term].path.steps[a.step];
+      bool match = false;
+      if (scope.is_object) {
+        match = st.kind == PathStep::kField && st.name == name;
+      } else if (st.kind == PathStep::kWildcard) {
+        match = true;
+      } else if (st.kind == PathStep::kIndex) {
+        match = st.index == scope.item_index;
+      }
+      if (!match) continue;
+      if (a.step + 1 < terms[a.term].path.steps.size()) {
+        child_actives.push_back({a.term, a.step + 1});
+        continue;
+      }
+      // Terminal: compare this leaf in place.
+      const PredicateTerm& term = terms[a.term];
+      if (term.path.HasWildcard()) {
+        // Existential: a miss on one item is not a decision.
+        if (!satisfied[a.term] && !IsNested(it.tag) &&
+            PackedLeafSatisfies(it, term.op, term.literal, term.fold_case)) {
+          satisfied[a.term] = 1;
+          if (--undecided == 0) return true;
+        }
+      } else {
+        // Exact paths resolve at most once: a failed compare (or a nested
+        // value at the path) decides the conjunction. Records violating the
+        // unique-field-name contract take first-occurrence-wins here; don't
+        // let a duplicate re-decrement undecided or flip the verdict.
+        if (satisfied[a.term]) continue;
+        if (IsNested(it.tag) ||
+            !PackedLeafSatisfies(it, term.op, term.literal, term.fold_case)) {
+          return false;
+        }
+        satisfied[a.term] = 1;
+        if (--undecided == 0) return true;
+      }
+    }
+
+    // Declared type of this item (for descendant name resolution).
+    const TypeDescriptor* item_decl = nullptr;
+    if (scope.is_object) {
+      if (it.declared && scope.decl != nullptr &&
+          it.declared_index < scope.decl->field_count()) {
+        item_decl = scope.decl->field_type(it.declared_index).get();
+      }
+    } else {
+      item_decl = scope.decl;
+    }
+
+    if (IsNested(it.tag)) {
+      MatchScope child;
+      child.is_object = it.tag == AdmTag::kObject;
+      child.decl = child.is_object
+                       ? item_decl
+                       : (item_decl != nullptr ? item_decl->item_type().get()
+                                               : nullptr);
+      child.actives = std::move(child_actives);
+      scopes.push_back(std::move(child));
+    } else if (!scope.is_object) {
+      ++scope.item_index;
+    }
+  }
+  return undecided == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Mode dispatch: the pre-assembly fast path for vector-based records, the
+// extract-then-evaluate fallback elsewhere. Fallback semantics are identical
+// by construction: both end in EvalPredicateTerm-compatible comparisons.
+// ---------------------------------------------------------------------------
+
+Result<bool> RecordAccessor::Matches(std::string_view payload,
+                                     const ScanPredicate& pred,
+                                     const std::vector<FieldPath>& pred_paths) const {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  switch (mode_) {
+    case SchemaMode::kOpen:
+    case SchemaMode::kClosed: {
+      // ADM records navigate offset tables: extracting just the predicate
+      // paths is already cheap, so the "lowered" form is extract-and-test.
+      std::vector<AdmValue> cols;
+      TC_RETURN_IF_ERROR(
+          GetValuesAdm(data, payload.size(), *type_, pred_paths, &cols));
+      return EvalPredicateRow(cols, pred, 0);
+    }
+    case SchemaMode::kInferred:
+    case SchemaMode::kSchemalessVB: {
+      VectorRecordView view(data, payload.size());
+      if (consolidate_) return MatchVectorRecord(view, *type_, &schema_, pred);
+      // Consolidation ablation: one full walk per term, mirroring
+      // GetValuesVectorUnconsolidated.
+      std::vector<AdmValue> cols;
+      TC_RETURN_IF_ERROR(GetValuesVectorUnconsolidated(view, *type_, &schema_,
+                                                       pred_paths, &cols));
+      return EvalPredicateRow(cols, pred, 0);
+    }
+    case SchemaMode::kBson:
+      return Status::NotSupported("scan predicates over BSON records");
+  }
+  return Status::Internal("bad mode");
+}
+
+Result<bool> RecordAccessor::Matches(std::string_view payload,
+                                     const ScanPredicate& pred) const {
+  return Matches(payload, pred, pred.Paths());
+}
+
+}  // namespace tc

@@ -1,0 +1,91 @@
+// Scan predicates — the "deep pushdown" extension of §3.4.2. The paper's
+// consolidation + pushdown rewrite stops at field access: the scan extracts
+// every requested path of every record, and filters run on assembled rows.
+// Figure 23 shows the cost: on the highly selective Sensors Q4 the
+// un-optimized filter-first plan beats the optimized one, because the
+// optimized scan assembles 248 scalars per record only to throw ~99.9% of the
+// rows away. The follow-on work (Columnar Formats for Schemaless LSM-based
+// Document Stores, §5) closes the gap by evaluating predicates on the packed
+// value vectors and assembling only surviving tuples; this module is that
+// layer for the vector-based record format.
+//
+// A ScanPredicate is a conjunction of comparison terms over scalar-leaf
+// paths. FilterOperator-style predicates that fit this shape can be LOWERED
+// into the scan (ScanSpec::predicate): the LSM merged cursor evaluates the
+// terms against each surviving record's packed vectors — walking tags, not
+// building AdmValues — and positions that fail never reach record/Row
+// assembly. Paths with [*] steps are existential ("some item satisfies").
+// When lowering is impossible (BSON payloads, predicates beyond this shape),
+// the same terms run as an ordinary row-level FilterOperator via
+// MakeRowPredicate; both paths share one semantic definition
+// (EvalPredicateTerm over AdmScalarSatisfies), and the scan-predicate tests
+// assert they return byte-identical result sets.
+#ifndef TC_QUERY_SCAN_PREDICATE_H_
+#define TC_QUERY_SCAN_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "query/field_access.h"
+#include "query/operators.h"
+
+namespace tc {
+
+/// One comparison: `value-at-path op literal`. Missing, null, nested, and
+/// cross-family values never satisfy (see AdmScalarSatisfies). A path with a
+/// [*] step makes the term existential over the matched items.
+struct PredicateTerm {
+  FieldPath path;
+  CompareOp op = CompareOp::kEq;
+  AdmValue literal;
+  bool fold_case = false;  // ASCII-case-insensitive string comparison
+};
+
+/// A conjunction of terms. An empty conjunction is trivially true.
+struct ScanPredicate {
+  std::vector<PredicateTerm> terms;
+
+  static PredicateTerm Term(const std::string& path, CompareOp op,
+                            AdmValue literal, bool fold_case = false) {
+    return PredicateTerm{FieldPath::Parse(path), op, std::move(literal), fold_case};
+  }
+  static std::shared_ptr<const ScanPredicate> And(std::vector<PredicateTerm> terms) {
+    auto p = std::make_shared<ScanPredicate>();
+    p->terms = std::move(terms);
+    return p;
+  }
+
+  /// The terms' paths, aligned with `terms` — what a fallback scan must
+  /// extract for row-level evaluation.
+  std::vector<FieldPath> Paths() const;
+};
+
+/// Row-level semantics of one term over its extracted column: existential
+/// any-item compare for wildcard paths, scalar compare otherwise. The single
+/// source of truth the lowered evaluator must reproduce.
+bool EvalPredicateTerm(const AdmValue& extracted, const PredicateTerm& term);
+
+/// Evaluates the conjunction over columns extracted for `pred.Paths()`,
+/// starting at `cols[first_col]`.
+bool EvalPredicateRow(const std::vector<AdmValue>& cols, const ScanPredicate& pred,
+                      size_t first_col = 0);
+
+/// Builds the row-level fallback FilterOperator predicate. The child scan's
+/// ScanSpec.paths must contain `pred->Paths()` at [first_col, ...).
+FilterOperator::Predicate MakeRowPredicate(
+    std::shared_ptr<const ScanPredicate> pred, size_t first_col);
+
+/// Lowered evaluation: one early-terminating walk over the record's packed
+/// vectors, comparing leaves in place via the comparator kernels of
+/// vector_format.h (contiguous scalar runs inside collections go through the
+/// vectorized AnyPackedFixedSatisfies kernel). No AdmValue is materialized.
+/// Returns as soon as the conjunction is decided — for a predicate on an
+/// early top-level field, non-matching records cost a handful of tag reads.
+Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& type,
+                               const Schema* schema, const ScanPredicate& pred);
+
+}  // namespace tc
+
+#endif  // TC_QUERY_SCAN_PREDICATE_H_

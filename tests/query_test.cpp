@@ -87,11 +87,14 @@ TEST_P(QueryEquivalence, AllConfigurationsAgree) {
     SchemaMode mode;
     bool compression;
     bool consolidate;
+    bool deep = true;  // §3.4.2-deep scan-predicate pushdown
   };
   std::vector<Config> configs = {
       {SchemaMode::kOpen, false, true},   {SchemaMode::kClosed, false, true},
       {SchemaMode::kInferred, false, true}, {SchemaMode::kInferred, false, false},
       {SchemaMode::kInferred, true, true},  {SchemaMode::kSchemalessVB, false, true},
+      {SchemaMode::kInferred, false, true, /*deep=*/false},
+      {SchemaMode::kInferred, false, false, /*deep=*/false},
   };
   for (const Config& cfg : configs) {
     DatasetFixture fx;
@@ -107,6 +110,7 @@ TEST_P(QueryEquivalence, AllConfigurationsAgree) {
     ASSERT_TRUE(fx.dataset->FlushAll().ok());
     QueryOptions qo;
     qo.consolidate_field_access = cfg.consolidate;
+    qo.pushdown_scan_predicates = cfg.deep;
     auto res = RunPaperQuery(workload, qnum, fx.dataset.get(), qo);
     ASSERT_TRUE(res.ok()) << res.status().ToString() << " mode "
                           << SchemaModeName(cfg.mode);
@@ -117,7 +121,8 @@ TEST_P(QueryEquivalence, AllConfigurationsAgree) {
     } else {
       EXPECT_EQ(got, reference)
           << workload << " Q" << qnum << " mode=" << SchemaModeName(cfg.mode)
-          << " comp=" << cfg.compression << " consolidate=" << cfg.consolidate;
+          << " comp=" << cfg.compression << " consolidate=" << cfg.consolidate
+          << " deep=" << cfg.deep;
     }
   }
 }
