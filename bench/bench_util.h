@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -35,8 +36,14 @@ struct BenchConfig {
   size_t page_size = 32 * 1024;
   size_t cache_pages = 192;  // ~6 MB: deliberately smaller than the data
   size_t memtable_mb = 2;
+  size_t memtable_bytes = 0;  // overrides memtable_mb when nonzero
   uint64_t max_mergeable_mb = 24;
   size_t tolerance = 5;
+  /// Merge-policy name for this run ("prefix", "tiered", "lazy-leveled",
+  /// "none", "constant"); empty defers to TC_MERGE_POLICY / the prefix
+  /// default. An explicit name wins over the environment so the fig17/fig24
+  /// policy-axis sections stay comparable under any TC_MERGE_POLICY.
+  std::string merge_policy;
   bool primary_key_index = false;
   std::string secondary_index_field;
   bool use_wal = true;
@@ -77,9 +84,15 @@ inline std::unique_ptr<BenchDataset> OpenBench(const BenchConfig& cfg) {
   o.mode = cfg.mode;
   o.compression = cfg.compression;
   o.page_size = cfg.page_size;
-  o.memtable_budget_bytes = cfg.memtable_mb << 20;
-  o.max_mergeable_component_bytes = cfg.max_mergeable_mb << 20;
-  o.max_tolerance_component_count = cfg.tolerance;
+  o.memtable_budget_bytes =
+      cfg.memtable_bytes != 0 ? cfg.memtable_bytes : cfg.memtable_mb << 20;
+  MergePolicyConfig merge_defaults;
+  merge_defaults.max_mergeable_bytes = cfg.max_mergeable_mb << 20;
+  merge_defaults.max_tolerance_count = cfg.tolerance;
+  o.merge = MergePolicyConfig::FromEnv(merge_defaults);
+  if (!cfg.merge_policy.empty()) {
+    TC_CHECK(ParseMergePolicyKind(cfg.merge_policy, &o.merge.kind));
+  }
   o.use_wal = cfg.use_wal;
   o.wal_sync_every = cfg.wal_sync_every;
   o.primary_key_index = cfg.primary_key_index;
@@ -176,6 +189,32 @@ inline IngestResult IngestBulkLoad(BenchDataset* bd, int64_t target_mb) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return r;
+}
+
+/// Shared configuration of the fig17(d) and fig24 merge-policy axes: the two
+/// benches must measure the same schedules over the same data to stay
+/// cross-referencable (fig17's TC_FIG17_ASSERT checks what fig24 displays).
+inline BenchConfig PolicyAxisConfig(const char* policy) {
+  BenchConfig cfg;
+  cfg.workload = "twitter";
+  cfg.mode = SchemaMode::kInferred;
+  cfg.device = DeviceProfile::NvmeSsd();
+  cfg.partitions = 2;
+  // A small memtable yields enough flushes per partition that the merge
+  // schedules actually diverge at bench scale.
+  cfg.memtable_bytes = 128 * 1024;
+  cfg.merge_policy = policy;
+  return cfg;
+}
+
+/// Worst-partition live component count — the cost one point lookup pays.
+inline size_t MaxPrimaryComponentsPerPartition(Dataset* ds) {
+  size_t components = 0;
+  for (size_t p = 0; p < ds->partition_count(); ++p) {
+    components =
+        std::max(components, ds->partition(p)->primary()->component_count());
+  }
+  return components;
 }
 
 inline double MiB(uint64_t bytes) { return static_cast<double>(bytes) / (1 << 20); }

@@ -3,11 +3,27 @@
 //   (b) Twitter feed with 50% updates (anti-schema point lookups; primary-key
 //       index enabled, as the paper suggests per Luo et al.)
 //   (c) WoS bulk-load (sort + single bottom-up component)
+//   (d) merge-policy axis: the same insert-only feed under none / prefix /
+//       tiered / lazy-leveled schedules, reporting write amplification and
+//       the component-count high-water mark (the tiering-vs-leveling
+//       trade-off of Luo & Carey's LSM survey)
 //
 // Paper result shape: inferred ingests fastest (smaller flushed components,
 // cheaper record construction); with 50% updates inferred pays ~25% over its
 // insert-only time yet stays comparable to open; compression costs a little
-// CPU everywhere; bulk-load shows the same ordering.
+// CPU everywhere; bulk-load shows the same ordering. On the policy axis,
+// tiered trades components for write amplification: it rewrites each byte at
+// most once per tier level (lowest write-amp of the merging policies) but
+// keeps more components alive; prefix continually re-merges its accumulating
+// prefix (higher write-amp, fewer components); lazy-leveled sits between,
+// absorbing bursts in a tiered deck above one large leveled component.
+//
+// TC_FIG17_ASSERT=1 (the CI smoke mode) runs only section (d) and exits
+// non-zero unless tiered beats prefix on ingestion write amplification AND
+// prefix beats tiered on the point-lookup component count (the live
+// components a post-ingest lookup probes — the fig24 cost). The feed is
+// deterministic (fixed seed, no timing in either metric), so the comparisons
+// are exact, not tolerance-based.
 #include "bench/bench_util.h"
 
 using namespace tc;
@@ -46,19 +62,83 @@ void RunSection(const char* title, const std::string& workload, bool updates,
   std::printf("\n");
 }
 
+// Component metrics are per partition (worst partition), matching the cost a
+// single point lookup pays; partitions are symmetric here, so max == typical.
+struct PolicyResult {
+  double write_amp = 0;
+  uint64_t merges = 0;
+  size_t components = 0;         // final live count, worst partition
+  uint64_t comp_high_water = 0;  // whole-run high-water, worst partition
+};
+
+PolicyResult RunPolicy(const char* policy, int64_t mb) {
+  auto bd = OpenBench(PolicyAxisConfig(policy));
+  IngestResult in = IngestFeed(bd.get(), mb);
+  LsmStats s = bd->dataset->AggregateStats();
+  PolicyResult r;
+  r.write_amp = s.WriteAmplification();
+  r.merges = s.merge_count;
+  r.comp_high_water = s.component_count_high_water;
+  r.components = MaxPrimaryComponentsPerPartition(bd->dataset.get());
+  std::printf("%-13s %10.2f %10.2f %10.3f %8llu %12zu %10llu\n", policy,
+              in.seconds, MiB(in.raw_bytes) / in.seconds, r.write_amp,
+              static_cast<unsigned long long>(r.merges), r.components,
+              static_cast<unsigned long long>(r.comp_high_water));
+  return r;
+}
+
+int RunPolicyAxis(bool assert_mode) {
+  std::printf(
+      "-- (d) merge-policy axis: Twitter insert-only feed, inferred, NVMe --\n");
+  std::printf("%-13s %10s %10s %10s %8s %12s %10s\n", "policy", "time(s)",
+              "MiB/s", "write-amp", "merges", "comps/part", "HWM/part");
+  int64_t mb = BenchMegabytes();
+  (void)RunPolicy("none", mb);
+  PolicyResult prefix = RunPolicy("prefix", mb);
+  PolicyResult tiered = RunPolicy("tiered", mb);
+  (void)RunPolicy("lazy-leveled", mb);
+  std::printf("\n");
+  if (!assert_mode) return 0;
+  bool ok = true;
+  if (tiered.write_amp >= prefix.write_amp) {
+    std::fprintf(stderr,
+                 "FAIL: tiered write-amp %.3f not below prefix %.3f\n",
+                 tiered.write_amp, prefix.write_amp);
+    ok = false;
+  }
+  if (prefix.components >= tiered.components) {
+    std::fprintf(stderr,
+                 "FAIL: prefix per-partition component count %zu not below "
+                 "tiered %zu\n",
+                 prefix.components, tiered.components);
+    ok = false;
+  }
+  if (ok) {
+    std::printf(
+        "TC_FIG17_ASSERT ok: tiered write-amp %.3f < prefix %.3f; prefix "
+        "components/partition %zu < tiered %zu\n",
+        tiered.write_amp, prefix.write_amp, prefix.components,
+        tiered.components);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
   PrintBanner("Figure 17", "data ingestion time");
-  RunSection("(a) Twitter feed, insert-only, SATA SSD", "twitter", false, false,
-             DeviceProfile::SataSsd());
-  RunSection("(a) Twitter feed, insert-only, NVMe SSD", "twitter", false, false,
-             DeviceProfile::NvmeSsd());
-  RunSection("(b) Twitter feed, 50% updates, NVMe SSD (with PK index)", "twitter",
-             true, false, DeviceProfile::NvmeSsd());
-  RunSection("(c) WoS bulk-load, SATA SSD", "wos", false, true,
-             DeviceProfile::SataSsd());
-  RunSection("(c) WoS bulk-load, NVMe SSD", "wos", false, true,
-             DeviceProfile::NvmeSsd());
-  return 0;
+  bool assert_mode = EnvInt64("TC_FIG17_ASSERT", 0) != 0;
+  if (!assert_mode) {
+    RunSection("(a) Twitter feed, insert-only, SATA SSD", "twitter", false,
+               false, DeviceProfile::SataSsd());
+    RunSection("(a) Twitter feed, insert-only, NVMe SSD", "twitter", false,
+               false, DeviceProfile::NvmeSsd());
+    RunSection("(b) Twitter feed, 50% updates, NVMe SSD (with PK index)",
+               "twitter", true, false, DeviceProfile::NvmeSsd());
+    RunSection("(c) WoS bulk-load, SATA SSD", "wos", false, true,
+               DeviceProfile::SataSsd());
+    RunSection("(c) WoS bulk-load, NVMe SSD", "wos", false, true,
+               DeviceProfile::NvmeSsd());
+  }
+  return RunPolicyAxis(assert_mode);
 }

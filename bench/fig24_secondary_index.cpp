@@ -1,11 +1,15 @@
 // Figure 24: range queries through a secondary index on the (monotonically
 // increasing) tweet timestamp, across selectivities from 0.001% to 50%,
-// uncompressed and compressed.
+// uncompressed and compressed — plus a merge-policy axis: every match costs a
+// point lookup into the primary index, so the primary tree's live component
+// count (set by the merge schedule) is a first-order query cost.
 //
 // Paper result shape: execution times correlate with primary-index storage
 // size (every match costs a point lookup into the primary index): inferred <=
 // closed < open at every selectivity; low-selectivity queries are fast for
-// all configurations.
+// all configurations. On the policy axis, lookup-heavy queries order by
+// component count: prefix and lazy-leveled (few components) beat tiered
+// (tiers alive) and no-merge (every flush alive).
 #include "bench/bench_util.h"
 
 using namespace tc;
@@ -13,10 +17,31 @@ using namespace tc::bench;
 
 namespace {
 
-struct TsRange {
-  int64_t lo = INT64_MAX;
-  int64_t hi = INT64_MIN;
-};
+constexpr int64_t kTsLo = 1556496000000;  // generator's first timestamp
+
+// Runs the selectivity sweep: secondary range scan + one primary point lookup
+// per match, as the paper's range queries do.
+void QuerySweep(BenchDataset* bd, const double* selectivities, size_t n_sel) {
+  auto all = bd->dataset->SecondaryRangeScan(INT64_MIN / 2, INT64_MAX / 2);
+  TC_CHECK(all.ok());
+  size_t total = all.value().size();
+  for (size_t i = 0; i < n_sel; ++i) {
+    // The generator advances ~150 ms per tweet; window width picks the
+    // requested fraction of records.
+    int64_t width = static_cast<int64_t>(selectivities[i] * 150.0 *
+                                         static_cast<double>(total));
+    int64_t hi = kTsLo + std::max<int64_t>(width, 1);
+    double secs = TimeIt([&] {
+      auto pks = bd->dataset->SecondaryRangeScan(kTsLo, hi);
+      TC_CHECK(pks.ok());
+      for (int64_t pk : pks.value()) {
+        auto rec = bd->dataset->Get(pk);
+        TC_CHECK(rec.ok());
+      }
+    });
+    std::printf(" %10.4f", secs);
+  }
+}
 
 }  // namespace
 
@@ -24,6 +49,7 @@ int main() {
   PrintBanner("Figure 24", "secondary-index range queries (timestamp index)");
   int64_t mb = BenchMegabytes();
   const double selectivities[] = {0.00001, 0.0001, 0.001, 0.01, 0.10, 0.20, 0.50};
+  const size_t n_sel = sizeof(selectivities) / sizeof(selectivities[0]);
   for (bool compressed : {false, true}) {
     std::printf("-- NVMe SSD, %s --\n", compressed ? "compressed" : "uncompressed");
     std::printf("%-10s", "schema");
@@ -38,33 +64,33 @@ int main() {
       cfg.secondary_index_field = "timestamp_ms";
       auto bd = OpenBench(cfg);
       (void)IngestFeed(bd.get(), mb);
-
-      // Find the ingested timestamp range by scanning the secondary index.
-      auto all = bd->dataset->SecondaryRangeScan(INT64_MIN / 2, INT64_MAX / 2);
-      TC_CHECK(all.ok());
-      size_t total = all.value().size();
-      int64_t lo = 1556496000000;
       std::printf("%-10s", SchemaModeName(mode));
-      for (double sel : selectivities) {
-        // The generator advances ~150 ms per tweet; window width picks the
-        // requested fraction of records.
-        int64_t width = static_cast<int64_t>(sel * 150.0 * static_cast<double>(total));
-        int64_t hi = lo + std::max<int64_t>(width, 1);
-        double secs = TimeIt([&] {
-          auto pks = bd->dataset->SecondaryRangeScan(lo, hi);
-          TC_CHECK(pks.ok());
-          // Fetch every matching record through the primary index, as the
-          // paper's range queries do.
-          for (int64_t pk : pks.value()) {
-            auto rec = bd->dataset->Get(pk);
-            TC_CHECK(rec.ok());
-          }
-        });
-        std::printf(" %10.4f", secs);
-      }
+      QuerySweep(bd.get(), selectivities, n_sel);
       std::printf("\n");
     }
     std::printf("\n");
   }
+
+  // Merge-policy axis: identical data and queries; only the merge schedule —
+  // and with it the number of components each point lookup probes — differs.
+  std::printf("-- merge-policy axis: inferred, uncompressed, NVMe SSD --\n");
+  // Component columns are per partition (worst partition) — the cost one
+  // point lookup pays.
+  std::printf("%-13s %10s %8s", "policy", "comps/part", "HWM/part");
+  for (double s : selectivities) std::printf(" %9.3f%%", s * 100);
+  std::printf("   (seconds per query)\n");
+  for (const char* policy : {"none", "prefix", "tiered", "lazy-leveled"}) {
+    BenchConfig cfg = PolicyAxisConfig(policy);
+    cfg.secondary_index_field = "timestamp_ms";
+    auto bd = OpenBench(cfg);
+    (void)IngestFeed(bd.get(), mb);
+    LsmStats s = bd->dataset->AggregateStats();
+    size_t components = MaxPrimaryComponentsPerPartition(bd->dataset.get());
+    std::printf("%-13s %10zu %8llu", policy, components,
+                static_cast<unsigned long long>(s.component_count_high_water));
+    QuerySweep(bd.get(), selectivities, n_sel);
+    std::printf("\n");
+  }
+  std::printf("\n");
   return 0;
 }

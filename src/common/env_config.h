@@ -11,7 +11,8 @@ namespace tc {
 /// Integer env var with default; returns `def` when unset or unparsable.
 int64_t EnvInt64(const char* name, int64_t def);
 
-/// String env var with default.
+/// String env var with default. Enum-valued knobs (TC_MERGE_POLICY) parse
+/// case-insensitively at their point of use.
 std::string EnvString(const char* name, const std::string& def);
 
 /// Target raw-data megabytes per dataset for figure benches (TC_BENCH_MB, default 24).

@@ -44,8 +44,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.memtable_budget_bytes = opts->memtable_budget_bytes;
   lsm.compression = opts->compression ? CompressionKind::kSnappy
                                       : CompressionKind::kNone;
-  lsm.merge_policy = MakePrefixMergePolicy(opts->max_mergeable_component_bytes,
-                                           opts->max_tolerance_component_count);
+  lsm.merge_policy = MakeMergePolicy(opts->merge);
   lsm.use_wal = opts->use_wal;
   lsm.wal_sync_every = opts->wal_sync_every;
   lsm.transformer = p->compactor_.get();
@@ -82,8 +81,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
                                                 opts->memtable_budget_bytes / 8);
     sk.compression = opts->compression ? CompressionKind::kSnappy
                                        : CompressionKind::kNone;
-    sk.merge_policy = MakePrefixMergePolicy(opts->max_mergeable_component_bytes,
-                                            opts->max_tolerance_component_count);
+    sk.merge_policy = MakeMergePolicy(opts->merge);
     sk.use_wal = false;
     TC_ASSIGN_OR_RETURN(p->secondary_, SecondaryIndex::Open(std::move(sk)));
   }
@@ -386,6 +384,10 @@ LsmStats Dataset::AggregateStats() const {
     agg.bytes_merged += s.bytes_merged;
     agg.point_lookups += s.point_lookups;
     agg.old_version_lookups += s.old_version_lookups;
+    // The high-water mark is a per-tree lookup cost, not additive: report the
+    // worst partition.
+    agg.component_count_high_water =
+        std::max(agg.component_count_high_water, s.component_count_high_water);
   }
   return agg;
 }

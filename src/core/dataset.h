@@ -47,8 +47,11 @@ struct DatasetOptions {
   bool compression = false;
   size_t page_size = 32 * 1024;
   size_t memtable_budget_bytes = 4 * 1024 * 1024;
-  uint64_t max_mergeable_component_bytes = 32ull << 20;  // prefix merge policy
-  size_t max_tolerance_component_count = 5;
+  /// Merge-policy selection + knobs for every LSM tree of a partition
+  /// (primary, primary-key index, secondary index). Defaults honor the
+  /// TC_MERGE_POLICY / TC_MERGE_* environment knobs so every bench, example,
+  /// and cluster node can switch the merge schedule without recompiling.
+  MergePolicyConfig merge = MergePolicyConfig::FromEnv();
   bool use_wal = true;
   size_t wal_sync_every = 64;
   /// Primary-key index for upsert existence checks (paper §3.2.2, Fig. 17b).

@@ -116,10 +116,13 @@ Status LsmTree::RecoverComponents() {
     components_.push_back(std::move(comp));
     next_cid_ = std::max(next_cid_, c.cid_max + 1);
   }
+  stats_.component_count_high_water = std::max<uint64_t>(
+      stats_.component_count_high_water, components_.size());
   return Status::OK();
 }
 
 Status LsmTree::ReplayWal() {
+  std::lock_guard<std::mutex> lock(mu_);
   TC_RETURN_IF_ERROR(wal_->Replay([&](const WalRecord& r) -> Status {
     // Re-capture the old on-disk version exactly as the original operation
     // did; the pre-crash capture died with the in-memory component.
@@ -137,20 +140,19 @@ Status LsmTree::ReplayWal() {
   }));
   // Flush the restored in-memory component (paper §3.1.2).
   if (!mem_.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
     TC_RETURN_IF_ERROR(FlushLocked());
   }
   return Status::OK();
 }
 
 Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (wal_ != nullptr) {
     auto lsn = wal_->Append(WalOp::kPut, key, payload);
     if (!lsn.ok()) return lsn.status();
   }
   mem_.Put(key, Buffer(payload.begin(), payload.end()), std::nullopt);
   if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
     TC_RETURN_IF_ERROR(FlushLocked());
     TC_RETURN_IF_ERROR(MaybeMergeLocked());
   }
@@ -159,6 +161,7 @@ Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
 
 Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
                        std::optional<Buffer>* old_out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (wal_ != nullptr) {
     auto lsn = wal_->Append(WalOp::kPut, key, payload);
     if (!lsn.ok()) return lsn.status();
@@ -183,7 +186,6 @@ Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
   if (old_out != nullptr && old.has_value()) *old_out = old;
   mem_.Put(key, Buffer(payload.begin(), payload.end()), std::move(old));
   if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
     TC_RETURN_IF_ERROR(FlushLocked());
     TC_RETURN_IF_ERROR(MaybeMergeLocked());
   }
@@ -191,6 +193,7 @@ Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
 }
 
 Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (wal_ != nullptr) {
     auto lsn = wal_->Append(WalOp::kDelete, key, {});
     if (!lsn.ok()) return lsn.status();
@@ -209,7 +212,6 @@ Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
   }
   mem_.Delete(key, std::move(old));
   if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
     TC_RETURN_IF_ERROR(FlushLocked());
     TC_RETURN_IF_ERROR(MaybeMergeLocked());
   }
@@ -217,6 +219,7 @@ Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
 }
 
 Result<std::optional<Buffer>> LsmTree::Get(const BtreeKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.point_lookups;
   const MemTable::Entry* e = mem_.Get(key);
   if (e != nullptr) {
@@ -227,6 +230,7 @@ Result<std::optional<Buffer>> LsmTree::Get(const BtreeKey& key) {
 }
 
 Result<std::optional<Buffer>> LsmTree::GetDiskVersion(const BtreeKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetDiskVersionLocked(key);
 }
 
@@ -286,6 +290,8 @@ Status LsmTree::FlushLocked() {
   stats_.bytes_flushed += comp->physical_bytes();
   ++stats_.flush_count;
   components_.insert(components_.begin(), std::move(comp));
+  stats_.component_count_high_water = std::max<uint64_t>(
+      stats_.component_count_high_water, components_.size());
   mem_.Clear();
   if (wal_ != nullptr) TC_RETURN_IF_ERROR(wal_->Reset());
   return Status::OK();
@@ -296,7 +302,19 @@ Status LsmTree::MaybeMergeLocked() {
   sizes.reserve(components_.size());
   for (const auto& c : components_) sizes.push_back(c->physical_bytes());
   MergeDecision d = opts_.merge_policy->Decide(sizes);
-  if (!d.merge || d.end - d.begin < 2) return Status::OK();
+  if (!d.merge) return Status::OK();
+  // Harden against malformed decisions: an inverted range would underflow the
+  // width check below, and an overlong one would only trip the TC_CHECK crash
+  // inside MergeRangeLocked.
+  if (d.begin > d.end || d.end > components_.size()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "merge policy '%s' returned invalid range [%zu, %zu) over %zu "
+                  "components",
+                  opts_.merge_policy->name(), d.begin, d.end, components_.size());
+    return Status::Internal(buf);
+  }
+  if (d.end - d.begin < 2) return Status::OK();
   return MergeRangeLocked(d.begin, d.end);
 }
 
@@ -408,10 +426,13 @@ Status LsmTree::BulkLoad(
   stats_.bytes_flushed += comp->physical_bytes();
   ++stats_.flush_count;
   components_.insert(components_.begin(), std::move(comp));
+  stats_.component_count_high_water = std::max<uint64_t>(
+      stats_.component_count_high_water, components_.size());
   return Status::OK();
 }
 
 uint64_t LsmTree::physical_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& c : components_) total += c->physical_bytes();
   return total;
@@ -423,6 +444,7 @@ const Buffer& LsmTree::newest_schema_blob() const {
 }
 
 Status LsmTree::DestroyAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& c : components_) {
     opts_.cache->InvalidateFile(c->file_id());
     TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), c->path()));
@@ -441,7 +463,15 @@ Status LsmTree::DestroyAll() {
 LsmTree::Iterator::Iterator(LsmTree* tree) : tree_(tree) {}
 
 Status LsmTree::Iterator::SeekToFirst() {
-  comps_ = tree_->components_;
+  {
+    // Snapshot the component list under the lock so a concurrent flush/merge
+    // can't tear the copy. This protects only the copy itself: iteration
+    // still requires the documented no-concurrent-mutation contract (a merge
+    // deletes its input files, and a flush clears the memtable under
+    // mem_it_).
+    std::lock_guard<std::mutex> lock(tree_->mu_);
+    comps_ = tree_->components_;
+  }
   cursors_.clear();
   for (const auto& c : comps_) {
     cursors_.push_back(std::make_unique<BtreeComponent::Iterator>(c.get()));
@@ -452,7 +482,10 @@ Status LsmTree::Iterator::SeekToFirst() {
 }
 
 Status LsmTree::Iterator::Seek(const BtreeKey& key) {
-  comps_ = tree_->components_;
+  {
+    std::lock_guard<std::mutex> lock(tree_->mu_);
+    comps_ = tree_->components_;
+  }
   cursors_.clear();
   for (const auto& c : comps_) {
     cursors_.push_back(std::make_unique<BtreeComponent::Iterator>(c.get()));

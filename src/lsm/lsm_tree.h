@@ -79,6 +79,17 @@ struct LsmStats {
   uint64_t bytes_merged = 0;        // physical bytes written by merges
   uint64_t point_lookups = 0;
   uint64_t old_version_lookups = 0;
+  /// Most on-disk components ever live at once — the worst case a point
+  /// lookup pays under this merge schedule (the fig24 policy-axis metric).
+  uint64_t component_count_high_water = 0;
+
+  /// (bytes_flushed + bytes_merged) / bytes_flushed — the fig17 policy-axis
+  /// metric; 1.0 means the policy never rewrote a flushed byte.
+  double WriteAmplification() const {
+    if (bytes_flushed == 0) return 1.0;
+    return static_cast<double>(bytes_flushed + bytes_merged) /
+           static_cast<double>(bytes_flushed);
+  }
 };
 
 class LsmTree {
@@ -99,7 +110,9 @@ class LsmTree {
   /// Deletes by key (inserts an anti-matter entry).
   Status Delete(const BtreeKey& key, std::optional<Buffer>* old_out = nullptr);
 
-  /// Point lookup across memtable and components, newest first.
+  /// Point lookup across memtable and components, newest first. Safe against
+  /// concurrent writers (cluster feeds are thread-per-feed): takes `mu_` so a
+  /// flush/merge component swap can't tear the walk.
   Result<std::optional<Buffer>> Get(const BtreeKey& key);
 
   /// Point lookup skipping the memtable (the current on-disk version).
@@ -154,6 +167,8 @@ class LsmTree {
     Buffer payload_copy_;
   };
 
+  /// Unsynchronized structural accessors: valid only while no concurrent
+  /// writer can flush or merge (tests and benches quiesce first).
   size_t component_count() const { return components_.size(); }
   const std::vector<std::shared_ptr<BtreeComponent>>& components() const {
     return components_;
@@ -162,6 +177,7 @@ class LsmTree {
   /// Total on-disk physical bytes (data files + LAFs) — the Figure 16 metric.
   uint64_t physical_bytes() const;
   const LsmStats& stats() const { return stats_; }
+  const char* merge_policy_name() const { return opts_.merge_policy->name(); }
   /// Schema blob of the newest valid component (empty when none) — what crash
   /// recovery reloads (§3.1.2).
   const Buffer& newest_schema_blob() const;
@@ -175,6 +191,7 @@ class LsmTree {
   std::string ComponentPath(uint64_t cid_min, uint64_t cid_max) const;
   Status RecoverComponents();
   Status ReplayWal();
+  // *Locked methods require `mu_` to be held by the caller.
   Status FlushLocked();
   Status MaybeMergeLocked();
   Status MergeRangeLocked(size_t begin, size_t end);
@@ -185,7 +202,11 @@ class LsmTree {
   FlushTransformer identity_;
   FlushTransformer* transformer_ = nullptr;
 
-  std::mutex mu_;  // guards structural changes (flush/merge component swaps)
+  // Guards the memtable, the component vector, the WAL, and the stats:
+  // writers hold it across the whole operation; point lookups and iterator
+  // snapshots take it so a concurrent flush/merge swap can't tear their walk.
+  // Mutable so const observers (physical_bytes) can lock it.
+  mutable std::mutex mu_;
   MemTable mem_;
   std::vector<std::shared_ptr<BtreeComponent>> components_;  // newest first
   std::unique_ptr<WriteAheadLog> wal_;

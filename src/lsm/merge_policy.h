@@ -1,12 +1,15 @@
 // LSM merge policies (paper §2.2, [19, 29]). The default is the prefix merge
 // policy AsterixDB uses — the Figure 17 ingestion experiments configure it
 // with a 1 GB-scaled maximum mergeable component size and a tolerance of 5
-// components.
+// components. Tiered and lazy-leveled policies (Luo & Carey's LSM survey;
+// Dayan & Idreos' lazy leveling) cover the write- vs read-amplification
+// trade-off axis the fig17/fig24 benches measure.
 #ifndef TC_LSM_MERGE_POLICY_H_
 #define TC_LSM_MERGE_POLICY_H_
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 namespace tc {
@@ -40,6 +43,61 @@ std::unique_ptr<MergePolicy> MakePrefixMergePolicy(uint64_t max_mergeable_bytes,
 /// Merges all components whenever their count exceeds `k` (a simple
 /// constant-components policy, useful in tests).
 std::unique_ptr<MergePolicy> MakeConstantMergePolicy(size_t k);
+
+/// Size-tiered policy: contiguous (newest-first) components whose sizes span
+/// strictly less than a factor of `size_ratio` form a tier; once a tier
+/// accumulates `min_merge_width` components the full tier merges into one.
+/// Each byte is rewritten at most once per tier level, so write amplification
+/// is low at the cost of more live components per lookup. A forced merge of
+/// the newest `min_merge_width` components bounds the count when adversarial
+/// size distributions strand narrow tiers.
+std::unique_ptr<MergePolicy> MakeTieredMergePolicy(size_t size_ratio,
+                                                   size_t min_merge_width);
+
+/// Lazy-leveled policy: a tiered upper deck above a single large leveled
+/// bottom component. The deck tiers exactly like MakeTieredMergePolicy; once
+/// it holds at least `min_merge_width` components whose total reaches
+/// 1/`size_ratio` of the bottom component, everything merges into the bottom.
+/// Point lookups see few components while the deck still absorbs write bursts.
+std::unique_ptr<MergePolicy> MakeLazyLeveledMergePolicy(size_t size_ratio,
+                                                        size_t min_merge_width);
+
+enum class MergePolicyKind {
+  kNoMerge,
+  kPrefix,
+  kConstant,
+  kTiered,
+  kLazyLeveled,
+};
+
+const char* MergePolicyKindName(MergePolicyKind kind);
+
+/// Parses "none"/"no-merge", "prefix", "constant", "tiered", and
+/// "lazy-leveled"/"lazy" (case-insensitive). Returns false on unknown names.
+bool ParseMergePolicyKind(std::string_view text, MergePolicyKind* out);
+
+/// Selectable policy + knobs, threaded from DatasetOptions into every LSM
+/// tree of a partition (primary, primary-key index, secondary index).
+struct MergePolicyConfig {
+  MergePolicyKind kind = MergePolicyKind::kPrefix;
+  // Prefix knobs (paper Figure 17 configuration).
+  uint64_t max_mergeable_bytes = 32ull << 20;
+  size_t max_tolerance_count = 5;
+  // Tiered / lazy-leveled knobs.
+  size_t size_ratio = 4;
+  size_t min_merge_width = 4;
+  // Constant-policy knob.
+  size_t constant_k = 8;
+
+  /// Overlays the TC_MERGE_POLICY / TC_MERGE_MAX_MB / TC_MERGE_TOLERANCE /
+  /// TC_MERGE_SIZE_RATIO / TC_MERGE_MIN_WIDTH / TC_MERGE_CONSTANT_K
+  /// environment knobs onto `defaults`; unset knobs keep their defaults. An
+  /// unknown TC_MERGE_POLICY value warns on stderr and keeps the default.
+  static MergePolicyConfig FromEnv(MergePolicyConfig defaults);
+  static MergePolicyConfig FromEnv();
+};
+
+std::unique_ptr<MergePolicy> MakeMergePolicy(const MergePolicyConfig& config);
 
 }  // namespace tc
 

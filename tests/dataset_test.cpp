@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "adm/parser.h"
 #include "adm/printer.h"
 #include "tests/test_util.h"
@@ -211,6 +213,46 @@ TEST(Dataset, PrimaryKeyIndexReducesLookups) {
         fx.dataset->AggregateStats().old_version_lookups;
   }
   EXPECT_LT(with_index, without_index);
+}
+
+// Restores an env var on scope exit even when an ASSERT_* returns early —
+// a leaked TC_MERGE_POLICY would silently re-policy every later test, since
+// DatasetOptions reads the environment in its default member initializer.
+struct ScopedEnv {
+  const char* name;
+  ScopedEnv(const char* n, const char* value) : name(n) {
+    ::setenv(n, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name); }
+};
+
+TEST(Dataset, MergePolicySelectedByEnvEndToEnd) {
+  // TC_MERGE_POLICY must reach every LSM tree of a partition: the primary,
+  // the primary-key index, and the secondary-index tree.
+  {
+    ScopedEnv env("TC_MERGE_POLICY", "tiered");
+    DatasetFixture fx;
+    DatasetOptions o;  // default options re-read the environment
+    o.memtable_budget_bytes = 64 * 1024;
+    o.wal_sync_every = 0;
+    o.primary_key_index = true;
+    o.secondary_index_field = "score";
+    ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+    DatasetPartition* part = fx.dataset->partition(0);
+    EXPECT_STREQ(part->primary()->merge_policy_name(), "tiered");
+    EXPECT_STREQ(part->pk_index()->merge_policy_name(), "tiered");
+    EXPECT_STREQ(part->secondary()->tree()->merge_policy_name(), "tiered");
+    ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 1, "score": 10})")).ok());
+    ASSERT_TRUE(fx.dataset->FlushAll().ok());
+    EXPECT_EQ(fx.dataset->SecondaryRangeScan(0, 20).ValueOrDie(),
+              (std::vector<int64_t>{1}));
+  }
+  {
+    DatasetFixture fx;
+    ASSERT_TRUE(fx.Open(DatasetOptions{}, 1).ok());
+    EXPECT_STREQ(fx.dataset->partition(0)->primary()->merge_policy_name(),
+                 "prefix");
+  }
 }
 
 TEST(Dataset, MissingPrimaryKeyRejected) {

@@ -86,7 +86,7 @@ TEST(Integration, DeleteEverythingEmptiesSchema) {
 TEST(Integration, MergeKeepsNewestSchemaAndData) {
   DatasetFixture fx;
   DatasetOptions o = SmallOptions(SchemaMode::kInferred, 16);
-  o.max_tolerance_component_count = 2;  // merge aggressively
+  o.merge.max_tolerance_count = 2;  // merge aggressively
   ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
   auto gen = MakeWosGenerator(55);
   std::vector<AdmValue> records;

@@ -110,8 +110,9 @@ inline DatasetOptions SmallOptions(SchemaMode mode, size_t memtable_kb = 64) {
   // encoding, small enough that multi-record tests build multi-page trees.
   o.page_size = 16384;
   o.memtable_budget_bytes = memtable_kb * 1024;
-  o.max_mergeable_component_bytes = 1 << 20;
-  o.max_tolerance_component_count = 4;
+  o.merge = MergePolicyConfig();  // env-independent: tests pin the schedule
+  o.merge.max_mergeable_bytes = 1 << 20;
+  o.merge.max_tolerance_count = 4;
   o.wal_sync_every = 0;
   return o;
 }
