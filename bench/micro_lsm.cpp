@@ -1,14 +1,22 @@
 // Micro-benchmarks for the LSM engine: memtable inserts, point lookups,
-// scans, and the flush-time cost of the tuple compactor (the design-choice
+// scans, the flush-time cost of the tuple compactor (the design-choice
 // ablation called out in docs/ARCHITECTURE.md: flush-time inference keeps the
 // ingest path free of schema work — compare BM_MemtableInsert with
-// BM_MemtableInsertEagerInference).
+// BM_MemtableInsertEagerInference), and reader scaling of the snapshot read
+// API under sustained ingestion (BM_ReaderScaling).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/task_pool.h"
 #include "core/tuple_compactor.h"
 #include "format/vector_format.h"
 #include "lsm/lsm_tree.h"
 #include "schema/inference.h"
+#include "storage/device_model.h"
 #include "workload/workload.h"
 
 namespace tc {
@@ -147,6 +155,111 @@ void BM_FlushWithCompaction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlushWithCompaction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Reader scaling: N threads issue random point lookups while one writer
+// ingests continuously (flushes and merges included). Two read paths:
+//
+//   path=view   the snapshot read API — every Get pins a ReadView and
+//               searches without tree locks; merges run on a TaskPool.
+//   path=mutex  emulation of the pre-snapshot (PR 3) read path: one big tree
+//               mutex held across every Get AND across the writer's whole
+//               upsert, including any inline flush/merge it triggers — which
+//               is exactly what LsmTree::mu_ used to do.
+//
+// I/O is throttled through the SATA-SSD device model and the buffer cache is
+// deliberately small, so lookups block in (modeled) I/O: the view path
+// overlaps reader I/O even on a single core, while the mutex path serializes
+// it and makes readers wait out merge rewrites. Reported items/s is the
+// AGGREGATE reader throughput; compare it across reader counts per path.
+// ---------------------------------------------------------------------------
+
+struct ReaderScalingFixture {
+  static constexpr int64_t kKeys = 20000;
+  std::shared_ptr<FileSystem> fs = MakeMemFileSystem();
+  std::shared_ptr<DeviceModel> device =
+      std::make_shared<DeviceModel>(DeviceProfile::SataSsd());
+  BufferCache cache{4096, 64};  // ~256 KB: far smaller than the data
+  TaskPool pool{1};
+  std::unique_ptr<LsmTree> tree;
+  std::string payload = std::string(120, 'v');
+
+  explicit ReaderScalingFixture(bool use_pool) {
+    fs->set_device(device);
+    LsmTreeOptions o;
+    o.fs = fs;
+    o.cache = &cache;
+    o.dir = "rs";
+    o.name = "t";
+    o.page_size = 4096;
+    o.memtable_budget_bytes = 256 * 1024;
+    o.use_wal = false;
+    o.merge_pool = use_pool ? &pool : nullptr;
+    tree = LsmTree::Open(std::move(o)).ValueOrDie();
+    for (int64_t k = 0; k < kKeys; ++k) {
+      TC_CHECK(tree->Insert(BtreeKey{k, 0}, payload).ok());
+    }
+    TC_CHECK(tree->Flush().ok());
+    TC_CHECK(tree->WaitForMerges().ok());
+  }
+};
+
+void BM_ReaderScaling(benchmark::State& state) {
+  const int n_readers = static_cast<int>(state.range(0));
+  const bool emulate_mutex = state.range(1) != 0;
+  ReaderScalingFixture fx(/*use_pool=*/!emulate_mutex);
+  std::mutex big_lock;  // the emulated PR 3 tree mutex
+  uint64_t total_reads = 0;
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::thread writer([&] {
+      Rng rng(99);
+      while (!stop.load(std::memory_order_acquire)) {
+        int64_t k = static_cast<int64_t>(rng.Uniform(ReaderScalingFixture::kKeys));
+        if (emulate_mutex) {
+          // Writer holds the big lock across the whole upsert — including any
+          // flush + merge rewrite it triggers, like LsmTree::mu_ once did.
+          std::lock_guard<std::mutex> lock(big_lock);
+          TC_CHECK(fx.tree->Upsert(BtreeKey{k, 0}, fx.payload, nullptr).ok());
+        } else {
+          TC_CHECK(fx.tree->Upsert(BtreeKey{k, 0}, fx.payload, nullptr).ok());
+        }
+      }
+    });
+    std::vector<std::thread> readers;
+    readers.reserve(static_cast<size_t>(n_readers));
+    for (int r = 0; r < n_readers; ++r) {
+      readers.emplace_back([&, r] {
+        Rng rng(7 + r);
+        while (!stop.load(std::memory_order_acquire)) {
+          int64_t k =
+              static_cast<int64_t>(rng.Uniform(ReaderScalingFixture::kKeys));
+          if (emulate_mutex) {
+            std::lock_guard<std::mutex> lock(big_lock);
+            TC_CHECK(fx.tree->Get(BtreeKey{k, 0}).ok());
+          } else {
+            TC_CHECK(fx.tree->Get(BtreeKey{k, 0}).ok());
+          }
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    for (auto& t : readers) t.join();
+    total_reads += reads.load();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_reads));
+  state.counters["readers"] = n_readers;
+  state.counters["mutex_path"] = emulate_mutex ? 1 : 0;
+}
+BENCHMARK(BM_ReaderScaling)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"readers", "mutex"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace tc

@@ -9,6 +9,11 @@ Result<std::unique_ptr<ClusterHarness>> ClusterHarness::Create(
     ClusterTopology topology, DatasetOptions options) {
   auto h = std::unique_ptr<ClusterHarness>(new ClusterHarness());
   h->topology_ = topology;
+  // One bounded executor for ALL partitions' background merges: feeds hand
+  // rewrites off instead of performing them inline, and total background
+  // parallelism tracks the hardware, not the feed count.
+  h->executor_ = std::make_unique<TaskPool>(topology.executor_threads);
+  options.merge_pool = h->executor_.get();
   TC_ASSIGN_OR_RETURN(
       h->dataset_,
       Dataset::Open(std::move(options),
@@ -48,7 +53,9 @@ Status ClusterHarness::IngestParallel(const std::string& workload,
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
   }
-  return Status::OK();
+  // Settle the scheduled merges so callers time (and observe) a quiesced
+  // dataset, like the inline-merge path always did.
+  return dataset_->WaitForBackgroundWork();
 }
 
 }  // namespace tc

@@ -1,0 +1,53 @@
+// Shared background executor: a fixed pool of worker threads that LSM trees
+// submit flush/merge work to. One pool serves every partition of a cluster
+// node (ROADMAP "Parallelism"), so background rewrites are bounded by the
+// machine's core count instead of exploding thread-per-feed. Trees without a
+// pool run merges inline on the writer thread (deterministic; what unit tests
+// use).
+#ifndef TC_COMMON_TASK_POOL_H_
+#define TC_COMMON_TASK_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tc {
+
+class TaskPool {
+ public:
+  /// `threads == 0` sizes the pool to the hardware (DefaultThreadCount).
+  explicit TaskPool(size_t threads = 0);
+  /// Runs every queued task to completion, then joins the workers. Submitted
+  /// tasks must not outlive the state they capture: owners of that state
+  /// (e.g. LsmTree) wait for their own tasks before destruction.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker thread. Quiescence is the
+  /// submitter's concern: owners track their own in-flight work (LsmTree
+  /// waits on its merge_inflight_ flag), so the pool needs no idle tracking.
+  void Submit(std::function<void()> fn);
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// max(1, std::thread::hardware_concurrency()) — the nproc-aware default.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tc
+
+#endif  // TC_COMMON_TASK_POOL_H_

@@ -45,6 +45,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.compression = opts->compression ? CompressionKind::kSnappy
                                       : CompressionKind::kNone;
   lsm.merge_policy = MakeMergePolicy(opts->merge);
+  lsm.merge_pool = opts->merge_pool;
   lsm.use_wal = opts->use_wal;
   lsm.wal_sync_every = opts->wal_sync_every;
   lsm.transformer = p->compactor_.get();
@@ -82,6 +83,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
     sk.compression = opts->compression ? CompressionKind::kSnappy
                                        : CompressionKind::kNone;
     sk.merge_policy = MakeMergePolicy(opts->merge);
+    sk.merge_pool = opts->merge_pool;
     sk.use_wal = false;
     TC_ASSIGN_OR_RETURN(p->secondary_, SecondaryIndex::Open(std::move(sk)));
   }
@@ -216,8 +218,21 @@ Status DatasetPartition::Delete(int64_t pk) {
   return MaintainIndexesOnWrite(pk, AdmValue::Object(), old, /*is_delete=*/true);
 }
 
+PartitionReadView DatasetPartition::AcquireReadView() const {
+  PartitionReadView view;
+  view.primary = primary_->AcquireView();
+  if (pk_index_ != nullptr) view.pk_index = pk_index_->AcquireView();
+  if (secondary_ != nullptr) view.secondary = secondary_->AcquireView();
+  return view;
+}
+
 Result<std::optional<AdmValue>> DatasetPartition::Get(int64_t pk) {
-  TC_ASSIGN_OR_RETURN(auto payload, primary_->Get(BtreeKey{pk, 0}));
+  return Get(AcquireReadView(), pk);
+}
+
+Result<std::optional<AdmValue>> DatasetPartition::Get(
+    const PartitionReadView& view, int64_t pk) {
+  TC_ASSIGN_OR_RETURN(auto payload, view.primary->Get(BtreeKey{pk, 0}));
   if (!payload.has_value()) return std::optional<AdmValue>{};
   AdmValue out;
   TC_RETURN_IF_ERROR(DecodeRecord(
@@ -227,10 +242,29 @@ Result<std::optional<AdmValue>> DatasetPartition::Get(int64_t pk) {
   return std::optional<AdmValue>{std::move(out)};
 }
 
+Result<std::vector<int64_t>> DatasetPartition::SecondaryRangeScan(
+    const PartitionReadView& view, int64_t lo, int64_t hi) const {
+  if (secondary_ == nullptr || view.secondary == nullptr) {
+    return Status::InvalidArgument("partition has no secondary index");
+  }
+  return secondary_->RangeScan(view.secondary, lo, hi);
+}
+
 Status DatasetPartition::Flush() {
   TC_RETURN_IF_ERROR(primary_->Flush());
   if (pk_index_ != nullptr) TC_RETURN_IF_ERROR(pk_index_->Flush());
   if (secondary_ != nullptr) TC_RETURN_IF_ERROR(secondary_->Flush());
+  // A flush may have scheduled merges; leave the partition quiesced so
+  // post-flush observers (benches, tests) see a settled component layout.
+  return WaitForBackgroundWork();
+}
+
+Status DatasetPartition::WaitForBackgroundWork() {
+  TC_RETURN_IF_ERROR(primary_->WaitForMerges());
+  if (pk_index_ != nullptr) TC_RETURN_IF_ERROR(pk_index_->WaitForMerges());
+  if (secondary_ != nullptr) {
+    TC_RETURN_IF_ERROR(secondary_->tree()->WaitForMerges());
+  }
   return Status::OK();
 }
 
@@ -362,10 +396,17 @@ Result<std::vector<int64_t>> Dataset::SecondaryRangeScan(int64_t lo, int64_t hi)
     if (p->secondary() == nullptr) {
       return Status::InvalidArgument("dataset has no secondary index");
     }
+    // Only the secondary tree is read here (callers do their own primary
+    // lookups), so pin just it rather than a full partition triple.
     TC_ASSIGN_OR_RETURN(auto pks, p->secondary()->RangeScan(lo, hi));
     all.insert(all.end(), pks.begin(), pks.end());
   }
   return all;
+}
+
+Status Dataset::WaitForBackgroundWork() {
+  for (auto& p : partitions_) TC_RETURN_IF_ERROR(p->WaitForBackgroundWork());
+  return Status::OK();
 }
 
 uint64_t Dataset::TotalPhysicalBytes() const {
@@ -377,7 +418,7 @@ uint64_t Dataset::TotalPhysicalBytes() const {
 LsmStats Dataset::AggregateStats() const {
   LsmStats agg;
   for (const auto& p : partitions_) {
-    const LsmStats& s = p->primary()->stats();
+    const LsmStats s = p->primary()->stats();
     agg.flush_count += s.flush_count;
     agg.merge_count += s.merge_count;
     agg.bytes_flushed += s.bytes_flushed;

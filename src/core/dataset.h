@@ -58,9 +58,24 @@ struct DatasetOptions {
   bool primary_key_index = false;
   /// Name of a top-level bigint field to index (paper §4.4.5), empty = none.
   std::string secondary_index_field;
+  /// Shared background executor for LSM merges across every partition's trees
+  /// (not owned; must outlive the dataset). Null = inline merges on the
+  /// writer thread — deterministic, what unit tests use. ClusterHarness wires
+  /// its nproc-sized pool here.
+  TaskPool* merge_pool = nullptr;
 
   std::shared_ptr<FileSystem> fs;   // required
   BufferCache* cache = nullptr;     // required; page_size must match
+};
+
+/// A coherent snapshot across one partition's trees: a query that resolves
+/// secondary-index hits against the primary index (or consults the pk index)
+/// sees ONE LSM state for the whole partition instead of re-reading a moving
+/// structure per lookup. Null entries mean the partition has no such index.
+struct PartitionReadView {
+  LsmTree::ReadViewRef primary;
+  LsmTree::ReadViewRef pk_index;
+  LsmTree::ReadViewRef secondary;
 };
 
 /// One data partition: a primary LSM B+-tree index plus optional primary-key
@@ -76,7 +91,20 @@ class DatasetPartition {
   Status Delete(int64_t pk);
   Result<std::optional<AdmValue>> Get(int64_t pk);
 
+  /// Pins a coherent snapshot of every tree in this partition (primary, and
+  /// the pk/secondary indexes when configured).
+  PartitionReadView AcquireReadView() const;
+  /// Point lookup + decode against a pinned snapshot.
+  Result<std::optional<AdmValue>> Get(const PartitionReadView& view, int64_t pk);
+  /// Primary keys with secondary key in [lo, hi] under `view` (which must
+  /// have been acquired from this partition, with a secondary index).
+  Result<std::vector<int64_t>> SecondaryRangeScan(const PartitionReadView& view,
+                                                  int64_t lo, int64_t hi) const;
+
   Status Flush();
+  /// Drains scheduled background merges on every tree of this partition;
+  /// returns the first sticky background error. No-op without a merge pool.
+  Status WaitForBackgroundWork();
 
   /// Encodes a record in this partition's storage format (uncompacted for
   /// vector-based modes; compaction happens at flush).
@@ -143,6 +171,8 @@ class Dataset {
   Status InsertJson(std::string_view text);
 
   Status FlushAll();
+  /// Drains background merges across all partitions (see DatasetPartition).
+  Status WaitForBackgroundWork();
 
   /// Sorts records per partition and bulk-loads one component per partition
   /// (paper §4.3 bulk-load experiments). Dataset must be empty.

@@ -32,6 +32,111 @@ bool ParseComponentName(const std::string& file, const std::string& name,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// ComponentReclaimer
+// ---------------------------------------------------------------------------
+
+void ComponentReclaimer::Retire(std::shared_ptr<BtreeComponent> comp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.push_back(std::move(comp));
+  pending_.store(true, std::memory_order_release);
+}
+
+Status ComponentReclaimer::Drain() {
+  Status first = Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    // use_count() == 1 means only this list still references the component:
+    // no new pins can appear (it left the tree's component vector when it was
+    // retired), so deletion is safe. A concurrently-releasing view may make
+    // us observe a stale >1 — that only defers deletion to the next drain.
+    if (it->use_count() > 1) {
+      ++it;
+      continue;
+    }
+    std::shared_ptr<BtreeComponent> doomed = std::move(*it);
+    it = retired_.erase(it);
+    cache_->InvalidateFile(doomed->file_id());
+    Status st = BtreeComponent::Destroy(fs_.get(), doomed->path());
+    if (first.ok() && !st.ok()) first = st;
+  }
+  pending_.store(!retired_.empty(), std::memory_order_release);
+  return first;
+}
+
+size_t ComponentReclaimer::pending_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+// ---------------------------------------------------------------------------
+// ReadView
+// ---------------------------------------------------------------------------
+
+LsmTree::ReadView::~ReadView() {
+  if (reclaimer_ == nullptr) return;  // moved-from
+  // Release the pins first so this view's references don't keep its own
+  // retired components alive through the drain below.
+  comps_.clear();
+  mem_.reset();
+  if (reclaimer_->has_pending()) {
+    Status st = reclaimer_->Drain();  // best-effort; deferred entries remain
+    (void)st;
+  }
+}
+
+Result<std::optional<Buffer>> LsmTree::ReadView::Get(const BtreeKey& key) const {
+  counters_->point_lookups.fetch_add(1, std::memory_order_relaxed);
+  std::optional<MemTable::ScanEntry> hit = mem_->Find(key);
+  if (hit.has_value()) {
+    if (hit->anti) return std::optional<Buffer>{};
+    return std::optional<Buffer>{std::move(hit->payload)};
+  }
+  return GetDiskVersion(key);
+}
+
+Result<std::optional<Buffer>> LsmTree::ReadView::GetDiskVersion(
+    const BtreeKey& key) const {
+  for (const auto& comp : comps_) {
+    TC_ASSIGN_OR_RETURN(auto hit, comp->Get(key));
+    if (hit.has_value()) {
+      if (hit->anti) return std::optional<Buffer>{};
+      return std::optional<Buffer>{std::move(hit->payload)};
+    }
+  }
+  return std::optional<Buffer>{};
+}
+
+uint64_t LsmTree::ReadView::physical_bytes() const {
+  uint64_t total = 0;
+  for (const auto& c : comps_) total += c->physical_bytes();
+  return total;
+}
+
+Buffer LsmTree::ReadView::newest_schema_blob() const {
+  return comps_.empty() ? Buffer{} : comps_.front()->meta().schema_blob;
+}
+
+LsmTree::ReadView LsmTree::View() const {
+  ReadView v;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    v.mem_ = mem_;
+    v.comps_ = components_;
+  }
+  v.counters_ = counters_;
+  v.reclaimer_ = reclaimer_;
+  return v;
+}
+
+LsmTree::ReadViewRef LsmTree::AcquireView() const {
+  return ReadViewRef(new ReadView(View()));
+}
+
+// ---------------------------------------------------------------------------
+// Open / recovery
+// ---------------------------------------------------------------------------
+
 std::string LsmTree::ComponentPath(uint64_t cid_min, uint64_t cid_max) const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), ".c%08" PRIu64 "-%08" PRIu64 "%s", cid_min,
@@ -50,6 +155,10 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   tree->compressor_ = GetCompressor(tree->opts_.compression);
   tree->transformer_ = tree->opts_.transformer != nullptr ? tree->opts_.transformer
                                                           : &tree->identity_;
+  tree->mem_ = std::make_shared<MemTable>();
+  tree->reclaimer_ = std::make_shared<ComponentReclaimer>(tree->opts_.fs,
+                                                          tree->opts_.cache);
+  tree->counters_ = std::make_shared<LsmReadCounters>();
   TC_RETURN_IF_ERROR(tree->opts_.fs->CreateDir(tree->opts_.dir));
   TC_RETURN_IF_ERROR(tree->RecoverComponents());
   // Reload the newest persisted schema BEFORE replaying the WAL: replayed
@@ -66,6 +175,20 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
     TC_RETURN_IF_ERROR(tree->ReplayWal());
   }
   return tree;
+}
+
+LsmTree::~LsmTree() {
+  // A scheduled merge still references this tree; wait it out.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+  }
+  components_.clear();
+  mem_.reset();
+  if (reclaimer_ != nullptr) {
+    Status st = reclaimer_->Drain();  // views still out keep their files alive
+    (void)st;
+  }
 }
 
 Status LsmTree::RecoverComponents() {
@@ -122,145 +245,163 @@ Status LsmTree::RecoverComponents() {
 }
 
 Status LsmTree::ReplayWal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  // The component structure cannot change during replay (no flush until the
+  // loop ends), so one snapshot serves every old-version re-capture.
+  ReadView disk_view = View();
   TC_RETURN_IF_ERROR(wal_->Replay([&](const WalRecord& r) -> Status {
     // Re-capture the old on-disk version exactly as the original operation
     // did; the pre-crash capture died with the in-memory component.
     std::optional<Buffer> old;
-    if (opts_.capture_old_versions && !mem_.Contains(r.key)) {
-      TC_ASSIGN_OR_RETURN(auto disk, GetDiskVersionLocked(r.key));
+    if (opts_.capture_old_versions && !mem_->Contains(r.key)) {
+      TC_ASSIGN_OR_RETURN(auto disk, disk_view.GetDiskVersion(r.key));
       if (disk.has_value()) old = std::move(disk);
     }
     if (r.op == WalOp::kPut) {
-      mem_.Put(r.key, Buffer(r.payload.begin(), r.payload.end()), std::move(old));
+      mem_->Put(r.key, Buffer(r.payload.begin(), r.payload.end()), std::move(old));
     } else {
-      mem_.Delete(r.key, std::move(old));
+      mem_->Delete(r.key, std::move(old));
     }
     return Status::OK();
   }));
   // Flush the restored in-memory component (paper §3.1.2).
-  if (!mem_.empty()) {
-    TC_RETURN_IF_ERROR(FlushLocked());
+  if (!mem_->empty()) {
+    TC_RETURN_IF_ERROR(FlushMemtable());
   }
   return Status::OK();
 }
 
-Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Status LsmTree::BackgroundError() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return background_error_;
+}
+
+Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
   if (wal_ != nullptr) {
     auto lsn = wal_->Append(WalOp::kPut, key, payload);
     if (!lsn.ok()) return lsn.status();
   }
-  mem_.Put(key, Buffer(payload.begin(), payload.end()), std::nullopt);
-  if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushLocked());
-    TC_RETURN_IF_ERROR(MaybeMergeLocked());
+  mem_->Put(key, Buffer(payload.begin(), payload.end()), std::nullopt);
+  if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
+    TC_RETURN_IF_ERROR(FlushMemtable());
+    TC_RETURN_IF_ERROR(MaybeMerge());
   }
   return Status::OK();
 }
 
 Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
                        std::optional<Buffer>* old_out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
   if (wal_ != nullptr) {
     auto lsn = wal_->Append(WalOp::kPut, key, payload);
     if (!lsn.ok()) return lsn.status();
   }
   std::optional<Buffer> old;
-  if (!mem_.Contains(key)) {
+  // Writer-side pointer read (no copy): we hold write_mu_, so nothing else
+  // mutates the live generation — the same reasoning FlushMemtable uses.
+  const MemTable::Entry* mem_hit = mem_->Get(key);
+  if (mem_hit == nullptr) {
     bool may_exist = true;
     if (opts_.key_may_exist) {
       may_exist = opts_.key_may_exist(key);
     }
     if (may_exist && opts_.capture_old_versions) {
-      ++stats_.old_version_lookups;
-      TC_ASSIGN_OR_RETURN(auto disk, GetDiskVersionLocked(key));
+      counters_->old_version_lookups.fetch_add(1, std::memory_order_relaxed);
+      TC_ASSIGN_OR_RETURN(auto disk, View().GetDiskVersion(key));
       if (disk.has_value()) old = std::move(disk);
     }
-  } else if (old_out != nullptr) {
-    const MemTable::Entry* e = mem_.Get(key);
-    if (e != nullptr && !e->anti && !e->payload.empty()) {
-      *old_out = e->payload;
-    }
+  } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
+    *old_out = mem_hit->payload;
   }
   if (old_out != nullptr && old.has_value()) *old_out = old;
-  mem_.Put(key, Buffer(payload.begin(), payload.end()), std::move(old));
-  if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushLocked());
-    TC_RETURN_IF_ERROR(MaybeMergeLocked());
+  mem_->Put(key, Buffer(payload.begin(), payload.end()), std::move(old));
+  if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
+    TC_RETURN_IF_ERROR(FlushMemtable());
+    TC_RETURN_IF_ERROR(MaybeMerge());
   }
   return Status::OK();
 }
 
 Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
   if (wal_ != nullptr) {
     auto lsn = wal_->Append(WalOp::kDelete, key, {});
     if (!lsn.ok()) return lsn.status();
   }
   std::optional<Buffer> old;
-  const MemTable::Entry* e = mem_.Get(key);
-  if (e == nullptr) {
+  const MemTable::Entry* mem_hit = mem_->Get(key);  // writer-side, no copy
+  if (mem_hit == nullptr) {
     if (opts_.capture_old_versions) {
-      ++stats_.old_version_lookups;
-      TC_ASSIGN_OR_RETURN(auto disk, GetDiskVersionLocked(key));
+      counters_->old_version_lookups.fetch_add(1, std::memory_order_relaxed);
+      TC_ASSIGN_OR_RETURN(auto disk, View().GetDiskVersion(key));
       if (disk.has_value()) old = std::move(disk);
     }
     if (old_out != nullptr) *old_out = old;
-  } else if (old_out != nullptr && !e->anti && !e->payload.empty()) {
-    *old_out = e->payload;
+  } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
+    *old_out = mem_hit->payload;
   }
-  mem_.Delete(key, std::move(old));
-  if (mem_.approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushLocked());
-    TC_RETURN_IF_ERROR(MaybeMergeLocked());
+  mem_->Delete(key, std::move(old));
+  if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
+    TC_RETURN_IF_ERROR(FlushMemtable());
+    TC_RETURN_IF_ERROR(MaybeMerge());
   }
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Reads (thin wrappers over one-shot snapshots)
+// ---------------------------------------------------------------------------
+
 Result<std::optional<Buffer>> LsmTree::Get(const BtreeKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.point_lookups;
-  const MemTable::Entry* e = mem_.Get(key);
-  if (e != nullptr) {
-    if (e->anti) return std::optional<Buffer>{};
-    return std::optional<Buffer>{e->payload};
-  }
-  return GetDiskVersionLocked(key);
+  return View().Get(key);
 }
 
 Result<std::optional<Buffer>> LsmTree::GetDiskVersion(const BtreeKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return GetDiskVersionLocked(key);
+  return View().GetDiskVersion(key);
 }
 
-Result<std::optional<Buffer>> LsmTree::GetDiskVersionLocked(const BtreeKey& key) {
-  for (const auto& comp : components_) {
-    TC_ASSIGN_OR_RETURN(auto hit, comp->Get(key));
-    if (hit.has_value()) {
-      if (hit->anti) return std::optional<Buffer>{};
-      return std::optional<Buffer>{std::move(hit->payload)};
-    }
-  }
-  return std::optional<Buffer>{};
+LsmStats LsmTree::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LsmStats s = stats_;
+  s.point_lookups = counters_->point_lookups.load(std::memory_order_relaxed);
+  s.old_version_lookups =
+      counters_->old_version_lookups.load(std::memory_order_relaxed);
+  return s;
 }
+
+// ---------------------------------------------------------------------------
+// Flush
+// ---------------------------------------------------------------------------
 
 Status LsmTree::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  TC_RETURN_IF_ERROR(FlushLocked());
-  return MaybeMergeLocked();
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
+  TC_RETURN_IF_ERROR(FlushMemtable());
+  return MaybeMerge();
 }
 
-Status LsmTree::FlushLocked() {
-  if (mem_.empty()) return Status::OK();
+Status LsmTree::FlushMemtable() {
+  if (mem_->empty()) return Status::OK();
   uint64_t cid = next_cid_++;
   std::string path = ComponentPath(cid, cid);
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
                                                     opts_.page_size, compressor_));
   TC_RETURN_IF_ERROR(transformer_->OnFlushBegin());
+  // The long build reads the live generation without locks: writers are
+  // excluded by write_mu_ (held by this caller) and concurrent snapshot
+  // readers only read. Readers keep resolving against the old structure until
+  // the single swap below.
   Buffer transformed;
-  for (auto it = mem_.begin(); it != mem_.end(); ++it) {
+  for (auto it = mem_->begin(); it != mem_->end(); ++it) {
     const MemTable::Entry& e = it->second;
     if (e.has_old) {
       TC_RETURN_IF_ERROR(transformer_->OnRemovedVersion(
@@ -287,25 +428,35 @@ Status LsmTree::FlushLocked() {
   TC_RETURN_IF_ERROR(builder->MarkValid());
   TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
                                                       opts_.page_size, compressor_));
-  stats_.bytes_flushed += comp->physical_bytes();
-  ++stats_.flush_count;
-  components_.insert(components_.begin(), std::move(comp));
-  stats_.component_count_high_water = std::max<uint64_t>(
-      stats_.component_count_high_water, components_.size());
-  mem_.Clear();
+  {
+    // The structure swap: install the component and retire the memtable
+    // generation in one atomic step, so every snapshot sees the record
+    // exactly once — in the generation before, in the component after.
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_flushed += comp->physical_bytes();
+    ++stats_.flush_count;
+    components_.insert(components_.begin(), std::move(comp));
+    stats_.component_count_high_water = std::max<uint64_t>(
+        stats_.component_count_high_water, components_.size());
+    mem_ = std::make_shared<MemTable>();  // old generation frozen; views keep it
+  }
   if (wal_ != nullptr) TC_RETURN_IF_ERROR(wal_->Reset());
   return Status::OK();
 }
 
-Status LsmTree::MaybeMergeLocked() {
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+Result<LsmTree::MergePlan> LsmTree::DecideMergeLocked() {
   std::vector<uint64_t> sizes;
   sizes.reserve(components_.size());
   for (const auto& c : components_) sizes.push_back(c->physical_bytes());
   MergeDecision d = opts_.merge_policy->Decide(sizes);
-  if (!d.merge) return Status::OK();
+  MergePlan plan;
+  if (!d.merge) return plan;
   // Harden against malformed decisions: an inverted range would underflow the
-  // width check below, and an overlong one would only trip the TC_CHECK crash
-  // inside MergeRangeLocked.
+  // width check below, and an overlong one would walk off the vector.
   if (d.begin > d.end || d.end > components_.size()) {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
@@ -314,17 +465,18 @@ Status LsmTree::MaybeMergeLocked() {
                   opts_.merge_policy->name(), d.begin, d.end, components_.size());
     return Status::Internal(buf);
   }
-  if (d.end - d.begin < 2) return Status::OK();
-  return MergeRangeLocked(d.begin, d.end);
+  if (d.end - d.begin < 2) return plan;
+  plan.inputs.assign(components_.begin() + static_cast<ptrdiff_t>(d.begin),
+                     components_.begin() + static_cast<ptrdiff_t>(d.end));
+  plan.drop_tombstones = (d.end == components_.size());
+  plan.cid_min = plan.inputs.back()->meta().cid_min;
+  plan.cid_max = plan.inputs.front()->meta().cid_max;
+  return plan;
 }
 
-Status LsmTree::MergeRangeLocked(size_t begin, size_t end) {
-  TC_CHECK(begin < end && end <= components_.size());
-  uint64_t cid_min = components_[end - 1]->meta().cid_min;
-  uint64_t cid_max = components_[begin]->meta().cid_max;
-  bool drop_tombstones = (end == components_.size());
-  std::string path = ComponentPath(cid_min, cid_max);
-
+Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
+    const MergePlan& plan) {
+  std::string path = ComponentPath(plan.cid_min, plan.cid_max);
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
                                                     opts_.page_size, compressor_));
@@ -336,8 +488,8 @@ Status LsmTree::MergeRangeLocked(size_t begin, size_t end) {
     size_t rank;  // lower == newer
   };
   std::vector<Cursor> cursors;
-  for (size_t i = begin; i < end; ++i) {
-    auto it = std::make_unique<BtreeComponent::Iterator>(components_[i].get());
+  for (size_t i = 0; i < plan.inputs.size(); ++i) {
+    auto it = std::make_unique<BtreeComponent::Iterator>(plan.inputs[i].get());
     TC_RETURN_IF_ERROR(it->SeekToFirst());
     if (it->Valid()) cursors.push_back({std::move(it), i});
   }
@@ -352,7 +504,7 @@ Status LsmTree::MergeRangeLocked(size_t begin, size_t end) {
     BtreeKey key = cursors[best].it->key();
     bool anti = cursors[best].it->anti();
     std::string_view payload = cursors[best].it->payload();
-    if (anti && drop_tombstones) {
+    if (anti && plan.drop_tombstones) {
       // Annihilated: the anti-matter entry and any older record both vanish.
     } else {
       TC_RETURN_IF_ERROR(builder->Add(key, anti, payload));
@@ -370,37 +522,128 @@ Status LsmTree::MergeRangeLocked(size_t begin, size_t end) {
     }
   }
   // Persist the newest (superset) schema in the merged component (§3.1.1).
-  TC_RETURN_IF_ERROR(
-      builder->Finish(cid_min, cid_max, components_[begin]->meta().schema_blob));
+  TC_RETURN_IF_ERROR(builder->Finish(plan.cid_min, plan.cid_max,
+                                     plan.inputs.front()->meta().schema_blob));
   TC_RETURN_IF_ERROR(builder->MarkValid());
-  TC_ASSIGN_OR_RETURN(auto merged, BtreeComponent::Open(opts_.fs, opts_.cache, path,
-                                                        opts_.page_size,
-                                                        compressor_));
+  return BtreeComponent::Open(opts_.fs, opts_.cache, path, opts_.page_size,
+                              compressor_);
+}
+
+void LsmTree::InstallMergedLocked(const MergePlan& plan,
+                                  std::shared_ptr<BtreeComponent> merged) {
+  // Locate the inputs by identity: flushes may have prepended newer
+  // components while the rewrite ran, but the captured run is still intact
+  // and contiguous (one merge in flight per tree).
+  size_t idx = 0;
+  while (idx < components_.size() && components_[idx] != plan.inputs.front()) {
+    ++idx;
+  }
+  TC_CHECK(idx + plan.inputs.size() <= components_.size());
+  for (size_t i = 0; i < plan.inputs.size(); ++i) {
+    TC_CHECK(components_[idx + i] == plan.inputs[i]);
+  }
   stats_.bytes_merged += merged->physical_bytes();
   ++stats_.merge_count;
-
-  // Swap in the merged component, then delete the inputs (older components
-  // can be safely deleted only after the merge is VALID, §2.2).
-  std::vector<std::shared_ptr<BtreeComponent>> old(
-      components_.begin() + static_cast<ptrdiff_t>(begin),
-      components_.begin() + static_cast<ptrdiff_t>(end));
-  components_.erase(components_.begin() + static_cast<ptrdiff_t>(begin),
-                    components_.begin() + static_cast<ptrdiff_t>(end));
-  components_.insert(components_.begin() + static_cast<ptrdiff_t>(begin),
+  components_.erase(
+      components_.begin() + static_cast<ptrdiff_t>(idx),
+      components_.begin() + static_cast<ptrdiff_t>(idx + plan.inputs.size()));
+  components_.insert(components_.begin() + static_cast<ptrdiff_t>(idx),
                      std::move(merged));
-  for (const auto& c : old) {
-    opts_.cache->InvalidateFile(c->file_id());
-    TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), c->path()));
+  // Swap complete: the inputs leave the tree. Views still referencing them
+  // keep the files alive; the reclaimer deletes them on last release.
+  for (const auto& c : plan.inputs) reclaimer_->Retire(c);
+}
+
+Status LsmTree::MaybeMerge() {
+  if (opts_.merge_pool == nullptr) {
+    // Inline: one policy decision per flush, rewritten on the writer thread.
+    // Readers stay unblocked either way — they only need `mu_`, which is held
+    // just for the decision and the final swap.
+    MergePlan plan;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TC_ASSIGN_OR_RETURN(plan, DecideMergeLocked());
+    }
+    if (plan.inputs.empty()) return Status::OK();
+    TC_ASSIGN_OR_RETURN(auto merged, BuildMergedComponent(plan));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      InstallMergedLocked(plan, std::move(merged));
+    }
+    return reclaimer_->Drain();
   }
+  // Scheduled: capture the plan now, rewrite on the shared executor. One
+  // merge in flight per tree; the job re-decides on completion, so a skipped
+  // trigger here is picked up then.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (merge_inflight_) return Status::OK();
+  TC_ASSIGN_OR_RETURN(MergePlan plan, DecideMergeLocked());
+  if (plan.inputs.empty()) return Status::OK();
+  merge_inflight_ = true;
+  opts_.merge_pool->Submit(
+      [this, plan = std::move(plan)]() mutable { MergeJob(std::move(plan)); });
   return Status::OK();
 }
+
+void LsmTree::MergeJob(MergePlan plan) {
+  // Keep the reclaimer alive independently of the tree: the moment the
+  // completion signal below fires, ~LsmTree / WaitForMerges may unblock and
+  // the tree may be freed — after that point this pool thread must not touch
+  // `this`.
+  std::shared_ptr<ComponentReclaimer> reclaimer = reclaimer_;
+  Result<std::shared_ptr<BtreeComponent>> merged = BuildMergedComponent(plan);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Every exit of this scope either resubmitted (inflight stays true) or
+    // ran this completion; nothing after the scope may dereference `this`.
+    auto finish = [this](const Status& st) {
+      if (background_error_.ok() && !st.ok()) background_error_ = st;
+      merge_inflight_ = false;
+      merge_cv_.notify_all();
+    };
+    if (!merged.ok()) {
+      finish(merged.status());
+    } else {
+      InstallMergedLocked(plan, std::move(merged).value());
+      plan.inputs.clear();  // drop our pins before draining below
+      // Cascade: the policy may want another merge on the new shape (e.g.
+      // a tier completed by this rewrite).
+      Result<MergePlan> next = DecideMergeLocked();
+      if (!next.ok()) {
+        finish(next.status());
+      } else if (!next.value().inputs.empty()) {
+        opts_.merge_pool->Submit([this, p = std::move(next).value()]() mutable {
+          MergeJob(std::move(p));
+        });
+      } else {
+        finish(Status::OK());
+      }
+    }
+  }
+  Status st = reclaimer->Drain();  // best-effort; sticky errors come from builds
+  (void)st;
+}
+
+Status LsmTree::WaitForMerges() {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+  return background_error_;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load / teardown
+// ---------------------------------------------------------------------------
 
 Status LsmTree::BulkLoad(
     const std::function<Status(std::function<Status(const BtreeKey&,
                                                     std::string_view)>)>& feed) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!mem_.empty() || !components_.empty()) {
-    return Status::InvalidArgument("bulk load requires an empty dataset");
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!mem_->empty() || !components_.empty()) {
+      return Status::InvalidArgument("bulk load requires an empty dataset");
+    }
   }
   uint64_t cid = next_cid_++;
   std::string path = ComponentPath(cid, cid);
@@ -423,6 +666,7 @@ Status LsmTree::BulkLoad(
   TC_RETURN_IF_ERROR(builder->MarkValid());
   TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
                                                       opts_.page_size, compressor_));
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.bytes_flushed += comp->physical_bytes();
   ++stats_.flush_count;
   components_.insert(components_.begin(), std::move(comp));
@@ -431,26 +675,18 @@ Status LsmTree::BulkLoad(
   return Status::OK();
 }
 
-uint64_t LsmTree::physical_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t total = 0;
-  for (const auto& c : components_) total += c->physical_bytes();
-  return total;
-}
-
-const Buffer& LsmTree::newest_schema_blob() const {
-  static const Buffer kEmpty;
-  return components_.empty() ? kEmpty : components_.front()->meta().schema_blob;
-}
-
 Status LsmTree::DestroyAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& c : components_) {
-    opts_.cache->InvalidateFile(c->file_id());
-    TC_RETURN_IF_ERROR(BtreeComponent::Destroy(opts_.fs.get(), c->path()));
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  std::vector<std::shared_ptr<BtreeComponent>> doomed;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+    doomed.swap(components_);
+    mem_ = std::make_shared<MemTable>();
   }
-  components_.clear();
-  mem_.Clear();
+  for (auto& c : doomed) reclaimer_->Retire(std::move(c));
+  doomed.clear();
+  TC_RETURN_IF_ERROR(reclaimer_->Drain());
   std::string wal_path = JoinPath(opts_.dir, opts_.name + ".wal");
   if (opts_.fs->Exists(wal_path)) TC_RETURN_IF_ERROR(opts_.fs->Delete(wal_path));
   return Status::OK();
@@ -462,38 +698,36 @@ Status LsmTree::DestroyAll() {
 
 LsmTree::Iterator::Iterator(LsmTree* tree) : tree_(tree) {}
 
-Status LsmTree::Iterator::SeekToFirst() {
-  {
-    // Snapshot the component list under the lock so a concurrent flush/merge
-    // can't tear the copy. This protects only the copy itself: iteration
-    // still requires the documented no-concurrent-mutation contract (a merge
-    // deletes its input files, and a flush clears the memtable under
-    // mem_it_).
-    std::lock_guard<std::mutex> lock(tree_->mu_);
-    comps_ = tree_->components_;
-  }
+LsmTree::Iterator::Iterator(ReadViewRef view) : view_(std::move(view)) {}
+
+Status LsmTree::Iterator::Position(const BtreeKey* seek_key) {
+  // Tree-constructed iterators re-snapshot per seek (the historical
+  // semantics); view-constructed iterators stay inside the given snapshot so
+  // several cursors can share one coherent state.
+  if (tree_ != nullptr) view_ = tree_->AcquireView();
+  TC_CHECK(view_ != nullptr);
+  // Copy the (budget-bounded) in-memory entries: the live generation may
+  // still receive writes, and a private copy makes the scan a stable snapshot
+  // of seek time. An upper-bound hint keeps narrow range scans O(range).
+  view_->memtable().Snapshot(seek_key,
+                             upper_bound_.has_value() ? &*upper_bound_ : nullptr,
+                             &mem_entries_);
+  mem_pos_ = 0;
   cursors_.clear();
-  for (const auto& c : comps_) {
+  for (const auto& c : view_->components()) {
     cursors_.push_back(std::make_unique<BtreeComponent::Iterator>(c.get()));
-    TC_RETURN_IF_ERROR(cursors_.back()->SeekToFirst());
+    if (seek_key != nullptr) {
+      TC_RETURN_IF_ERROR(cursors_.back()->Seek(*seek_key));
+    } else {
+      TC_RETURN_IF_ERROR(cursors_.back()->SeekToFirst());
+    }
   }
-  mem_it_ = tree_->mem_.begin();
   return FindNext(/*include_current=*/true);
 }
 
-Status LsmTree::Iterator::Seek(const BtreeKey& key) {
-  {
-    std::lock_guard<std::mutex> lock(tree_->mu_);
-    comps_ = tree_->components_;
-  }
-  cursors_.clear();
-  for (const auto& c : comps_) {
-    cursors_.push_back(std::make_unique<BtreeComponent::Iterator>(c.get()));
-    TC_RETURN_IF_ERROR(cursors_.back()->Seek(key));
-  }
-  mem_it_ = tree_->mem_.LowerBound(key);
-  return FindNext(/*include_current=*/true);
-}
+Status LsmTree::Iterator::SeekToFirst() { return Position(nullptr); }
+
+Status LsmTree::Iterator::Seek(const BtreeKey& key) { return Position(&key); }
 
 Status LsmTree::Iterator::Next() {
   TC_CHECK(valid_);
@@ -501,13 +735,15 @@ Status LsmTree::Iterator::Next() {
 }
 
 Status LsmTree::Iterator::FindNext(bool include_current) {
-  // On each round: find the smallest key across the memtable cursor and all
+  // On each round: find the smallest key across the memtable snapshot and all
   // component cursors; the newest source (memtable, then components in order)
   // wins; anti-matter entries annihilate.
   if (!include_current) {
     // Skip past the previously returned key on all sources.
     BtreeKey prev = key_;
-    if (mem_it_ != tree_->mem_.end() && mem_it_->first == prev) ++mem_it_;
+    if (mem_pos_ < mem_entries_.size() && mem_entries_[mem_pos_].key == prev) {
+      ++mem_pos_;
+    }
     for (auto& cur : cursors_) {
       if (cur->Valid() && cur->key() == prev) TC_RETURN_IF_ERROR(cur->Next());
     }
@@ -515,8 +751,8 @@ Status LsmTree::Iterator::FindNext(bool include_current) {
   while (true) {
     bool have = false;
     BtreeKey min_key{};
-    if (mem_it_ != tree_->mem_.end()) {
-      min_key = mem_it_->first;
+    if (mem_pos_ < mem_entries_.size()) {
+      min_key = mem_entries_[mem_pos_].key;
       have = true;
     }
     for (auto& cur : cursors_) {
@@ -533,12 +769,12 @@ Status LsmTree::Iterator::FindNext(bool include_current) {
     bool anti = false;
     bool from_mem = false;
     std::string_view payload;
-    if (mem_it_ != tree_->mem_.end() && mem_it_->first == min_key) {
+    if (mem_pos_ < mem_entries_.size() && mem_entries_[mem_pos_].key == min_key) {
       from_mem = true;
-      anti = mem_it_->second.anti;
+      anti = mem_entries_[mem_pos_].anti;
       payload = std::string_view(
-          reinterpret_cast<const char*>(mem_it_->second.payload.data()),
-          mem_it_->second.payload.size());
+          reinterpret_cast<const char*>(mem_entries_[mem_pos_].payload.data()),
+          mem_entries_[mem_pos_].payload.size());
     } else {
       for (auto& cur : cursors_) {
         if (cur->Valid() && cur->key() == min_key) {
@@ -558,7 +794,7 @@ Status LsmTree::Iterator::FindNext(bool include_current) {
     if (!skip) {
       key_ = min_key;
       if (from_mem) {
-        payload_ = payload;
+        payload_ = payload;  // entry copy is owned by this iterator
       } else {
         // Copy: advancing sibling cursors below may release the pinned page.
         payload_copy_.assign(payload.begin(), payload.end());
@@ -570,7 +806,9 @@ Status LsmTree::Iterator::FindNext(bool include_current) {
       return Status::OK();
     }
     // Annihilated or filtered key: advance all sources past it and continue.
-    if (mem_it_ != tree_->mem_.end() && mem_it_->first == min_key) ++mem_it_;
+    if (mem_pos_ < mem_entries_.size() && mem_entries_[mem_pos_].key == min_key) {
+      ++mem_pos_;
+    }
     for (auto& cur : cursors_) {
       if (cur->Valid() && cur->key() == min_key) TC_RETURN_IF_ERROR(cur->Next());
     }

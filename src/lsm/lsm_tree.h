@@ -1,12 +1,34 @@
 // One partition's LSM index (paper §2.2): an in-memory component plus a list
-// of immutable on-disk components, with flush, merge (prefix policy),
+// of immutable on-disk components, with flush, merge (selectable policy),
 // anti-matter deletes, WAL-backed recovery, and the flush-time transformer
 // hook the tuple compactor plugs into (§3.1). The LSM tree itself is
 // format-agnostic: payloads are opaque bytes; the transformer decides whether
 // flushes infer schemas and compact records.
+//
+// Concurrency model (snapshot reads, ROADMAP "Parallelism"):
+//   * Every read goes through a ReadView — an immutable value pinning the
+//     memtable generation and the shared_ptr component vector as of one
+//     instant. Acquisition is O(components) under the structure mutex `mu_`;
+//     the search itself runs entirely OUTSIDE any tree lock, so point lookups
+//     and scans from many threads proceed in parallel with each other and
+//     with flush/merge rewrites.
+//   * Writers are serialized by `write_mu_` (held across WAL append, memtable
+//     update, and flush builds) and take `mu_` only for the brief structure
+//     swaps — readers never wait out a flush or merge rewrite.
+//   * Flush retires the memtable generation by swapping in a fresh one; the
+//     retired generation is frozen and lives as long as some view pins it.
+//   * Merge retires its input components by dropping them from the component
+//     vector into a deferred-deletion list (ComponentReclaimer); the physical
+//     files are deleted only when the last view referencing them is released.
+//   * With LsmTreeOptions::merge_pool set, merges are scheduled on the shared
+//     executor and rewrite components on a background thread, taking `mu_`
+//     only to capture inputs and to install the result; without a pool they
+//     run inline on the writer thread (deterministic — what unit tests use).
 #ifndef TC_LSM_LSM_TREE_H_
 #define TC_LSM_LSM_TREE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +38,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/task_pool.h"
 #include "lsm/btree_component.h"
 #include "lsm/memtable.h"
 #include "lsm/merge_policy.h"
@@ -65,11 +88,16 @@ struct LsmTreeOptions {
   /// Not owned; identity behaviour when null.
   FlushTransformer* transformer = nullptr;
   /// Optional fast existence filter (the primary-key index of §3.2.2): when it
-  /// returns false the expensive old-version point lookup is skipped.
+  /// returns false the expensive old-version point lookup is skipped. Invoked
+  /// on the writer thread; implementations read through snapshots, so they
+  /// must not take this tree's locks.
   std::function<bool(const BtreeKey&)> key_may_exist;
   /// Capture old on-disk versions on upsert/delete (needed by the tuple
   /// compactor's anti-schema processing and by secondary index maintenance).
   bool capture_old_versions = false;
+  /// Shared background executor for merges (not owned; must outlive the
+  /// tree). Null = merge inline on the writer thread after each flush.
+  TaskPool* merge_pool = nullptr;
 };
 
 struct LsmStats {
@@ -92,11 +120,104 @@ struct LsmStats {
   }
 };
 
+/// Deferred deletion of retired (merged-away or destroyed) components: files
+/// are physically deleted only once no ReadView pins the component. Shared by
+/// a tree and every view it hands out, so the last releaser — tree or view,
+/// in either order — reclaims the files.
+class ComponentReclaimer {
+ public:
+  ComponentReclaimer(std::shared_ptr<FileSystem> fs, BufferCache* cache)
+      : fs_(std::move(fs)), cache_(cache) {}
+
+  /// Takes ownership of a component that left the tree's component vector.
+  void Retire(std::shared_ptr<BtreeComponent> comp);
+
+  /// Deletes the files of every retired component nobody else references.
+  /// Returns the first deletion error (deferred entries are not an error).
+  Status Drain();
+
+  /// Lock-free fast path for the per-view release check.
+  bool has_pending() const { return pending_.load(std::memory_order_acquire); }
+
+  size_t pending_count() const;
+
+ private:
+  std::shared_ptr<FileSystem> fs_;
+  BufferCache* cache_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<BtreeComponent>> retired_;
+  std::atomic<bool> pending_{false};
+};
+
+/// Read-path counters shared between the tree and its views (views may be
+/// searched long after acquisition; the tree aggregates them into LsmStats).
+struct LsmReadCounters {
+  std::atomic<uint64_t> point_lookups{0};
+  std::atomic<uint64_t> old_version_lookups{0};
+};
+
 class LsmTree {
  public:
+  /// An immutable snapshot of the tree: the pinned memtable generation plus
+  /// the on-disk component vector at acquisition time. All searching happens
+  /// without tree locks. A view observes every write committed before its
+  /// acquisition; writes applied to the pinned in-memory generation while it
+  /// is still live also become visible (read-committed in memory), but once a
+  /// flush retires that generation the view is fully frozen — later flushes,
+  /// merges, and deletes are never observed. Views are value types; share one
+  /// across threads via ReadViewRef. Releasing a view drains the deferred-
+  /// deletion list, so retired component files disappear exactly when the
+  /// last reader lets go.
+  class ReadView {
+   public:
+    ReadView(ReadView&&) = default;
+    ReadView& operator=(ReadView&&) = default;
+    ReadView(const ReadView&) = delete;
+    ReadView& operator=(const ReadView&) = delete;
+    ~ReadView();
+
+    /// Point lookup across the pinned memtable generation and components,
+    /// newest first. Runs without any tree lock.
+    Result<std::optional<Buffer>> Get(const BtreeKey& key) const;
+
+    /// Point lookup skipping the memtable (the current on-disk version).
+    Result<std::optional<Buffer>> GetDiskVersion(const BtreeKey& key) const;
+
+    size_t component_count() const { return comps_.size(); }
+    const std::vector<std::shared_ptr<BtreeComponent>>& components() const {
+      return comps_;
+    }
+    const MemTable& memtable() const { return *mem_; }
+    /// Total on-disk physical bytes of the pinned components (data files +
+    /// LAFs) — the Figure 16 metric.
+    uint64_t physical_bytes() const;
+    /// Schema blob of the newest pinned component (empty when none).
+    Buffer newest_schema_blob() const;
+
+   private:
+    friend class LsmTree;
+    ReadView() = default;
+
+    std::shared_ptr<const MemTable> mem_;
+    std::vector<std::shared_ptr<BtreeComponent>> comps_;  // newest first
+    std::shared_ptr<LsmReadCounters> counters_;
+    std::shared_ptr<ComponentReclaimer> reclaimer_;
+  };
+  using ReadViewRef = std::shared_ptr<const ReadView>;
+
   /// Opens (or creates) the tree; removes invalid components and replays the
   /// WAL, then flushes the restored memtable (paper §3.1.2).
   static Result<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
+
+  /// Waits out scheduled merges, then releases the tree's own pins and
+  /// reclaims whatever no view still holds.
+  ~LsmTree();
+
+  /// Snapshot acquisition: O(components) pointer copies under `mu_`.
+  ReadView View() const;
+  /// Heap-shared variant for callers that hand one snapshot to several
+  /// consumers (query pipelines, iterators).
+  ReadViewRef AcquireView() const;
 
   /// Inserts a record assumed new (no old-version lookup) — the insert-only
   /// feed path of Figure 17a.
@@ -110,17 +231,19 @@ class LsmTree {
   /// Deletes by key (inserts an anti-matter entry).
   Status Delete(const BtreeKey& key, std::optional<Buffer>* old_out = nullptr);
 
-  /// Point lookup across memtable and components, newest first. Safe against
-  /// concurrent writers (cluster feeds are thread-per-feed): takes `mu_` so a
-  /// flush/merge component swap can't tear the walk.
+  /// Point lookup through a fresh snapshot (thin wrapper over ReadView::Get).
   Result<std::optional<Buffer>> Get(const BtreeKey& key);
 
   /// Point lookup skipping the memtable (the current on-disk version).
   Result<std::optional<Buffer>> GetDiskVersion(const BtreeKey& key);
 
   /// Flushes the in-memory component if non-empty, then consults the merge
-  /// policy.
+  /// policy (inline, or scheduled on the merge pool when configured).
   Status Flush();
+
+  /// Blocks until no merge is scheduled or running for this tree; returns the
+  /// sticky background-merge error, if any. A no-op without a merge pool.
+  Status WaitForMerges();
 
   /// Builds a single on-disk component from externally sorted entries
   /// (bulk-load, §4.3). The tree must be empty.
@@ -128,11 +251,18 @@ class LsmTree {
       const std::function<Status(std::function<Status(const BtreeKey&,
                                                       std::string_view)>)>& feed);
 
-  /// Merged forward scan with anti-matter annihilation. The caller must not
-  /// mutate the tree while iterating.
+  /// Merged forward scan with anti-matter annihilation over one snapshot.
+  /// Readers get snapshot isolation: Seek/SeekToFirst pins the tree structure
+  /// (tree-constructed iterators acquire a fresh view per seek; view-
+  /// constructed iterators reuse the given one) and copies the in-memory
+  /// entries, so concurrent writers, flushes, and merges are never observed
+  /// mid-scan — the cursor sees exactly the records visible at seek time.
   class Iterator {
    public:
+    /// Iterates the tree's state as of the next Seek/SeekToFirst call.
     explicit Iterator(LsmTree* tree);
+    /// Iterates the given snapshot (coherent with other readers of `view`).
+    explicit Iterator(ReadViewRef view);
 
     /// Pre-assembly payload predicate (§3.4.2-deep). Must be installed before
     /// positioning; entries whose payload fails it are skipped by the cursor
@@ -146,6 +276,14 @@ class LsmTree {
     using PayloadFilter = std::function<Result<bool>(std::string_view)>;
     void set_payload_filter(PayloadFilter filter) { filter_ = std::move(filter); }
 
+    /// Optional inclusive upper bound, installed before positioning: the
+    /// in-memory snapshot then copies O(range) entries instead of the whole
+    /// memtable tail — what keeps a narrow range scan cheap during ingestion.
+    /// The cursor does not itself stop at the bound; the caller must treat
+    /// the first surfaced key past it as end-of-scan (beyond the bound,
+    /// memtable entries — including anti-matter — are not consulted).
+    void set_upper_bound(const BtreeKey& key) { upper_bound_ = key; }
+
     Status SeekToFirst();
     Status Seek(const BtreeKey& key);
     bool Valid() const { return valid_; }
@@ -154,11 +292,14 @@ class LsmTree {
     std::string_view payload() const { return payload_; }
 
    private:
+    Status Position(const BtreeKey* seek_key);
     Status FindNext(bool include_current);
 
-    LsmTree* tree_;
-    MemTable::ConstIterator mem_it_;
-    std::vector<std::shared_ptr<BtreeComponent>> comps_;
+    LsmTree* tree_ = nullptr;  // null for view-constructed iterators
+    ReadViewRef view_;
+    std::optional<BtreeKey> upper_bound_;
+    std::vector<MemTable::ScanEntry> mem_entries_;  // snapshot, key order
+    size_t mem_pos_ = 0;
     std::vector<std::unique_ptr<BtreeComponent::Iterator>> cursors_;
     PayloadFilter filter_;
     bool valid_ = false;
@@ -167,51 +308,80 @@ class LsmTree {
     Buffer payload_copy_;
   };
 
-  /// Unsynchronized structural accessors: valid only while no concurrent
-  /// writer can flush or merge (tests and benches quiesce first).
-  size_t component_count() const { return components_.size(); }
-  const std::vector<std::shared_ptr<BtreeComponent>>& components() const {
-    return components_;
-  }
-  const MemTable& memtable() const { return mem_; }
-  /// Total on-disk physical bytes (data files + LAFs) — the Figure 16 metric.
-  uint64_t physical_bytes() const;
-  const LsmStats& stats() const { return stats_; }
+  /// Coherent component count via a snapshot (cheap; safe under concurrency).
+  size_t component_count() const { return View().component_count(); }
+  /// Total on-disk physical bytes via a snapshot — the Figure 16 metric.
+  uint64_t physical_bytes() const { return View().physical_bytes(); }
+  /// Aggregate statistics snapshot (copies under the structure mutex).
+  LsmStats stats() const;
   const char* merge_policy_name() const { return opts_.merge_policy->name(); }
   /// Schema blob of the newest valid component (empty when none) — what crash
   /// recovery reloads (§3.1.2).
-  const Buffer& newest_schema_blob() const;
+  Buffer newest_schema_blob() const { return View().newest_schema_blob(); }
 
-  /// Deletes all files of this tree (testing and bench cleanup).
+  /// Retires every component and deletes this tree's files (testing and bench
+  /// cleanup). Files pinned by still-live views are deleted when those views
+  /// release.
   Status DestroyAll();
 
  private:
   LsmTree() = default;
 
+  /// A merge captured under `mu_`: the pinned inputs rewrite without locks.
+  struct MergePlan {
+    std::vector<std::shared_ptr<BtreeComponent>> inputs;  // newest first
+    bool drop_tombstones = false;
+    uint64_t cid_min = 0;
+    uint64_t cid_max = 0;
+  };
+
   std::string ComponentPath(uint64_t cid_min, uint64_t cid_max) const;
   Status RecoverComponents();
   Status ReplayWal();
+  // Writer-side (write_mu_ held): builds + installs the flushed component.
+  Status FlushMemtable();
+  // Dispatches to inline or pool-scheduled merging after a flush.
+  Status MaybeMerge();
   // *Locked methods require `mu_` to be held by the caller.
-  Status FlushLocked();
-  Status MaybeMergeLocked();
-  Status MergeRangeLocked(size_t begin, size_t end);
-  Result<std::optional<Buffer>> GetDiskVersionLocked(const BtreeKey& key);
+  Result<MergePlan> DecideMergeLocked();
+  void InstallMergedLocked(const MergePlan& plan,
+                           std::shared_ptr<BtreeComponent> merged);
+  // Sticky first async-merge failure (never cleared); every writer entry
+  // point gates on it. Takes mu_ itself.
+  Status BackgroundError() const;
+  // Rewrites the plan's pinned inputs into one component. Lock-free: inputs
+  // are immutable files read through the (thread-safe) buffer cache.
+  Result<std::shared_ptr<BtreeComponent>> BuildMergedComponent(
+      const MergePlan& plan);
+  // Executes one scheduled merge on a pool thread, then re-decides.
+  void MergeJob(MergePlan plan);
 
   LsmTreeOptions opts_;
   std::shared_ptr<const Compressor> compressor_;
   FlushTransformer identity_;
   FlushTransformer* transformer_ = nullptr;
 
-  // Guards the memtable, the component vector, the WAL, and the stats:
-  // writers hold it across the whole operation; point lookups and iterator
-  // snapshots take it so a concurrent flush/merge swap can't tear their walk.
-  // Mutable so const observers (physical_bytes) can lock it.
+  // Serializes writers (Insert/Upsert/Delete/Flush/BulkLoad/DestroyAll) end
+  // to end: WAL append, memtable update, flush builds. Readers never take it.
+  std::mutex write_mu_;
+
+  // Guards the STRUCTURE only — the component vector, the live memtable
+  // pointer, stats_, and the merge-scheduling state. Held for view
+  // acquisition and swaps, never across component searches or rewrites.
+  // Mutable so const observers (View) can lock it. Lock order: write_mu_
+  // before mu_; memtable-internal locks nest innermost.
   mutable std::mutex mu_;
-  MemTable mem_;
+  std::condition_variable merge_cv_;  // signals merge completion (with mu_)
+  std::shared_ptr<MemTable> mem_;     // live generation; swapped by flush
   std::vector<std::shared_ptr<BtreeComponent>> components_;  // newest first
+  bool merge_inflight_ = false;       // a merge is scheduled or running
+  Status background_error_;           // sticky first async-merge failure
+
+  std::shared_ptr<ComponentReclaimer> reclaimer_;
+  std::shared_ptr<LsmReadCounters> counters_;
   std::unique_ptr<WriteAheadLog> wal_;
-  uint64_t next_cid_ = 1;
-  LsmStats stats_;
+  uint64_t next_cid_ = 1;  // writer-side (write_mu_)
+  LsmStats stats_;         // non-read-counter fields; guarded by mu_
 };
 
 }  // namespace tc

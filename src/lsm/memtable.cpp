@@ -7,6 +7,7 @@ constexpr size_t kEntryOverhead = 64;  // rough per-entry bookkeeping cost
 
 void MemTable::Put(const BtreeKey& key, Buffer payload,
                    std::optional<Buffer> old_payload) {
+  std::unique_lock<std::shared_mutex> lock(sync_);
   auto [it, inserted] = map_.try_emplace(key);
   Entry& e = it->second;
   if (inserted) {
@@ -26,6 +27,7 @@ void MemTable::Put(const BtreeKey& key, Buffer payload,
 }
 
 void MemTable::Delete(const BtreeKey& key, std::optional<Buffer> old_payload) {
+  std::unique_lock<std::shared_mutex> lock(sync_);
   auto [it, inserted] = map_.try_emplace(key);
   Entry& e = it->second;
   if (inserted) {
@@ -44,6 +46,50 @@ void MemTable::Delete(const BtreeKey& key, std::optional<Buffer> old_payload) {
 const MemTable::Entry* MemTable::Get(const BtreeKey& key) const {
   auto it = map_.find(key);
   return it == map_.end() ? nullptr : &it->second;
+}
+
+std::optional<MemTable::ScanEntry> MemTable::Find(const BtreeKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(sync_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return ScanEntry{key, it->second.anti, it->second.payload};
+}
+
+void MemTable::Snapshot(const BtreeKey* from, const BtreeKey* to,
+                        std::vector<ScanEntry>* out) const {
+  std::shared_lock<std::shared_mutex> lock(sync_);
+  auto it = from == nullptr ? map_.begin() : map_.lower_bound(*from);
+  auto end = to == nullptr ? map_.end() : map_.upper_bound(*to);
+  out->clear();
+  for (; it != end; ++it) {
+    out->push_back(ScanEntry{it->first, it->second.anti, it->second.payload});
+  }
+}
+
+bool MemTable::Contains(const BtreeKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(sync_);
+  return map_.count(key) > 0;
+}
+
+size_t MemTable::entry_count() const {
+  std::shared_lock<std::shared_mutex> lock(sync_);
+  return map_.size();
+}
+
+size_t MemTable::approximate_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(sync_);
+  return bytes_;
+}
+
+bool MemTable::empty() const {
+  std::shared_lock<std::shared_mutex> lock(sync_);
+  return map_.empty();
+}
+
+void MemTable::Clear() {
+  std::unique_lock<std::shared_mutex> lock(sync_);
+  map_.clear();
+  bytes_ = 0;
 }
 
 }  // namespace tc

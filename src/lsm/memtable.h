@@ -7,11 +7,24 @@
 // ("old payload") so the flush can process its anti-schema (§3.2.2). Versions
 // that only ever lived in this memtable never contributed to the schema and
 // are simply replaced.
+//
+// Concurrency: one MemTable is a *generation*. Writers (serialized by the
+// tree's writer mutex) mutate the live generation; a flush retires it by
+// swapping in a fresh one, after which the old generation is frozen forever —
+// ReadViews that pinned it keep reading it without synchronization. Reads of
+// the LIVE generation race only with the single writer, so mutators take this
+// table's internal lock exclusively and the copy-out read API (Find/Snapshot
+// and the size observers) takes it shared. The pointer/iterator API
+// (Get/begin/end/LowerBound) is writer-side only: it is safe on the writer
+// thread (nothing else mutates) and on frozen generations, but must not be
+// used to read a live generation from another thread.
 #ifndef TC_LSM_MEMTABLE_H_
 #define TC_LSM_MEMTABLE_H_
 
 #include <map>
 #include <optional>
+#include <shared_mutex>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -28,6 +41,13 @@ class MemTable {
     Buffer old_payload;       // that version's bytes (for anti-schema)
   };
 
+  /// A copied-out entry, detached from the map (safe to hold without locks).
+  struct ScanEntry {
+    BtreeKey key;
+    bool anti = false;
+    Buffer payload;
+  };
+
   /// Inserts or replaces the entry for `key`. `old_payload`, when present, is
   /// the current on-disk version (captured by the caller's point lookup); it
   /// is retained across subsequent updates to the same key so its anti-schema
@@ -37,27 +57,41 @@ class MemTable {
   /// Registers a delete.
   void Delete(const BtreeKey& key, std::optional<Buffer> old_payload);
 
-  /// Latest entry for `key`, or nullptr.
+  /// Latest entry for `key`, or nullptr. Writer-side API: the returned
+  /// pointer aliases the map and is only stable while no mutator runs.
   const Entry* Get(const BtreeKey& key) const;
 
-  /// True when `key` has an entry (live or anti).
-  bool Contains(const BtreeKey& key) const { return map_.count(key) > 0; }
+  /// Copy-out point read, safe from any thread concurrently with the writer.
+  std::optional<ScanEntry> Find(const BtreeKey& key) const;
 
-  size_t entry_count() const { return map_.size(); }
-  size_t approximate_bytes() const { return bytes_; }
-  bool empty() const { return map_.empty(); }
-  void Clear() {
-    map_.clear();
-    bytes_ = 0;
-  }
+  /// Copies every entry with key >= `*from` (all entries when null) and
+  /// <= `*to` (to the end when null) into `out`, in key order — the merged
+  /// iterator's in-memory snapshot. Safe from any thread concurrently with
+  /// the writer. Bounded scans pass `to` so a narrow seek copies O(range),
+  /// not O(memtable).
+  void Snapshot(const BtreeKey* from, const BtreeKey* to,
+                std::vector<ScanEntry>* out) const;
+
+  /// True when `key` has an entry (live or anti).
+  bool Contains(const BtreeKey& key) const;
+
+  size_t entry_count() const;
+  size_t approximate_bytes() const;
+  bool empty() const;
+  void Clear();
 
   using ConstIterator = std::map<BtreeKey, Entry>::const_iterator;
+  // Writer-side iteration (flush builds, tests on quiesced tables).
   ConstIterator begin() const { return map_.begin(); }
   ConstIterator end() const { return map_.end(); }
   /// First entry with key >= `key`.
   ConstIterator LowerBound(const BtreeKey& key) const { return map_.lower_bound(key); }
 
  private:
+  // Guards map_/bytes_ between the single writer (exclusive) and concurrent
+  // copy-out readers (shared). See the class comment for the generation
+  // discipline that makes this enough.
+  mutable std::shared_mutex sync_;
   std::map<BtreeKey, Entry> map_;
   size_t bytes_ = 0;
 };

@@ -18,9 +18,13 @@ Status SecondaryIndex::Delete(int64_t secondary_key, int64_t primary_key) {
   return tree_->Delete(BtreeKey{secondary_key, primary_key}, nullptr);
 }
 
-Result<std::vector<int64_t>> SecondaryIndex::RangeScan(int64_t lo, int64_t hi) {
+Result<std::vector<int64_t>> SecondaryIndex::RangeScan(
+    const LsmTree::ReadViewRef& view, int64_t lo, int64_t hi) const {
   std::vector<int64_t> pks;
-  LsmTree::Iterator it(tree_.get());
+  LsmTree::Iterator it(view);
+  // The scan stops at the first key past `hi`, so bound the in-memory
+  // snapshot too: a narrow range copies O(range) entries, not the memtable.
+  it.set_upper_bound(BtreeKey{hi, INT64_MAX});
   TC_RETURN_IF_ERROR(it.Seek(BtreeKey{lo, INT64_MIN}));
   while (it.Valid() && it.key().a <= hi) {
     pks.push_back(it.key().b);

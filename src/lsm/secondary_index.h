@@ -1,7 +1,8 @@
 // LSM secondary index (paper §4.4.5): an LSM B+-tree over composite keys
 // (secondary_key, primary_key) with empty payloads. Range queries scan the
 // secondary index for matching primary keys and then perform point lookups in
-// the primary index.
+// the primary index. Scans run against ReadView snapshots, so a query can pin
+// one secondary-index state coherent with its primary-index view.
 #ifndef TC_LSM_SECONDARY_INDEX_H_
 #define TC_LSM_SECONDARY_INDEX_H_
 
@@ -20,8 +21,17 @@ class SecondaryIndex {
   Status Insert(int64_t secondary_key, int64_t primary_key);
   Status Delete(int64_t secondary_key, int64_t primary_key);
 
-  /// Primary keys of entries with secondary key in [lo, hi], in key order.
-  Result<std::vector<int64_t>> RangeScan(int64_t lo, int64_t hi);
+  /// Snapshot of the index tree, scannable without blocking writers.
+  LsmTree::ReadViewRef AcquireView() const { return tree_->AcquireView(); }
+
+  /// Primary keys of entries with secondary key in [lo, hi], in key order,
+  /// resolved against `view` (which must come from this index's tree).
+  Result<std::vector<int64_t>> RangeScan(const LsmTree::ReadViewRef& view,
+                                         int64_t lo, int64_t hi) const;
+  /// Convenience overload over a fresh snapshot.
+  Result<std::vector<int64_t>> RangeScan(int64_t lo, int64_t hi) const {
+    return RangeScan(AcquireView(), lo, hi);
+  }
 
   Status Flush() { return tree_->Flush(); }
   uint64_t physical_bytes() const { return tree_->physical_bytes(); }

@@ -12,6 +12,16 @@ Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
                                   const SinkFactory& make_sink) {
   auto start = std::chrono::steady_clock::now();
   size_t n = dataset->partition_count();
+
+  // Pin one coherent view triple per partition for the query's lifetime,
+  // BEFORE taking any schema snapshot (the broadcast registry below and the
+  // per-partition accessors): schemas only grow, so a snapshot taken after
+  // the view covers every record the view can surface.
+  std::vector<PartitionReadView> views(n);
+  for (size_t i = 0; i < n; ++i) {
+    views[i] = dataset->partition(i)->AcquireReadView();
+  }
+
   SchemaRegistry registry =
       SchemaRegistry::Collect(dataset, options.has_nonlocal_exchange);
 
@@ -39,6 +49,7 @@ Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
       ctx.accessor = accessors[i].get();
       ctx.counters = &counters[i];
       ctx.registry = &registry;
+      ctx.view = &views[i];
       auto pipeline = make_pipeline(ctx);
       if (!pipeline.ok()) {
         statuses[i] = pipeline.status();

@@ -47,6 +47,11 @@ struct PartitionContext {
   const RecordAccessor* accessor = nullptr;  // bound to this partition's schema
   ScanCounters* counters = nullptr;
   const SchemaRegistry* registry = nullptr;  // schema broadcast (may be empty)
+  /// Coherent snapshot of the partition's trees, pinned for the whole query:
+  /// scans, secondary-index probes, and primary lookups of one pipeline all
+  /// see the same LSM state, and concurrent flush/merge never blocks (or is
+  /// observed by) the query. Pass to Scan/LookupOperator.
+  const PartitionReadView* view = nullptr;
 };
 
 using PipelineFactory =

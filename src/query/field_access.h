@@ -88,6 +88,9 @@ class RecordAccessor {
   bool SupportsScanPredicate() const { return mode_ != SchemaMode::kBson; }
 
   const Schema& schema() const { return schema_; }
+  SchemaMode mode() const { return mode_; }
+  const DatasetType* type() const { return type_; }
+  bool consolidate() const { return consolidate_; }
 
  private:
   SchemaMode mode_;

@@ -7,8 +7,21 @@
 
 namespace tc {
 
+ScanOperator::ScanOperator(DatasetPartition* partition,
+                           const RecordAccessor* accessor, ScanSpec spec,
+                           ScanCounters* counters, const PartitionReadView* view)
+    : partition_(partition), accessor_(accessor), spec_(std::move(spec)),
+      counters_(counters), shared_view_(view) {}
+
+ScanOperator::~ScanOperator() = default;
+
 Status ScanOperator::Open() {
-  it_ = std::make_unique<LsmTree::Iterator>(partition_->primary());
+  // Pin the snapshot this scan runs against: the query's shared partition
+  // view when provided, a private one otherwise. The iterator holds the view
+  // alive, so merged-away components stay readable until the scan ends.
+  view_ = shared_view_ != nullptr ? shared_view_->primary
+                                  : partition_->primary()->AcquireView();
+  it_ = std::make_unique<LsmTree::Iterator>(view_);
   counts_in_filter_ = false;
   if (spec_.predicate != nullptr) {
     if (!accessor_->SupportsScanPredicate()) {
@@ -16,18 +29,23 @@ Status ScanOperator::Open() {
     }
     // Lower the predicate into the merged LSM cursor: non-matching positions
     // are rejected on the packed payload bytes and never assembled. They are
-    // still rows the scan read, so the filter callback owns the counters.
+    // still rows the scan read, so the filter callback owns the counters —
+    // and the reusable matcher, so the per-record evaluation state (term
+    // flags, scope stack) is allocated once per scan, not once per row.
     pred_paths_ = spec_.predicate->Paths();
+    matcher_ = std::make_unique<ScanPredicateMatcher>();
     const RecordAccessor* accessor = accessor_;
     std::shared_ptr<const ScanPredicate> pred = spec_.predicate;
     const std::vector<FieldPath>* paths = &pred_paths_;
     ScanCounters* counters = counters_;
+    ScanPredicateMatcher* matcher = matcher_.get();
     it_->set_payload_filter(
-        [accessor, pred, paths, counters](std::string_view payload) -> Result<bool> {
+        [accessor, pred, paths, counters,
+         matcher](std::string_view payload) -> Result<bool> {
           ++counters->rows;
           counters->bytes += payload.size();
           TC_ASSIGN_OR_RETURN(bool match,
-                              accessor->Matches(payload, *pred, *paths));
+                              matcher->Matches(*accessor, payload, *pred, *paths));
           if (!match) ++counters->filtered_pre_assembly;
           return match;
         });
@@ -64,13 +82,26 @@ Result<bool> ScanOperator::Next(Row* row) {
   return true;
 }
 
+LookupOperator::LookupOperator(DatasetPartition* partition,
+                               const RecordAccessor* accessor,
+                               std::vector<int64_t> pks, ScanSpec spec,
+                               ScanCounters* counters,
+                               const PartitionReadView* view)
+    : partition_(partition), accessor_(accessor), pks_(std::move(pks)),
+      spec_(std::move(spec)), counters_(counters), shared_view_(view) {}
+
+LookupOperator::~LookupOperator() = default;
+
 Status LookupOperator::Open() {
   pos_ = 0;
+  view_ = shared_view_ != nullptr ? shared_view_->primary
+                                  : partition_->primary()->AcquireView();
   if (spec_.predicate != nullptr) {
     if (!accessor_->SupportsScanPredicate()) {
       return Status::NotSupported("scan predicate on this storage format");
     }
     pred_paths_ = spec_.predicate->Paths();
+    matcher_ = std::make_unique<ScanPredicateMatcher>();
   }
   return Status::OK();
 }
@@ -78,15 +109,18 @@ Status LookupOperator::Open() {
 Result<bool> LookupOperator::Next(Row* row) {
   while (pos_ < pks_.size()) {
     int64_t pk = pks_[pos_++];
-    TC_ASSIGN_OR_RETURN(auto payload, partition_->primary()->Get(BtreeKey{pk, 0}));
+    // Resolve against the pinned snapshot: every lookup of this operator
+    // (and, with a shared view, the whole query) sees one LSM state.
+    TC_ASSIGN_OR_RETURN(auto payload, view_->Get(BtreeKey{pk, 0}));
     if (!payload.has_value()) continue;  // deleted since indexed
     std::string_view view(reinterpret_cast<const char*>(payload->data()),
                           payload->size());
     ++counters_->rows;
     counters_->bytes += view.size();
     if (spec_.predicate != nullptr) {
-      TC_ASSIGN_OR_RETURN(
-          bool match, accessor_->Matches(view, *spec_.predicate, pred_paths_));
+      TC_ASSIGN_OR_RETURN(bool match, matcher_->Matches(*accessor_, view,
+                                                        *spec_.predicate,
+                                                        pred_paths_));
       if (!match) {
         ++counters_->filtered_pre_assembly;
         continue;

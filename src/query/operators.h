@@ -50,13 +50,19 @@ struct ScanCounters {
   uint64_t filtered_pre_assembly = 0;  // rows rejected before assembly
 };
 
-/// Full scan of one partition's primary LSM index.
+class ScanPredicateMatcher;  // query/scan_predicate.h
+
+/// Full scan of one partition's primary LSM index. Scans run against a
+/// ReadView snapshot: pass the query's coherent per-partition view triple
+/// (the executor's PartitionContext provides one) so every operator of the
+/// pipeline reads ONE LSM state; with a null view the operator pins its own
+/// snapshot at Open.
 class ScanOperator final : public Operator {
  public:
   ScanOperator(DatasetPartition* partition, const RecordAccessor* accessor,
-               ScanSpec spec, ScanCounters* counters)
-      : partition_(partition), accessor_(accessor), spec_(std::move(spec)),
-        counters_(counters) {}
+               ScanSpec spec, ScanCounters* counters,
+               const PartitionReadView* view = nullptr);
+  ~ScanOperator() override;
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -66,7 +72,12 @@ class ScanOperator final : public Operator {
   const RecordAccessor* accessor_;
   ScanSpec spec_;
   ScanCounters* counters_;
+  const PartitionReadView* shared_view_;  // not owned; may be null
+  LsmTree::ReadViewRef view_;             // pinned snapshot for this scan
   std::unique_ptr<LsmTree::Iterator> it_;
+  // Reusable lowered-predicate scratch owned by this scan's payload-filter
+  // callback: no per-row allocations in the deep-pushdown path.
+  std::unique_ptr<ScanPredicateMatcher> matcher_;
   bool first_ = true;
   // When the predicate is lowered into the LSM cursor, the cursor's filter
   // callback owns row/byte counting (it sees filtered rows too).
@@ -75,13 +86,14 @@ class ScanOperator final : public Operator {
 };
 
 /// Point-lookup source: emits the records of the given primary keys (the
-/// secondary-index query path of §4.4.5).
+/// secondary-index query path of §4.4.5). Lookups resolve against the same
+/// snapshot discipline as ScanOperator.
 class LookupOperator final : public Operator {
  public:
   LookupOperator(DatasetPartition* partition, const RecordAccessor* accessor,
-                 std::vector<int64_t> pks, ScanSpec spec, ScanCounters* counters)
-      : partition_(partition), accessor_(accessor), pks_(std::move(pks)),
-        spec_(std::move(spec)), counters_(counters) {}
+                 std::vector<int64_t> pks, ScanSpec spec, ScanCounters* counters,
+                 const PartitionReadView* view = nullptr);
+  ~LookupOperator() override;
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -92,6 +104,9 @@ class LookupOperator final : public Operator {
   std::vector<int64_t> pks_;
   ScanSpec spec_;
   ScanCounters* counters_;
+  const PartitionReadView* shared_view_;  // not owned; may be null
+  LsmTree::ReadViewRef view_;             // pinned snapshot for the lookups
+  std::unique_ptr<ScanPredicateMatcher> matcher_;
   size_t pos_ = 0;
   std::vector<FieldPath> pred_paths_;  // pred->Paths(), precomputed at Open
 };

@@ -54,7 +54,7 @@ Result<PaperQueryResult> CountStar(Dataset* ds, const QueryOptions& opt) {
           ds, opt,
           [](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(ctx.partition, ctx.accessor,
-                                                   ScanSpec{}, ctx.counters)};
+                                                   ScanSpec{}, ctx.counters, ctx.view)};
           },
           [&](int pid) -> RowSink {
             return [&counts, pid](Row&&) -> Status {
@@ -92,7 +92,7 @@ Result<PaperQueryResult> TwitterQ2(Dataset* ds, const QueryOptions& opt) {
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters)};
+                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters, ctx.view)};
           },
           [&](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -146,7 +146,7 @@ Result<PaperQueryResult> TwitterQ3(Dataset* ds, const QueryOptions& opt) {
             // lower the predicate (BSON) just run the plain scan.
             if (ctx.accessor->SupportsScanPredicate()) spec.predicate = pred;
             return {std::make_unique<ScanOperator>(ctx.partition, ctx.accessor,
-                                                   std::move(spec), ctx.counters)};
+                                                   std::move(spec), ctx.counters, ctx.view)};
           },
           [&, push](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -197,7 +197,7 @@ Result<PaperQueryResult> TwitterQ4(Dataset* ds, const QueryOptions& opt) {
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(
                 ctx.partition, ctx.accessor, ScanSpec{paths, /*attach=*/true, nullptr},
-                ctx.counters)};
+                ctx.counters, ctx.view)};
           },
           [&](int pid) -> RowSink {
             auto* out = &rows[static_cast<size_t>(pid)];
@@ -280,7 +280,7 @@ Result<PaperQueryResult> WosQ2(Dataset* ds, const QueryOptions& opt) {
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters)};
+                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters, ctx.view)};
           },
           [&](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -319,7 +319,7 @@ Result<PaperQueryResult> WosCollaboration(Dataset* ds, const QueryOptions& opt,
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters)};
+                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters, ctx.view)};
           },
           [&, pairs](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -410,7 +410,7 @@ Result<PaperQueryResult> SensorsQ1(Dataset* ds, const QueryOptions& opt) {
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(
                 ctx.partition, ctx.accessor, ScanSpec{plan.paths, false, nullptr},
-                ctx.counters)};
+                ctx.counters, ctx.view)};
           },
           [&](int pid) -> RowSink {
             uint64_t* count = &counts[static_cast<size_t>(pid)];
@@ -436,7 +436,7 @@ Result<PaperQueryResult> SensorsQ2(Dataset* ds, const QueryOptions& opt) {
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
             return {std::make_unique<ScanOperator>(
                 ctx.partition, ctx.accessor, ScanSpec{plan.paths, false, nullptr},
-                ctx.counters)};
+                ctx.counters, ctx.view)};
           },
           [&](int pid) -> RowSink {
             AggCell* cell = &cells[static_cast<size_t>(pid)];
@@ -492,7 +492,7 @@ Result<PaperQueryResult> SensorsTopAvg(Dataset* ds, const QueryOptions& opt,
               spec.paths = plan.paths;
               spec.predicate = window_pred;
               return {std::make_unique<ScanOperator>(
-                  ctx.partition, ctx.accessor, std::move(spec), ctx.counters)};
+                  ctx.partition, ctx.accessor, std::move(spec), ctx.counters, ctx.view)};
             }
             // With the optimization disabled (and for ADM datasets), the
             // selective filter is evaluated before the reading access: the
@@ -501,13 +501,13 @@ Result<PaperQueryResult> SensorsTopAvg(Dataset* ds, const QueryOptions& opt,
             if (plan.pushed || !with_window) {
               return {std::make_unique<ScanOperator>(
                   ctx.partition, ctx.accessor, ScanSpec{plan.paths, false, nullptr},
-                  ctx.counters)};
+                  ctx.counters, ctx.view)};
             }
             std::vector<FieldPath> scan_paths = {FieldPath::Parse("sensor_id"),
                                                  FieldPath::Parse("report_time")};
             auto scan = std::make_unique<ScanOperator>(
                 ctx.partition, ctx.accessor, ScanSpec{scan_paths, /*attach=*/true, nullptr},
-                ctx.counters);
+                ctx.counters, ctx.view);
             auto filter = std::make_unique<FilterOperator>(
                 std::move(scan), [window](const Row& row) {
                   int64_t ts = row.cols[1].int_value();

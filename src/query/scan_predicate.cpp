@@ -52,51 +52,50 @@ FilterOperator::Predicate MakeRowPredicate(
 // §4.4.4 hot loop under callbacks. A structural change to either walk MUST be
 // mirrored in the other; LoweredPredicateEquivalence.RandomizedAcrossModesAndChurn
 // pins the two together.
+//
+// The per-record state (term flags, scope stack, name buffer) lives in the
+// ScanPredicateMatcher so a scan evaluating millions of records reuses the
+// same capacity instead of reallocating the stack per row.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct Active {
-  size_t term;  // index into pred.terms
-  size_t step;  // the step this scope's children are matched against
-};
-
-struct MatchScope {
-  bool is_object = false;
-  size_t item_index = 0;                 // running index for collection scopes
-  const TypeDescriptor* decl = nullptr;  // object: own type; collection: item type
-  std::vector<Active> actives;
-};
-
-/// The vectorized-run fast path applies when every active in a collection
-/// scope is an undecidable-per-item-free terminal [*] compare: consuming a
-/// whole scalar run at once then needs no per-item bookkeeping.
-bool AllTerminalWildcards(const MatchScope& scope,
-                          const std::vector<PredicateTerm>& terms) {
-  for (const Active& a : scope.actives) {
-    const auto& steps = terms[a.term].path.steps;
-    if (a.step + 1 != steps.size()) return false;
-    if (steps[a.step].kind != PathStep::kWildcard) return false;
-  }
-  return true;
+ScanPredicateMatcher::Scope& ScanPredicateMatcher::PushScope() {
+  if (depth_ == scopes_.size()) scopes_.emplace_back();
+  Scope& s = scopes_[depth_++];
+  s.is_object = false;
+  s.item_index = 0;
+  s.decl = nullptr;
+  s.actives.clear();
+  return s;
 }
 
-}  // namespace
-
-Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& type,
-                               const Schema* schema, const ScanPredicate& pred) {
+Result<bool> ScanPredicateMatcher::MatchVector(const VectorRecordView& view,
+                                               const DatasetType& type,
+                                               const Schema* schema,
+                                               const ScanPredicate& pred) {
   TC_RETURN_IF_ERROR(view.Validate());
   const std::vector<PredicateTerm>& terms = pred.terms;
   if (terms.empty()) return true;
 
-  // Term states: false = undecided, true = satisfied. A term decided
-  // unsatisfiable short-circuits the whole conjunction instead.
-  std::vector<uint8_t> satisfied(terms.size(), 0);
+  // A term decided unsatisfiable short-circuits the whole conjunction, so
+  // satisfied_ only ever transitions 0 -> 1.
+  satisfied_.assign(terms.size(), 0);
   size_t undecided = terms.size();
   for (const auto& t : terms) {
     // The empty path denotes the root object, which is never a scalar.
     if (t.path.steps.empty()) return false;
   }
+
+  /// The vectorized-run fast path applies when every active in a collection
+  /// scope is an undecidable-per-item-free terminal [*] compare: consuming a
+  /// whole scalar run at once then needs no per-item bookkeeping.
+  auto all_terminal_wildcards = [&terms](const Scope& scope) {
+    for (const Active& a : scope.actives) {
+      const auto& steps = terms[a.term].path.steps;
+      if (a.step + 1 != steps.size()) return false;
+      if (steps[a.step].kind != PathStep::kWildcard) return false;
+    }
+    return true;
+  };
 
   VectorRecordWalker walker(view);
   VectorRecordWalker::Item it;
@@ -106,29 +105,27 @@ Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& 
     return Status::Corruption("vb: record root is not an object");
   }
 
-  std::vector<MatchScope> scopes;
-  scopes.push_back({});
+  depth_ = 0;
   {
-    MatchScope& root = scopes.back();
+    Scope& root = PushScope();
     root.is_object = true;
     root.decl = type.root.get();
     for (size_t t = 0; t < terms.size(); ++t) root.actives.push_back({t, 0});
   }
-  std::string name;
   while (true) {
     {
-      MatchScope& scope = scopes.back();
+      Scope& scope = scopes_[depth_ - 1];
       if (!scope.is_object && !scope.actives.empty() &&
-          AllTerminalWildcards(scope, terms)) {
+          all_terminal_wildcards(scope)) {
         AdmTag run_tag;
         const uint8_t* run_base = nullptr;
         size_t run = walker.TryFixedRun(&run_tag, &run_base);
         if (run > 0) {
           for (const Active& a : scope.actives) {
-            if (satisfied[a.term]) continue;
+            if (satisfied_[a.term]) continue;
             if (AnyPackedFixedSatisfies(run_tag, run_base, run, terms[a.term].op,
                                         terms[a.term].literal)) {
-              satisfied[a.term] = 1;
+              satisfied_[a.term] = 1;
               if (--undecided == 0) return true;
             }
           }
@@ -140,23 +137,22 @@ Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& 
     TC_RETURN_IF_ERROR(walker.Next(&it, &done));
     if (done) break;
     if (it.tag == AdmTag::kEndNest) {
-      scopes.pop_back();
-      if (scopes.empty()) return Status::Corruption("vb: scope underflow");
-      if (!scopes.back().is_object) ++scopes.back().item_index;
+      if (--depth_ == 0) return Status::Corruption("vb: scope underflow");
+      if (!scopes_[depth_ - 1].is_object) ++scopes_[depth_ - 1].item_index;
       continue;
     }
-    MatchScope& scope = scopes.back();
-    name.clear();
+    Scope& scope = scopes_[depth_ - 1];
+    name_.clear();
     if (scope.is_object && !scope.actives.empty()) {
-      TC_RETURN_IF_ERROR(ResolveVectorFieldName(it, scope.decl, schema, &name));
+      TC_RETURN_IF_ERROR(ResolveVectorFieldName(it, scope.decl, schema, &name_));
     }
 
-    std::vector<Active> child_actives;
+    child_actives_.clear();
     for (const Active& a : scope.actives) {
       const PathStep& st = terms[a.term].path.steps[a.step];
       bool match = false;
       if (scope.is_object) {
-        match = st.kind == PathStep::kField && st.name == name;
+        match = st.kind == PathStep::kField && st.name == name_;
       } else if (st.kind == PathStep::kWildcard) {
         match = true;
       } else if (st.kind == PathStep::kIndex) {
@@ -164,16 +160,16 @@ Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& 
       }
       if (!match) continue;
       if (a.step + 1 < terms[a.term].path.steps.size()) {
-        child_actives.push_back({a.term, a.step + 1});
+        child_actives_.push_back({a.term, a.step + 1});
         continue;
       }
       // Terminal: compare this leaf in place.
       const PredicateTerm& term = terms[a.term];
       if (term.path.HasWildcard()) {
         // Existential: a miss on one item is not a decision.
-        if (!satisfied[a.term] && !IsNested(it.tag) &&
+        if (!satisfied_[a.term] && !IsNested(it.tag) &&
             PackedLeafSatisfies(it, term.op, term.literal, term.fold_case)) {
-          satisfied[a.term] = 1;
+          satisfied_[a.term] = 1;
           if (--undecided == 0) return true;
         }
       } else {
@@ -181,12 +177,12 @@ Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& 
         // value at the path) decides the conjunction. Records violating the
         // unique-field-name contract take first-occurrence-wins here; don't
         // let a duplicate re-decrement undecided or flip the verdict.
-        if (satisfied[a.term]) continue;
+        if (satisfied_[a.term]) continue;
         if (IsNested(it.tag) ||
             !PackedLeafSatisfies(it, term.op, term.literal, term.fold_case)) {
           return false;
         }
-        satisfied[a.term] = 1;
+        satisfied_[a.term] = 1;
         if (--undecided == 0) return true;
       }
     }
@@ -203,19 +199,28 @@ Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& 
     }
 
     if (IsNested(it.tag)) {
-      MatchScope child;
-      child.is_object = it.tag == AdmTag::kObject;
-      child.decl = child.is_object
-                       ? item_decl
-                       : (item_decl != nullptr ? item_decl->item_type().get()
-                                               : nullptr);
-      child.actives = std::move(child_actives);
-      scopes.push_back(std::move(child));
+      bool child_is_object = it.tag == AdmTag::kObject;
+      const TypeDescriptor* child_decl =
+          child_is_object ? item_decl
+                          : (item_decl != nullptr ? item_decl->item_type().get()
+                                                  : nullptr);
+      // `scope` may dangle after PushScope (vector growth); nothing below
+      // uses it.
+      Scope& child = PushScope();
+      child.is_object = child_is_object;
+      child.decl = child_decl;
+      std::swap(child.actives, child_actives_);  // capacities circulate
     } else if (!scope.is_object) {
       ++scope.item_index;
     }
   }
   return undecided == 0;
+}
+
+Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& type,
+                               const Schema* schema, const ScanPredicate& pred) {
+  ScanPredicateMatcher matcher;
+  return matcher.MatchVector(view, type, schema, pred);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,35 +229,44 @@ Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& 
 // by construction: both end in EvalPredicateTerm-compatible comparisons.
 // ---------------------------------------------------------------------------
 
-Result<bool> RecordAccessor::Matches(std::string_view payload,
-                                     const ScanPredicate& pred,
-                                     const std::vector<FieldPath>& pred_paths) const {
+Result<bool> ScanPredicateMatcher::Matches(
+    const RecordAccessor& accessor, std::string_view payload,
+    const ScanPredicate& pred, const std::vector<FieldPath>& pred_paths) {
   const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
-  switch (mode_) {
+  switch (accessor.mode()) {
     case SchemaMode::kOpen:
     case SchemaMode::kClosed: {
       // ADM records navigate offset tables: extracting just the predicate
       // paths is already cheap, so the "lowered" form is extract-and-test.
-      std::vector<AdmValue> cols;
-      TC_RETURN_IF_ERROR(
-          GetValuesAdm(data, payload.size(), *type_, pred_paths, &cols));
-      return EvalPredicateRow(cols, pred, 0);
+      cols_.clear();
+      TC_RETURN_IF_ERROR(GetValuesAdm(data, payload.size(), *accessor.type(),
+                                      pred_paths, &cols_));
+      return EvalPredicateRow(cols_, pred, 0);
     }
     case SchemaMode::kInferred:
     case SchemaMode::kSchemalessVB: {
       VectorRecordView view(data, payload.size());
-      if (consolidate_) return MatchVectorRecord(view, *type_, &schema_, pred);
+      if (accessor.consolidate()) {
+        return MatchVector(view, *accessor.type(), &accessor.schema(), pred);
+      }
       // Consolidation ablation: one full walk per term, mirroring
       // GetValuesVectorUnconsolidated.
-      std::vector<AdmValue> cols;
-      TC_RETURN_IF_ERROR(GetValuesVectorUnconsolidated(view, *type_, &schema_,
-                                                       pred_paths, &cols));
-      return EvalPredicateRow(cols, pred, 0);
+      cols_.clear();
+      TC_RETURN_IF_ERROR(GetValuesVectorUnconsolidated(
+          view, *accessor.type(), &accessor.schema(), pred_paths, &cols_));
+      return EvalPredicateRow(cols_, pred, 0);
     }
     case SchemaMode::kBson:
       return Status::NotSupported("scan predicates over BSON records");
   }
   return Status::Internal("bad mode");
+}
+
+Result<bool> RecordAccessor::Matches(std::string_view payload,
+                                     const ScanPredicate& pred,
+                                     const std::vector<FieldPath>& pred_paths) const {
+  ScanPredicateMatcher matcher;
+  return matcher.Matches(*this, payload, pred, pred_paths);
 }
 
 Result<bool> RecordAccessor::Matches(std::string_view payload,

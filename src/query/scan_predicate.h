@@ -77,12 +77,63 @@ bool EvalPredicateRow(const std::vector<AdmValue>& cols, const ScanPredicate& pr
 FilterOperator::Predicate MakeRowPredicate(
     std::shared_ptr<const ScanPredicate> pred, size_t first_col);
 
+/// Reusable evaluation scratch for one scan's lowered predicate. The walk
+/// needs per-record state — term satisfaction flags, the scope stack with its
+/// active-path lists, a field-name buffer, and (for the fallback modes) an
+/// extracted-column vector. A hot scan evaluates the predicate on every
+/// surviving record, so the scan's payload-filter callback owns ONE matcher
+/// and re-runs it per record with all capacity retained: the deep-pushdown
+/// path performs no per-row allocations once the stack has warmed up.
+/// A matcher is single-threaded state; each scan (per partition, per query)
+/// creates its own.
+class ScanPredicateMatcher {
+ public:
+  /// Evaluates `pred` against one raw payload exactly like
+  /// RecordAccessor::Matches (same dispatch, same semantics), reusing this
+  /// matcher's scratch. `pred_paths` is `pred.Paths()` precomputed by the
+  /// caller.
+  Result<bool> Matches(const RecordAccessor& accessor, std::string_view payload,
+                       const ScanPredicate& pred,
+                       const std::vector<FieldPath>& pred_paths);
+
+  /// The lowered vector-format walk itself (see MatchVectorRecord).
+  Result<bool> MatchVector(const VectorRecordView& view, const DatasetType& type,
+                           const Schema* schema, const ScanPredicate& pred);
+
+ private:
+  // One path still being matched: which term, and which step of its path the
+  // current scope's children are compared against.
+  struct Active {
+    size_t term;
+    size_t step;
+  };
+  struct Scope {
+    bool is_object = false;
+    size_t item_index = 0;                 // running index for collection scopes
+    const TypeDescriptor* decl = nullptr;  // object: own type; collection: item
+    std::vector<Active> actives;           // capacity survives reuse
+  };
+
+  Scope& PushScope();
+
+  // Term states: 0 = undecided, 1 = satisfied (an unsatisfiable exact term
+  // short-circuits the conjunction instead).
+  std::vector<uint8_t> satisfied_;
+  std::vector<Scope> scopes_;  // pooled stack; [0, depth_) is live
+  size_t depth_ = 0;
+  std::vector<Active> child_actives_;  // per-item scratch, swapped into scopes
+  std::string name_;
+  std::vector<AdmValue> cols_;  // fallback-mode extraction scratch
+};
+
 /// Lowered evaluation: one early-terminating walk over the record's packed
 /// vectors, comparing leaves in place via the comparator kernels of
 /// vector_format.h (contiguous scalar runs inside collections go through the
 /// vectorized AnyPackedFixedSatisfies kernel). No AdmValue is materialized.
 /// Returns as soon as the conjunction is decided — for a predicate on an
 /// early top-level field, non-matching records cost a handful of tag reads.
+/// Convenience wrapper over a fresh ScanPredicateMatcher; hot scans hold a
+/// matcher instead to reuse its scratch across records.
 Result<bool> MatchVectorRecord(const VectorRecordView& view, const DatasetType& type,
                                const Schema* schema, const ScanPredicate& pred);
 

@@ -42,7 +42,7 @@ TEST(LsmTree, InsertGetAcrossFlush) {
   EXPECT_EQ(S(*t->Get(BtreeKey{1, 0}).ValueOrDie()), "one");
   ASSERT_TRUE(t->Flush().ok());
   EXPECT_EQ(t->component_count(), 1u);
-  EXPECT_TRUE(t->memtable().empty());
+  EXPECT_TRUE(t->View().memtable().empty());
   EXPECT_EQ(S(*t->Get(BtreeKey{1, 0}).ValueOrDie()), "one");
   EXPECT_FALSE(t->Get(BtreeKey{3, 0}).ValueOrDie().has_value());
 }
@@ -57,7 +57,7 @@ TEST(LsmTree, DeleteAddsAntiMatterThatShadowsDiskVersion) {
   ASSERT_TRUE(t->Flush().ok());
   // Two components: the newer one carries the anti-matter entry (§2.2).
   EXPECT_EQ(t->component_count(), 2u);
-  EXPECT_EQ(t->components()[0]->meta().n_anti, 1u);
+  EXPECT_EQ(t->View().components()[0]->meta().n_anti, 1u);
   EXPECT_FALSE(t->Get(BtreeKey{1, 0}).ValueOrDie().has_value());
 }
 
@@ -84,7 +84,9 @@ TEST(LsmTree, MergeAnnihilatesAntiMatter) {
   EXPECT_EQ(keys, (std::vector<int64_t>{1, 2}));
 
   // Component IDs are monotonically increasing, newest first (§2.2).
-  EXPECT_GT(t->components()[0]->meta().cid_min, t->components()[1]->meta().cid_max);
+  auto view = t->View();
+  EXPECT_GT(view.components()[0]->meta().cid_min,
+            view.components()[1]->meta().cid_max);
 }
 
 TEST(LsmTree, MergedComponentIdSpansRange) {
@@ -99,10 +101,11 @@ TEST(LsmTree, MergedComponentIdSpansRange) {
     ASSERT_TRUE(t->Flush().ok());
   }
   // Constant policy (k=2) merged everything into one [C1..C3] component.
-  ASSERT_EQ(t->component_count(), 1u);
-  EXPECT_EQ(t->components()[0]->meta().cid_min, 1u);
-  EXPECT_EQ(t->components()[0]->meta().cid_max, 3u);
-  EXPECT_EQ(t->components()[0]->meta().n_entries, 9u);
+  auto view = t->View();
+  ASSERT_EQ(view.component_count(), 1u);
+  EXPECT_EQ(view.components()[0]->meta().cid_min, 1u);
+  EXPECT_EQ(view.components()[0]->meta().cid_max, 3u);
+  EXPECT_EQ(view.components()[0]->meta().n_entries, 9u);
   EXPECT_GE(t->stats().merge_count, 1u);
 }
 
@@ -165,7 +168,8 @@ TEST(LsmTree, AutoFlushOnBudgetAndPrefixMergeBound) {
   EXPECT_GT(t->stats().merge_count, 0u);
   // The prefix policy keeps the small-component count bounded.
   size_t small = 0;
-  for (const auto& c : t->components()) {
+  auto view = t->View();  // C++17 range-for would drop an inline temporary
+  for (const auto& c : view.components()) {
     if (c->physical_bytes() < 64 * 1024) ++small;
   }
   EXPECT_LE(small, 4u);
@@ -303,11 +307,11 @@ TEST(LsmTree, StatsTrackWriteAmpAndComponentHighWater) {
   EXPECT_EQ(LsmStats().WriteAmplification(), 1.0);
 }
 
-// Readers racing a flushing/merging writer: before the read paths took the
-// tree mutex, Get walked `components_` while FlushLocked/MergeRangeLocked
-// mutated it — a torn read for any concurrent reader (cluster feeds are
-// thread-per-feed). The writer uses a tiny memtable so the component vector
-// churns constantly under the readers.
+// Readers racing a flushing/merging writer: Get pins a ReadView and searches
+// it outside the tree locks, so a concurrent component swap can neither tear
+// the walk nor make a committed key transiently disappear. The writer uses a
+// tiny memtable so the component vector churns constantly under the readers.
+// (concurrency_test.cpp carries the heavier snapshot/reclamation stress.)
 TEST(LsmTree, ConcurrentReadersDuringFlushAndMerge) {
   LsmFixture fx;
   auto t = fx.Open(/*memtable=*/2 * 1024, CompressionKind::kNone,
@@ -320,7 +324,7 @@ TEST(LsmTree, ConcurrentReadersDuringFlushAndMerge) {
   std::atomic<bool> reader_failed{false};
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       Rng rng(777 + r);
       while (!done.load(std::memory_order_acquire)) {
         int64_t k = static_cast<int64_t>(
@@ -354,8 +358,9 @@ TEST(LsmTree, BulkLoadBuildsSingleComponent) {
                  return Status::OK();
                })
                   .ok());
-  EXPECT_EQ(t->component_count(), 1u);
-  EXPECT_EQ(t->components()[0]->meta().n_entries, 100u);
+  auto view = t->View();
+  EXPECT_EQ(view.component_count(), 1u);
+  EXPECT_EQ(view.components()[0]->meta().n_entries, 100u);
   EXPECT_EQ(S(*t->Get(BtreeKey{42, 0}).ValueOrDie()), "blk42");
   // Bulk load requires an empty tree.
   EXPECT_FALSE(t->BulkLoad([](auto) { return Status::OK(); }).ok());

@@ -33,7 +33,7 @@ TEST(Recovery, WalReplayRestoresAndFlushesMemtable) {
   auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
   // Paper §3.1.2: recovery replays the log and flushes the restored memtable.
   EXPECT_EQ(t->component_count(), 1u);
-  EXPECT_TRUE(t->memtable().empty());
+  EXPECT_TRUE(t->View().memtable().empty());
   EXPECT_EQ(S(*t->Get(BtreeKey{1, 0}).ValueOrDie()), "survives");
   EXPECT_EQ(S(*t->Get(BtreeKey{2, 0}).ValueOrDie()), "also");
 }
@@ -91,9 +91,10 @@ TEST(Recovery, MergedComponentSupersedesInputsAfterCrash) {
   }
   auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
   // Only the merged component survives; contained inputs were dropped.
-  ASSERT_EQ(t->component_count(), 1u);
-  EXPECT_EQ(t->components()[0]->meta().cid_min, 1u);
-  EXPECT_EQ(t->components()[0]->meta().cid_max, 2u);
+  auto view = t->View();
+  ASSERT_EQ(view.component_count(), 1u);
+  EXPECT_EQ(view.components()[0]->meta().cid_min, 1u);
+  EXPECT_EQ(view.components()[0]->meta().cid_max, 2u);
   EXPECT_FALSE(fs->Exists("rec/t.c00000001-00000001.btree"));
   EXPECT_FALSE(fs->Exists("rec/t.c00000002-00000002.btree"));
   EXPECT_EQ(S(*t->Get(BtreeKey{2, 0}).ValueOrDie()), "b");
@@ -110,9 +111,10 @@ TEST(Recovery, NextComponentIdContinuesAfterRestart) {
   auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
   ASSERT_TRUE(t->Insert(BtreeKey{2, 0}, "y").ok());
   ASSERT_TRUE(t->Flush().ok());  // must become C2, not clash with C1
-  ASSERT_EQ(t->component_count(), 2u);
-  EXPECT_EQ(t->components()[0]->meta().cid_min, 2u);
-  EXPECT_EQ(t->components()[1]->meta().cid_min, 1u);
+  auto view = t->View();
+  ASSERT_EQ(view.component_count(), 2u);
+  EXPECT_EQ(view.components()[0]->meta().cid_min, 2u);
+  EXPECT_EQ(view.components()[1]->meta().cid_min, 1u);
 }
 
 TEST(Recovery, DeletesReplayedFromWal) {
