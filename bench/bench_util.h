@@ -49,6 +49,15 @@ struct BenchConfig {
   bool use_wal = true;
   size_t wal_sync_every = 0;  // benches run without fsync (MemFS-equivalent)
   uint64_t seed = 42;
+  /// Shared executor for background flush builds + merges (not owned; must
+  /// outlive the dataset). Null = inline background work, the historical
+  /// bench behaviour.
+  TaskPool* merge_pool = nullptr;
+  /// Per-tree concurrent-merge cap when merge_pool is set (fig17 section e
+  /// compares 1 — the old single-inflight scheduler — against higher caps).
+  /// 0 = defer to TC_MERGE_CONCURRENT / the FromEnv default, like the other
+  /// merge knobs.
+  size_t max_concurrent_merges = 0;
 };
 
 struct BenchDataset {
@@ -92,6 +101,13 @@ inline std::unique_ptr<BenchDataset> OpenBench(const BenchConfig& cfg) {
   o.merge = MergePolicyConfig::FromEnv(merge_defaults);
   if (!cfg.merge_policy.empty()) {
     TC_CHECK(ParseMergePolicyKind(cfg.merge_policy, &o.merge.kind));
+  }
+  o.merge_pool = cfg.merge_pool;
+  if (cfg.max_concurrent_merges != 0) {
+    // An explicit bench axis (fig17 section e) wins over the environment so
+    // its single-vs-concurrent comparison stays meaningful under any
+    // TC_MERGE_CONCURRENT.
+    o.merge.max_concurrent_merges = cfg.max_concurrent_merges;
   }
   o.use_wal = cfg.use_wal;
   o.wal_sync_every = cfg.wal_sync_every;

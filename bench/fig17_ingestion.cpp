@@ -18,12 +18,22 @@
 // prefix (higher write-amp, fewer components); lazy-leveled sits between,
 // absorbing bursts in a tiered deck above one large leveled component.
 //
+//   (e) background-work concurrency axis: the same feed with flush builds
+//       and merges on a shared 4-thread pool, single-inflight merge cap (the
+//       pre-concurrency scheduler) vs. concurrent disjoint merges
+//
 // TC_FIG17_ASSERT=1 (the CI smoke mode) runs only section (d) and exits
 // non-zero unless tiered beats prefix on ingestion write amplification AND
 // prefix beats tiered on the point-lookup component count (the live
 // components a post-ingest lookup probes — the fig24 cost). The feed is
 // deterministic (fixed seed, no timing in either metric), so the comparisons
 // are exact, not tolerance-based.
+//
+// TC_MERGE_CONCURRENCY_ASSERT=1 runs only section (e) and exits non-zero
+// unless concurrent-merge scheduling preserves the policy-axis ordering
+// (tiered write-amp below prefix) — merge timing shifts WHEN rewrites
+// happen, so the write-amp values are not bit-identical to section (d), but
+// the tiering-vs-prefix trade-off must survive the scheduler change.
 #include "bench/bench_util.h"
 
 using namespace tc;
@@ -123,11 +133,68 @@ int RunPolicyAxis(bool assert_mode) {
   return ok ? 0 : 1;
 }
 
+PolicyResult RunPolicyConcurrent(const char* policy, int64_t mb, TaskPool* pool,
+                                 size_t max_merges) {
+  BenchConfig cfg = PolicyAxisConfig(policy);
+  cfg.merge_pool = pool;
+  cfg.max_concurrent_merges = max_merges;
+  auto bd = OpenBench(cfg);
+  IngestResult in = IngestFeed(bd.get(), mb);
+  LsmStats s = bd->dataset->AggregateStats();
+  PolicyResult r;
+  r.write_amp = s.WriteAmplification();
+  r.merges = s.merge_count;
+  r.comp_high_water = s.component_count_high_water;
+  r.components = MaxPrimaryComponentsPerPartition(bd->dataset.get());
+  std::printf("%-13s %8zu %10.2f %10.2f %10.3f %8llu %12zu %10llu %10llu\n",
+              policy, max_merges, in.seconds, MiB(in.raw_bytes) / in.seconds,
+              r.write_amp, static_cast<unsigned long long>(r.merges),
+              r.components,
+              static_cast<unsigned long long>(s.concurrent_merges_high_water),
+              static_cast<unsigned long long>(s.flush_queue_high_water));
+  return r;
+}
+
+// Section (e): the same insert-only feed with the background-work pipeline on
+// a shared pool. max_merges=1 emulates the old single-inflight scheduler;
+// max_merges=4 lets disjoint merges overlap. Write amplification depends on
+// WHEN decisions run, so this axis is compared by ordering, not exact bytes.
+int RunConcurrencyAxis(bool assert_mode) {
+  std::printf(
+      "-- (e) background-concurrency axis: pooled flush builds + merges, "
+      "4-thread pool --\n");
+  std::printf("%-13s %8s %10s %10s %10s %8s %12s %10s %10s\n", "policy",
+              "max-mrg", "time(s)", "MiB/s", "write-amp", "merges",
+              "comps/part", "conc-HWM", "queue-HWM");
+  int64_t mb = BenchMegabytes();
+  TaskPool pool(4);
+  (void)RunPolicyConcurrent("prefix", mb, &pool, 1);
+  PolicyResult prefix = RunPolicyConcurrent("prefix", mb, &pool, 4);
+  (void)RunPolicyConcurrent("tiered", mb, &pool, 1);
+  PolicyResult tiered = RunPolicyConcurrent("tiered", mb, &pool, 4);
+  std::printf("\n");
+  if (!assert_mode) return 0;
+  if (tiered.write_amp >= prefix.write_amp) {
+    std::fprintf(stderr,
+                 "FAIL: with concurrent merges, tiered write-amp %.3f not "
+                 "below prefix %.3f\n",
+                 tiered.write_amp, prefix.write_amp);
+    return 1;
+  }
+  std::printf(
+      "TC_MERGE_CONCURRENCY_ASSERT ok: concurrent-merge mode keeps tiered "
+      "write-amp %.3f < prefix %.3f\n",
+      tiered.write_amp, prefix.write_amp);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   PrintBanner("Figure 17", "data ingestion time");
   bool assert_mode = EnvInt64("TC_FIG17_ASSERT", 0) != 0;
+  bool concurrency_assert = EnvInt64("TC_MERGE_CONCURRENCY_ASSERT", 0) != 0;
+  if (concurrency_assert) return RunConcurrencyAxis(/*assert_mode=*/true);
   if (!assert_mode) {
     RunSection("(a) Twitter feed, insert-only, SATA SSD", "twitter", false,
                false, DeviceProfile::SataSsd());
@@ -140,5 +207,7 @@ int main() {
     RunSection("(c) WoS bulk-load, NVMe SSD", "wos", false, true,
                DeviceProfile::NvmeSsd());
   }
-  return RunPolicyAxis(assert_mode);
+  int rc = RunPolicyAxis(assert_mode);
+  if (!assert_mode && rc == 0) rc = RunConcurrencyAxis(/*assert_mode=*/false);
+  return rc;
 }

@@ -9,9 +9,10 @@ Result<std::unique_ptr<ClusterHarness>> ClusterHarness::Create(
     ClusterTopology topology, DatasetOptions options) {
   auto h = std::unique_ptr<ClusterHarness>(new ClusterHarness());
   h->topology_ = topology;
-  // One bounded executor for ALL partitions' background merges: feeds hand
-  // rewrites off instead of performing them inline, and total background
-  // parallelism tracks the hardware, not the feed count.
+  // One bounded executor for ALL partitions' background work — flush builds
+  // and (concurrent, disjoint) merges: feeds hand rewrites off instead of
+  // performing them inline, and total background parallelism tracks the
+  // hardware, not the feed count.
   h->executor_ = std::make_unique<TaskPool>(topology.executor_threads);
   options.merge_pool = h->executor_.get();
   TC_ASSIGN_OR_RETURN(

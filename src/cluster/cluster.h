@@ -5,9 +5,13 @@
 // grows with the node count, as in the paper's 4/8/16/32-node runs.
 //
 // Background work is NOT thread-per-feed: the harness owns one nproc-sized
-// TaskPool shared by every partition's LSM trees, so flush-triggered merges
+// TaskPool shared by every partition's LSM trees, so flush builds and merges
 // from all feeds are scheduled onto a bounded executor instead of running
-// inline on whichever feed thread happened to fill a memtable.
+// inline on whichever feed thread happened to fill a memtable. A feed thread
+// pays only the WAL append + memtable update + generation swap; each tree
+// runs up to DatasetOptions::merge.max_concurrent_merges disjoint merges
+// concurrently, with max_pending_flush_builds bounding the queued builds
+// (backpressure).
 #ifndef TC_CLUSTER_CLUSTER_H_
 #define TC_CLUSTER_CLUSTER_H_
 

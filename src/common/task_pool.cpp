@@ -36,8 +36,8 @@ void TaskPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    // Drain the queue even when stopping: a discarded merge task would leave
-    // its tree's merge_inflight_ flag set forever.
+    // Drain the queue even when stopping: a discarded task would leave its
+    // owner's TaskGroup outstanding count nonzero forever.
     if (queue_.empty()) return;
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
@@ -45,6 +45,48 @@ void TaskPool::WorkerLoop() {
     task();
     lock.lock();
   }
+}
+
+TaskGroup::TaskGroup(TaskPool* pool)
+    : pool_(pool), shared_(std::make_shared<Shared>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void(bool)> fn) {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    ++shared_->outstanding;
+  }
+  pool_->Submit([shared = shared_, fn = std::move(fn)] {
+    bool canceled;
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      canceled = shared->canceled;
+    }
+    fn(canceled);
+    // Decrement AFTER the task body: Wait() returning guarantees no task is
+    // still touching the state it captured.
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      --shared->outstanding;
+    }
+    shared->cv.notify_all();
+  });
+}
+
+void TaskGroup::Cancel() {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  shared_->canceled = true;
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [this] { return shared_->outstanding == 0; });
+}
+
+size_t TaskGroup::outstanding() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->outstanding;
 }
 
 }  // namespace tc

@@ -4,12 +4,18 @@
 // machine's core count instead of exploding thread-per-feed. Trees without a
 // pool run merges inline on the writer thread (deterministic; what unit tests
 // use).
+//
+// Completion and cancellation are per-owner, not pool-wide: each owner (e.g.
+// one LsmTree) funnels its submissions through a TaskGroup, which lets it
+// wait for exactly its own tasks and skip the ones that have not started yet
+// when it tears down.
 #ifndef TC_COMMON_TASK_POOL_H_
 #define TC_COMMON_TASK_POOL_H_
 
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -22,7 +28,8 @@ class TaskPool {
   explicit TaskPool(size_t threads = 0);
   /// Runs every queued task to completion, then joins the workers. Submitted
   /// tasks must not outlive the state they capture: owners of that state
-  /// (e.g. LsmTree) wait for their own tasks before destruction.
+  /// (e.g. LsmTree) wait for their own tasks — via TaskGroup — before
+  /// destruction.
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
@@ -30,7 +37,7 @@ class TaskPool {
 
   /// Enqueues `fn` for execution on some worker thread. Quiescence is the
   /// submitter's concern: owners track their own in-flight work (LsmTree
-  /// waits on its merge_inflight_ flag), so the pool needs no idle tracking.
+  /// submits through a TaskGroup), so the pool needs no idle tracking.
   void Submit(std::function<void()> fn);
 
   size_t thread_count() const { return workers_.size(); }
@@ -46,6 +53,54 @@ class TaskPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// One owner's slice of a shared TaskPool: tracks the tasks this owner
+/// submitted so it can wait for "all my work done" without a pool-wide
+/// barrier, and cancel work that has not started yet.
+///
+/// Every task receives `canceled`: a task dequeued after Cancel() gets true
+/// and should perform only its (cheap) completion bookkeeping — releasing
+/// claims, decrementing counters — and skip its (expensive) payload. Running
+/// tasks are never interrupted. Wait() returns once every submitted task has
+/// executed, normally or as a cancel-skip, so state the tasks capture (e.g.
+/// the owning tree) may be destroyed immediately after Cancel() + Wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool* pool);
+  /// Waits for outstanding tasks (without canceling them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` on the pool; `fn(true)` is invoked if the group was
+  /// canceled before the task started.
+  void Submit(std::function<void(bool canceled)> fn);
+
+  /// Marks the group canceled: tasks not yet started run as cancel-skips.
+  /// Sticky; meant for owner teardown.
+  void Cancel();
+
+  /// Blocks until every task submitted so far (including tasks submitted by
+  /// other tasks while waiting) has finished or been skipped.
+  void Wait();
+
+  size_t outstanding() const;
+
+ private:
+  // Shared with the wrapped tasks so a straggler finishing after the group
+  // object is gone (never the case when owners Wait(), but cheap insurance)
+  // touches live memory.
+  struct Shared {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    size_t outstanding = 0;
+    bool canceled = false;
+  };
+
+  TaskPool* pool_;
+  std::shared_ptr<Shared> shared_;
 };
 
 }  // namespace tc

@@ -46,6 +46,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
                                       : CompressionKind::kNone;
   lsm.merge_policy = MakeMergePolicy(opts->merge);
   lsm.merge_pool = opts->merge_pool;
+  lsm.max_concurrent_merges = opts->merge.max_concurrent_merges;
+  lsm.max_pending_flush_builds = opts->merge.max_pending_flush_builds;
   lsm.use_wal = opts->use_wal;
   lsm.wal_sync_every = opts->wal_sync_every;
   lsm.transformer = p->compactor_.get();
@@ -84,6 +86,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
                                        : CompressionKind::kNone;
     sk.merge_policy = MakeMergePolicy(opts->merge);
     sk.merge_pool = opts->merge_pool;
+    sk.max_concurrent_merges = lsm.max_concurrent_merges;
+    sk.max_pending_flush_builds = lsm.max_pending_flush_builds;
     sk.use_wal = false;
     TC_ASSIGN_OR_RETURN(p->secondary_, SecondaryIndex::Open(std::move(sk)));
   }
@@ -423,12 +427,18 @@ LsmStats Dataset::AggregateStats() const {
     agg.merge_count += s.merge_count;
     agg.bytes_flushed += s.bytes_flushed;
     agg.bytes_merged += s.bytes_merged;
+    agg.bulk_load_count += s.bulk_load_count;
+    agg.bytes_bulk_loaded += s.bytes_bulk_loaded;
     agg.point_lookups += s.point_lookups;
     agg.old_version_lookups += s.old_version_lookups;
-    // The high-water mark is a per-tree lookup cost, not additive: report the
-    // worst partition.
+    // The high-water marks are per-tree costs/levels, not additive: report
+    // the worst partition.
     agg.component_count_high_water =
         std::max(agg.component_count_high_water, s.component_count_high_water);
+    agg.concurrent_merges_high_water = std::max(
+        agg.concurrent_merges_high_water, s.concurrent_merges_high_water);
+    agg.flush_queue_high_water =
+        std::max(agg.flush_queue_high_water, s.flush_queue_high_water);
   }
   return agg;
 }

@@ -58,10 +58,13 @@ struct DatasetOptions {
   bool primary_key_index = false;
   /// Name of a top-level bigint field to index (paper §4.4.5), empty = none.
   std::string secondary_index_field;
-  /// Shared background executor for LSM merges across every partition's trees
-  /// (not owned; must outlive the dataset). Null = inline merges on the
-  /// writer thread — deterministic, what unit tests use. ClusterHarness wires
-  /// its nproc-sized pool here.
+  /// Shared background executor for LSM merges AND flush builds across every
+  /// partition's trees (not owned; must outlive the dataset). Null = inline
+  /// background work on the writer thread — deterministic, what unit tests
+  /// use. ClusterHarness wires its nproc-sized pool here. The per-tree merge
+  /// concurrency cap and the pooled-flush backpressure bound ride in
+  /// `merge.max_concurrent_merges` / `merge.max_pending_flush_builds`
+  /// (TC_MERGE_CONCURRENT / TC_FLUSH_PENDING).
   TaskPool* merge_pool = nullptr;
 
   std::shared_ptr<FileSystem> fs;   // required

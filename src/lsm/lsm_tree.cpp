@@ -61,7 +61,16 @@ Status ComponentReclaimer::Drain() {
     if (first.ok() && !st.ok()) first = st;
   }
   pending_.store(!retired_.empty(), std::memory_order_release);
+  // Latch the first failure ever seen: drains run from merge jobs and view
+  // destructors, which have no caller to report to; the owning tree surfaces
+  // this through BackgroundError()/WaitForMerges().
+  if (sticky_error_.ok() && !first.ok()) sticky_error_ = first;
   return first;
+}
+
+Status ComponentReclaimer::sticky_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sticky_error_;
 }
 
 size_t ComponentReclaimer::pending_count() const {
@@ -79,15 +88,24 @@ LsmTree::ReadView::~ReadView() {
   // retired components alive through the drain below.
   comps_.clear();
   mem_.reset();
+  pending_mems_.clear();
   if (reclaimer_->has_pending()) {
-    Status st = reclaimer_->Drain();  // best-effort; deferred entries remain
+    Status st = reclaimer_->Drain();  // failures latch in the reclaimer
     (void)st;
   }
 }
 
 Result<std::optional<Buffer>> LsmTree::ReadView::Get(const BtreeKey& key) const {
   counters_->point_lookups.fetch_add(1, std::memory_order_relaxed);
+  // Generations newest first: the live one, then sealed generations whose
+  // pooled flush build has not installed yet.
   std::optional<MemTable::ScanEntry> hit = mem_->Find(key);
+  if (!hit.has_value()) {
+    for (const auto& mem : pending_mems_) {
+      hit = mem->Find(key);
+      if (hit.has_value()) break;
+    }
+  }
   if (hit.has_value()) {
     if (hit->anti) return std::optional<Buffer>{};
     return std::optional<Buffer>{std::move(hit->payload)};
@@ -122,6 +140,12 @@ LsmTree::ReadView LsmTree::View() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     v.mem_ = mem_;
+    if (!flush_queue_.empty()) {
+      v.pending_mems_.reserve(flush_queue_.size());
+      for (auto it = flush_queue_.rbegin(); it != flush_queue_.rend(); ++it) {
+        v.pending_mems_.push_back(it->mem);
+      }
+    }
     v.comps_ = components_;
   }
   v.counters_ = counters_;
@@ -144,6 +168,14 @@ std::string LsmTree::ComponentPath(uint64_t cid_min, uint64_t cid_max) const {
   return JoinPath(opts_.dir, opts_.name + buf);
 }
 
+std::string LsmTree::WalSegmentPath(uint64_t seq) const {
+  std::string base = JoinPath(opts_.dir, opts_.name + ".wal");
+  if (seq == 0) return base;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".%" PRIu64, seq);
+  return base + buf;
+}
+
 Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   auto tree = std::unique_ptr<LsmTree>(new LsmTree());
   tree->opts_ = std::move(options);
@@ -152,6 +184,10 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   if (tree->opts_.merge_policy == nullptr) {
     tree->opts_.merge_policy = MakePrefixMergePolicy(32ull << 20, 5);
   }
+  tree->opts_.max_concurrent_merges =
+      std::max<size_t>(1, tree->opts_.max_concurrent_merges);
+  tree->opts_.max_pending_flush_builds =
+      std::max<size_t>(1, tree->opts_.max_pending_flush_builds);
   tree->compressor_ = GetCompressor(tree->opts_.compression);
   tree->transformer_ = tree->opts_.transformer != nullptr ? tree->opts_.transformer
                                                           : &tree->identity_;
@@ -159,6 +195,10 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   tree->reclaimer_ = std::make_shared<ComponentReclaimer>(tree->opts_.fs,
                                                           tree->opts_.cache);
   tree->counters_ = std::make_shared<LsmReadCounters>();
+  if (tree->opts_.merge_pool != nullptr) {
+    tree->flush_jobs_ = std::make_unique<TaskGroup>(tree->opts_.merge_pool);
+    tree->merge_jobs_ = std::make_unique<TaskGroup>(tree->opts_.merge_pool);
+  }
   TC_RETURN_IF_ERROR(tree->opts_.fs->CreateDir(tree->opts_.dir));
   TC_RETURN_IF_ERROR(tree->RecoverComponents());
   // Reload the newest persisted schema BEFORE replaying the WAL: replayed
@@ -167,23 +207,31 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   TC_RETURN_IF_ERROR(
       tree->transformer_->OnRecoveredSchema(tree->newest_schema_blob()));
   if (tree->opts_.use_wal) {
-    TC_ASSIGN_OR_RETURN(
-        tree->wal_, WriteAheadLog::Open(tree->opts_.fs,
-                                        JoinPath(tree->opts_.dir,
-                                                 tree->opts_.name + ".wal"),
-                                        tree->opts_.wal_sync_every));
     TC_RETURN_IF_ERROR(tree->ReplayWal());
   }
   return tree;
 }
 
 LsmTree::~LsmTree() {
-  // A scheduled merge still references this tree; wait it out.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+  // Cancel merge jobs that have not started (cheap skips — their inputs stay
+  // in the tree) and wait out the running ones; after the waits no pool
+  // thread touches this tree. Flush builds are canceled only when a WAL
+  // backs the tree: their sealed generations then survive as WAL segments
+  // for the next Open to replay. WAL-less trees (the pk/secondary indexes)
+  // instead DRAIN their queued builds, so a completed Flush() is never lost
+  // on clean teardown — exactly the pre-pipeline guarantee.
+  if (merge_jobs_ != nullptr) {
+    merge_jobs_->Cancel();
+    if (opts_.use_wal) flush_jobs_->Cancel();
+    // Drained flush builds may install and cascade-schedule merges; those
+    // land in the canceled merge group and run as skips, so wait for the
+    // flush group first and the merge group (which only ever shrinks after
+    // that) second.
+    flush_jobs_->Wait();
+    merge_jobs_->Wait();
   }
   components_.clear();
+  flush_queue_.clear();
   mem_.reset();
   if (reclaimer_ != nullptr) {
     Status st = reclaimer_->Drain();  // views still out keep their files alive
@@ -246,10 +294,41 @@ Status LsmTree::RecoverComponents() {
 
 Status LsmTree::ReplayWal() {
   std::lock_guard<std::mutex> wlock(write_mu_);
+  // Collect the log segments: the base segment plus any rotated segments a
+  // crashed (or torn-down) predecessor left behind pooled flush builds that
+  // never installed. Replaying them in rotation order restores every
+  // generation in write order.
+  std::string base_name = opts_.name + ".wal";
+  TC_ASSIGN_OR_RETURN(auto files, opts_.fs->List(opts_.dir, base_name));
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const auto& f : files) {
+    if (f == base_name) {
+      segments.emplace_back(0, JoinPath(opts_.dir, f));
+    } else if (f.size() > base_name.size() + 1 &&
+               f.compare(0, base_name.size(), base_name) == 0 &&
+               f[base_name.size()] == '.') {
+      // Accept only an all-digit suffix: a partial sscanf match would treat
+      // a stray sibling file (t.wal.1.bak) as a segment — replaying junk and
+      // then deleting the user's file below.
+      uint64_t seq = 0;
+      bool all_digits = true;
+      for (size_t i = base_name.size() + 1; i < f.size(); ++i) {
+        if (f[i] < '0' || f[i] > '9') {
+          all_digits = false;
+          break;
+        }
+        seq = seq * 10 + static_cast<uint64_t>(f[i] - '0');
+      }
+      if (all_digits && seq > 0) {
+        segments.emplace_back(seq, JoinPath(opts_.dir, f));
+      }
+    }
+  }
+  std::sort(segments.begin(), segments.end());
   // The component structure cannot change during replay (no flush until the
   // loop ends), so one snapshot serves every old-version re-capture.
   ReadView disk_view = View();
-  TC_RETURN_IF_ERROR(wal_->Replay([&](const WalRecord& r) -> Status {
+  auto apply = [&](const WalRecord& r) -> Status {
     // Re-capture the old on-disk version exactly as the original operation
     // did; the pre-crash capture died with the in-memory component.
     std::optional<Buffer> old;
@@ -263,11 +342,23 @@ Status LsmTree::ReplayWal() {
       mem_->Delete(r.key, std::move(old));
     }
     return Status::OK();
-  }));
-  // Flush the restored in-memory component (paper §3.1.2).
-  if (!mem_->empty()) {
-    TC_RETURN_IF_ERROR(FlushMemtable());
+  };
+  for (const auto& seg : segments) {
+    TC_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(opts_.fs, seg.second, 0));
+    TC_RETURN_IF_ERROR(wal->Replay(apply));
   }
+  // Flush the restored in-memory component (paper §3.1.2) — synchronously,
+  // so every replayed segment is durable as a component before it is
+  // dropped and the fresh base segment opens.
+  if (!mem_->empty()) {
+    TC_RETURN_IF_ERROR(FlushMemtableInline());
+  }
+  for (const auto& seg : segments) {
+    TC_RETURN_IF_ERROR(opts_.fs->Delete(seg.second));
+  }
+  wal_seq_ = 0;
+  TC_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(opts_.fs, WalSegmentPath(0),
+                                                opts_.wal_sync_every));
   return Status::OK();
 }
 
@@ -275,9 +366,48 @@ Status LsmTree::ReplayWal() {
 // Writes
 // ---------------------------------------------------------------------------
 
+Status LsmTree::BackgroundErrorLocked() const {
+  if (!background_error_.ok()) return background_error_;
+  return reclaimer_->sticky_error();
+}
+
 Status LsmTree::BackgroundError() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return background_error_;
+  return BackgroundErrorLocked();
+}
+
+std::optional<MemTable::ScanEntry> LsmTree::FindPendingFlushEntry(
+    const BtreeKey& key) const {
+  std::vector<std::shared_ptr<MemTable>> pending;  // newest first
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flush_queue_.empty()) return std::nullopt;
+    pending.reserve(flush_queue_.size());
+    for (auto it = flush_queue_.rbegin(); it != flush_queue_.rend(); ++it) {
+      pending.push_back(it->mem);
+    }
+  }
+  for (const auto& mem : pending) {
+    std::optional<MemTable::ScanEntry> hit = mem->Find(key);
+    if (hit.has_value()) return hit;
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<Buffer>> LsmTree::CaptureOldVersion(
+    const BtreeKey& key, bool consult_key_filter) {
+  std::optional<MemTable::ScanEntry> pending = FindPendingFlushEntry(key);
+  if (pending.has_value()) {
+    if (pending->anti || pending->payload.empty()) {
+      return std::optional<Buffer>{};
+    }
+    return std::optional<Buffer>{std::move(pending->payload)};
+  }
+  if (consult_key_filter && opts_.key_may_exist && !opts_.key_may_exist(key)) {
+    return std::optional<Buffer>{};
+  }
+  counters_->old_version_lookups.fetch_add(1, std::memory_order_relaxed);
+  return View().GetDiskVersion(key);
 }
 
 Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
@@ -289,8 +419,7 @@ Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
   }
   mem_->Put(key, Buffer(payload.begin(), payload.end()), std::nullopt);
   if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushMemtable());
-    TC_RETURN_IF_ERROR(MaybeMerge());
+    TC_RETURN_IF_ERROR(FlushLocked());
   }
   return Status::OK();
 }
@@ -305,26 +434,23 @@ Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
   }
   std::optional<Buffer> old;
   // Writer-side pointer read (no copy): we hold write_mu_, so nothing else
-  // mutates the live generation — the same reasoning FlushMemtable uses.
+  // mutates the live generation — the same reasoning the flush swap uses.
   const MemTable::Entry* mem_hit = mem_->Get(key);
   if (mem_hit == nullptr) {
-    bool may_exist = true;
-    if (opts_.key_may_exist) {
-      may_exist = opts_.key_may_exist(key);
+    // Old-version capture is gated on capture_old_versions wherever the
+    // previous version lives — pending flush queue or disk — so the old_out
+    // contract does not depend on build timing. Trees that never capture
+    // (e.g. the pk index) skip both probes entirely.
+    if (opts_.capture_old_versions) {
+      TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(key, /*consult_key_filter=*/true));
     }
-    if (may_exist && opts_.capture_old_versions) {
-      counters_->old_version_lookups.fetch_add(1, std::memory_order_relaxed);
-      TC_ASSIGN_OR_RETURN(auto disk, View().GetDiskVersion(key));
-      if (disk.has_value()) old = std::move(disk);
-    }
+    if (old_out != nullptr && old.has_value()) *old_out = old;
   } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
     *old_out = mem_hit->payload;
   }
-  if (old_out != nullptr && old.has_value()) *old_out = old;
   mem_->Put(key, Buffer(payload.begin(), payload.end()), std::move(old));
   if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushMemtable());
-    TC_RETURN_IF_ERROR(MaybeMerge());
+    TC_RETURN_IF_ERROR(FlushLocked());
   }
   return Status::OK();
 }
@@ -340,18 +466,17 @@ Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
   const MemTable::Entry* mem_hit = mem_->Get(key);  // writer-side, no copy
   if (mem_hit == nullptr) {
     if (opts_.capture_old_versions) {
-      counters_->old_version_lookups.fetch_add(1, std::memory_order_relaxed);
-      TC_ASSIGN_OR_RETURN(auto disk, View().GetDiskVersion(key));
-      if (disk.has_value()) old = std::move(disk);
+      TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(key, /*consult_key_filter=*/false));
     }
+    // Unlike Upsert, Delete's miss path ALWAYS assigns *old_out (nullopt
+    // included) — the historical contract.
     if (old_out != nullptr) *old_out = old;
   } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
     *old_out = mem_hit->payload;
   }
   mem_->Delete(key, std::move(old));
   if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushMemtable());
-    TC_RETURN_IF_ERROR(MaybeMerge());
+    TC_RETURN_IF_ERROR(FlushLocked());
   }
   return Status::OK();
 }
@@ -384,24 +509,83 @@ LsmStats LsmTree::stats() const {
 Status LsmTree::Flush() {
   std::lock_guard<std::mutex> wlock(write_mu_);
   TC_RETURN_IF_ERROR(BackgroundError());
-  TC_RETURN_IF_ERROR(FlushMemtable());
-  return MaybeMerge();
+  return FlushLocked();
 }
 
-Status LsmTree::FlushMemtable() {
-  if (mem_->empty()) return Status::OK();
-  uint64_t cid = next_cid_++;
+Status LsmTree::FlushLocked() {
+  if (opts_.merge_pool == nullptr) {
+    // Inline: build + install on the writer thread, then one policy
+    // decision — deterministic, what unit tests and benches without a pool
+    // rely on.
+    TC_RETURN_IF_ERROR(FlushMemtableInline());
+    return MaybeMergeInline();
+  }
+  if (!mem_->empty()) {
+    {
+      // Backpressure: a bounded queue of sealed generations. Break on ANY
+      // latched error — build failures and reclaimer-drain failures alike —
+      // because FlushBuildJob short-circuits on the same combined check, so
+      // after either kind of error the queue would never shrink and this
+      // wait would deadlock.
+      std::unique_lock<std::mutex> lock(mu_);
+      flush_cv_.wait(lock, [this] {
+        return flush_queue_.size() < opts_.max_pending_flush_builds ||
+               !BackgroundErrorLocked().ok();
+      });
+      TC_RETURN_IF_ERROR(BackgroundErrorLocked());
+    }
+    // Rotate the WAL: the sealed generation's segment must survive on disk
+    // until its component is durable; new writes go to a fresh segment.
+    std::string frozen_wal;
+    if (wal_ != nullptr) {
+      TC_RETURN_IF_ERROR(wal_->Sync());
+      frozen_wal = wal_->path();
+      TC_ASSIGN_OR_RETURN(
+          auto next_wal, WriteAheadLog::Open(opts_.fs, WalSegmentPath(wal_seq_ + 1),
+                                             opts_.wal_sync_every));
+      ++wal_seq_;
+      wal_ = std::move(next_wal);
+    }
+    uint64_t cid = next_cid_++;
+    bool submit = false;
+    {
+      // The swap — all the writer pays: seal the generation, queue it for
+      // its pooled build (views keep reading it from the queue), hand new
+      // writes a fresh generation.
+      std::lock_guard<std::mutex> lock(mu_);
+      mem_->Seal();
+      flush_queue_.push_back(PendingFlush{cid, mem_, std::move(frozen_wal)});
+      stats_.flush_queue_high_water = std::max<uint64_t>(
+          stats_.flush_queue_high_water, flush_queue_.size());
+      mem_ = std::make_shared<MemTable>();
+      if (!flush_build_running_) {
+        flush_build_running_ = true;
+        submit = true;
+      }
+    }
+    if (submit) {
+      flush_jobs_->Submit([this](bool canceled) { FlushBuildJob(canceled); });
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ScheduleMergesLocked();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildFlushComponent(
+    const MemTable& mem, uint64_t cid) {
   std::string path = ComponentPath(cid, cid);
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
                                                     opts_.page_size, compressor_));
   TC_RETURN_IF_ERROR(transformer_->OnFlushBegin());
-  // The long build reads the live generation without locks: writers are
-  // excluded by write_mu_ (held by this caller) and concurrent snapshot
-  // readers only read. Readers keep resolving against the old structure until
-  // the single swap below.
+  // Writer-side iteration is safe here: either this runs on the writer
+  // thread (inline mode, write_mu_ held) or `mem` is a sealed generation
+  // nothing mutates. Transformer calls are serialized in generation order —
+  // at most one flush build per tree at a time — because schema inference is
+  // stateful and order-dependent (§3.1.1).
   Buffer transformed;
-  for (auto it = mem_->begin(); it != mem_->end(); ++it) {
+  for (auto it = mem.begin(); it != mem.end(); ++it) {
     const MemTable::Entry& e = it->second;
     if (e.has_old) {
       TC_RETURN_IF_ERROR(transformer_->OnRemovedVersion(
@@ -426,8 +610,14 @@ Status LsmTree::FlushMemtable() {
   TC_RETURN_IF_ERROR(transformer_->OnFlushEnd(&schema_blob));
   TC_RETURN_IF_ERROR(builder->Finish(cid, cid, schema_blob));
   TC_RETURN_IF_ERROR(builder->MarkValid());
-  TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
-                                                      opts_.page_size, compressor_));
+  return BtreeComponent::Open(opts_.fs, opts_.cache, path, opts_.page_size,
+                              compressor_);
+}
+
+Status LsmTree::FlushMemtableInline() {
+  if (mem_->empty()) return Status::OK();
+  uint64_t cid = next_cid_++;
+  TC_ASSIGN_OR_RETURN(auto comp, BuildFlushComponent(*mem_, cid));
   {
     // The structure swap: install the component and retire the memtable
     // generation in one atomic step, so every snapshot sees the record
@@ -438,10 +628,67 @@ Status LsmTree::FlushMemtable() {
     components_.insert(components_.begin(), std::move(comp));
     stats_.component_count_high_water = std::max<uint64_t>(
         stats_.component_count_high_water, components_.size());
-    mem_ = std::make_shared<MemTable>();  // old generation frozen; views keep it
+    mem_->Seal();  // frozen for good; views that pinned it keep reading it
+    mem_ = std::make_shared<MemTable>();
   }
   if (wal_ != nullptr) TC_RETURN_IF_ERROR(wal_->Reset());
   return Status::OK();
+}
+
+void LsmTree::FlushBuildJob(bool canceled) {
+  PendingFlush work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Short-circuit without building: teardown canceled us, or an error is
+    // latched (the queued generations stay readable and their WAL segments
+    // stay on disk for the next recovery).
+    if (canceled || !BackgroundErrorLocked().ok() || flush_queue_.empty()) {
+      flush_build_running_ = false;
+      flush_cv_.notify_all();
+      return;
+    }
+    work = flush_queue_.front();  // stays queued: views must keep pinning it
+  }
+  Result<std::shared_ptr<BtreeComponent>> built =
+      BuildFlushComponent(*work.mem, work.cid);
+  bool more = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!built.ok()) {
+      if (background_error_.ok()) background_error_ = built.status();
+      flush_build_running_ = false;
+      flush_cv_.notify_all();  // wake backpressured writers into the error
+      return;
+    }
+    // Install + dequeue in one atomic step: every snapshot sees the
+    // generation's records exactly once. Builds run in generation order, so
+    // this component is the newest the tree has ever installed.
+    auto comp = std::move(built).value();
+    TC_CHECK(!flush_queue_.empty() && flush_queue_.front().cid == work.cid);
+    TC_CHECK(components_.empty() ||
+             components_.front()->meta().cid_max < work.cid);
+    stats_.bytes_flushed += comp->physical_bytes();
+    ++stats_.flush_count;
+    components_.insert(components_.begin(), std::move(comp));
+    stats_.component_count_high_water = std::max<uint64_t>(
+        stats_.component_count_high_water, components_.size());
+    flush_queue_.pop_front();
+    more = !flush_queue_.empty();
+    if (!more) flush_build_running_ = false;
+    ScheduleMergesLocked();
+    flush_cv_.notify_all();
+  }
+  // The generation is durable as a component; its WAL segment can go.
+  if (!work.wal_path.empty()) {
+    Status st = opts_.fs->Delete(work.wal_path);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (background_error_.ok()) background_error_ = st;
+    }
+  }
+  if (more) {
+    flush_jobs_->Submit([this](bool c) { FlushBuildJob(c); });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -451,8 +698,15 @@ Status LsmTree::FlushMemtable() {
 Result<LsmTree::MergePlan> LsmTree::DecideMergeLocked() {
   std::vector<uint64_t> sizes;
   sizes.reserve(components_.size());
-  for (const auto& c : components_) sizes.push_back(c->physical_bytes());
-  MergeDecision d = opts_.merge_policy->Decide(sizes);
+  std::vector<bool> claimed;
+  if (!claimed_.empty()) claimed.resize(components_.size(), false);
+  for (size_t i = 0; i < components_.size(); ++i) {
+    sizes.push_back(components_[i]->physical_bytes());
+    if (!claimed.empty() && claimed_.count(components_[i].get()) > 0) {
+      claimed[i] = true;
+    }
+  }
+  MergeDecision d = opts_.merge_policy->Decide(sizes, claimed);
   MergePlan plan;
   if (!d.merge) return plan;
   // Harden against malformed decisions: an inverted range would underflow the
@@ -466,6 +720,18 @@ Result<LsmTree::MergePlan> LsmTree::DecideMergeLocked() {
     return Status::Internal(buf);
   }
   if (d.end - d.begin < 2) return plan;
+  // A range overlapping an in-flight merge's claimed inputs would double-
+  // merge (and double-retire) those components.
+  for (size_t i = d.begin; i < d.end; ++i) {
+    if (!claimed.empty() && claimed[i]) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "merge policy '%s' proposed range [%zu, %zu) overlapping a "
+                    "claimed component",
+                    opts_.merge_policy->name(), d.begin, d.end);
+      return Status::Internal(buf);
+    }
+  }
   plan.inputs.assign(components_.begin() + static_cast<ptrdiff_t>(d.begin),
                      components_.begin() + static_cast<ptrdiff_t>(d.end));
   plan.drop_tombstones = (d.end == components_.size());
@@ -531,103 +797,135 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
 
 void LsmTree::InstallMergedLocked(const MergePlan& plan,
                                   std::shared_ptr<BtreeComponent> merged) {
-  // Locate the inputs by identity: flushes may have prepended newer
-  // components while the rewrite ran, but the captured run is still intact
-  // and contiguous (one merge in flight per tree).
-  size_t idx = 0;
-  while (idx < components_.size() && components_[idx] != plan.inputs.front()) {
-    ++idx;
+  // Locate the inputs by IDENTITY, not position: flushes prepend and other
+  // disjoint merges install while this one rewrote, so indexes have shifted
+  // — but the claimed inputs themselves cannot move relative to each other
+  // or leave the vector, so the merged component takes the slot of the
+  // newest input.
+  std::unordered_set<const BtreeComponent*> in_plan;
+  for (const auto& c : plan.inputs) in_plan.insert(c.get());
+  std::vector<std::shared_ptr<BtreeComponent>> rebuilt;
+  rebuilt.reserve(components_.size() + 1 - plan.inputs.size());
+  size_t idx = components_.size();
+  size_t found = 0;
+  for (const auto& c : components_) {
+    if (in_plan.count(c.get()) > 0) {
+      if (found == 0) idx = rebuilt.size();
+      ++found;
+      continue;
+    }
+    rebuilt.push_back(c);
   }
-  TC_CHECK(idx + plan.inputs.size() <= components_.size());
-  for (size_t i = 0; i < plan.inputs.size(); ++i) {
-    TC_CHECK(components_[idx + i] == plan.inputs[i]);
-  }
+  TC_CHECK(found == plan.inputs.size());
   stats_.bytes_merged += merged->physical_bytes();
   ++stats_.merge_count;
-  components_.erase(
-      components_.begin() + static_cast<ptrdiff_t>(idx),
-      components_.begin() + static_cast<ptrdiff_t>(idx + plan.inputs.size()));
-  components_.insert(components_.begin() + static_cast<ptrdiff_t>(idx),
-                     std::move(merged));
+  rebuilt.insert(rebuilt.begin() + static_cast<ptrdiff_t>(idx),
+                 std::move(merged));
+  components_.swap(rebuilt);
   // Swap complete: the inputs leave the tree. Views still referencing them
   // keep the files alive; the reclaimer deletes them on last release.
   for (const auto& c : plan.inputs) reclaimer_->Retire(c);
 }
 
-Status LsmTree::MaybeMerge() {
-  if (opts_.merge_pool == nullptr) {
-    // Inline: one policy decision per flush, rewritten on the writer thread.
-    // Readers stay unblocked either way — they only need `mu_`, which is held
-    // just for the decision and the final swap.
-    MergePlan plan;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      TC_ASSIGN_OR_RETURN(plan, DecideMergeLocked());
-    }
-    if (plan.inputs.empty()) return Status::OK();
-    TC_ASSIGN_OR_RETURN(auto merged, BuildMergedComponent(plan));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      InstallMergedLocked(plan, std::move(merged));
-    }
-    return reclaimer_->Drain();
-  }
-  // Scheduled: capture the plan now, rewrite on the shared executor. One
-  // merge in flight per tree; the job re-decides on completion, so a skipped
-  // trigger here is picked up then.
-  std::lock_guard<std::mutex> lock(mu_);
-  if (merge_inflight_) return Status::OK();
-  TC_ASSIGN_OR_RETURN(MergePlan plan, DecideMergeLocked());
-  if (plan.inputs.empty()) return Status::OK();
-  merge_inflight_ = true;
-  opts_.merge_pool->Submit(
-      [this, plan = std::move(plan)]() mutable { MergeJob(std::move(plan)); });
-  return Status::OK();
+void LsmTree::ReleaseMergePlanLocked(const MergePlan& plan) {
+  for (const auto& c : plan.inputs) claimed_.erase(c.get());
+  TC_CHECK(merges_inflight_ > 0);
+  --merges_inflight_;
 }
 
-void LsmTree::MergeJob(MergePlan plan) {
-  // Keep the reclaimer alive independently of the tree: the moment the
-  // completion signal below fires, ~LsmTree / WaitForMerges may unblock and
-  // the tree may be freed — after that point this pool thread must not touch
-  // `this`.
-  std::shared_ptr<ComponentReclaimer> reclaimer = reclaimer_;
+void LsmTree::ScheduleMergesLocked() {
+  if (opts_.merge_pool == nullptr) return;
+  // Once an error is latched every further merge is doomed work; stop
+  // cascading (the sticky error already gates writers).
+  if (!background_error_.ok()) return;
+  while (merges_inflight_ < opts_.max_concurrent_merges) {
+    Result<MergePlan> plan_or = DecideMergeLocked();
+    if (!plan_or.ok()) {
+      background_error_ = plan_or.status();
+      flush_cv_.notify_all();
+      return;
+    }
+    MergePlan plan = std::move(plan_or).value();
+    if (plan.inputs.empty()) return;
+    // Claim the inputs so the next loop iteration (and every concurrent
+    // decision until this merge completes) proposes only disjoint ranges.
+    for (const auto& c : plan.inputs) claimed_.insert(c.get());
+    ++merges_inflight_;
+    merge_jobs_->Submit([this, plan = std::move(plan)](bool canceled) mutable {
+      MergeJob(std::move(plan), canceled);
+    });
+  }
+}
+
+Status LsmTree::MaybeMergeInline() {
+  // Inline: one policy decision per flush, rewritten on the writer thread.
+  // Readers stay unblocked either way — they only need `mu_`, which is held
+  // just for the decision and the final swap.
+  MergePlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TC_ASSIGN_OR_RETURN(plan, DecideMergeLocked());
+  }
+  if (plan.inputs.empty()) return Status::OK();
+  TC_ASSIGN_OR_RETURN(auto merged, BuildMergedComponent(plan));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InstallMergedLocked(plan, std::move(merged));
+  }
+  return reclaimer_->Drain();
+}
+
+void LsmTree::MergeJob(MergePlan plan, bool canceled) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Short-circuit without building: the tree is tearing down, or another
+    // job latched a sticky error after this one was scheduled. Before this
+    // check a sticky build failure kept the cascade scheduling doomed
+    // merges forever.
+    if (canceled || !BackgroundErrorLocked().ok()) {
+      ReleaseMergePlanLocked(plan);
+      flush_cv_.notify_all();
+      return;
+    }
+    ++merges_building_;
+    stats_.concurrent_merges_high_water = std::max<uint64_t>(
+        stats_.concurrent_merges_high_water, merges_building_);
+  }
   Result<std::shared_ptr<BtreeComponent>> merged = BuildMergedComponent(plan);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Every exit of this scope either resubmitted (inflight stays true) or
-    // ran this completion; nothing after the scope may dereference `this`.
-    auto finish = [this](const Status& st) {
-      if (background_error_.ok() && !st.ok()) background_error_ = st;
-      merge_inflight_ = false;
-      merge_cv_.notify_all();
-    };
+    --merges_building_;
     if (!merged.ok()) {
-      finish(merged.status());
-    } else {
-      InstallMergedLocked(plan, std::move(merged).value());
-      plan.inputs.clear();  // drop our pins before draining below
-      // Cascade: the policy may want another merge on the new shape (e.g.
-      // a tier completed by this rewrite).
-      Result<MergePlan> next = DecideMergeLocked();
-      if (!next.ok()) {
-        finish(next.status());
-      } else if (!next.value().inputs.empty()) {
-        opts_.merge_pool->Submit([this, p = std::move(next).value()]() mutable {
-          MergeJob(std::move(p));
-        });
-      } else {
-        finish(Status::OK());
-      }
+      if (background_error_.ok()) background_error_ = merged.status();
+      ReleaseMergePlanLocked(plan);
+      flush_cv_.notify_all();  // wake backpressured writers into the error
+      return;
     }
+    InstallMergedLocked(plan, std::move(merged).value());
+    ReleaseMergePlanLocked(plan);
+    // Cascade: the policy may want another merge on the new shape (e.g. a
+    // tier completed by this rewrite) — and freeing a claim may unblock a
+    // plan the concurrency cap deferred.
+    ScheduleMergesLocked();
   }
-  Status st = reclaimer->Drain();  // best-effort; sticky errors come from builds
+  plan.inputs.clear();  // drop our pins so the drain can reclaim the inputs
+  // Deferred-deletion sweep. Failures latch into the reclaimer's sticky
+  // error — shared with every view and surfaced through BackgroundError()
+  // and WaitForMerges() — instead of vanishing on the floor.
+  Status st = reclaimer_->Drain();
   (void)st;
 }
 
 Status LsmTree::WaitForMerges() {
-  std::unique_lock<std::mutex> lock(mu_);
-  merge_cv_.wait(lock, [this] { return !merge_inflight_; });
-  return background_error_;
+  if (flush_jobs_ != nullptr) {
+    // Flush installs schedule merges, so settle the flush group first; a
+    // drained build that cascaded re-fills the flush group only via writers,
+    // which callers have quiesced.
+    flush_jobs_->Wait();
+    merge_jobs_->Wait();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return BackgroundErrorLocked();
 }
 
 // ---------------------------------------------------------------------------
@@ -641,7 +939,7 @@ Status LsmTree::BulkLoad(
   TC_RETURN_IF_ERROR(BackgroundError());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!mem_->empty() || !components_.empty()) {
+    if (!mem_->empty() || !components_.empty() || !flush_queue_.empty()) {
       return Status::InvalidArgument("bulk load requires an empty dataset");
     }
   }
@@ -667,8 +965,11 @@ Status LsmTree::BulkLoad(
   TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
                                                       opts_.page_size, compressor_));
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.bytes_flushed += comp->physical_bytes();
-  ++stats_.flush_count;
+  // Bulk loads get their own stat: folding them into flush_count /
+  // bytes_flushed inflated WriteAmplification() (and the fig17 policy axis)
+  // for bulk-loaded datasets.
+  stats_.bytes_bulk_loaded += comp->physical_bytes();
+  ++stats_.bulk_load_count;
   components_.insert(components_.begin(), std::move(comp));
   stats_.component_count_high_water = std::max<uint64_t>(
       stats_.component_count_high_water, components_.size());
@@ -677,18 +978,39 @@ Status LsmTree::BulkLoad(
 
 Status LsmTree::DestroyAll() {
   std::lock_guard<std::mutex> wlock(write_mu_);
+  // Settle background work first (no cancel: completed merges make teardown
+  // deterministic); nothing new is scheduled while we hold write_mu_.
+  if (flush_jobs_ != nullptr) {
+    flush_jobs_->Wait();
+    merge_jobs_->Wait();
+  }
   std::vector<std::shared_ptr<BtreeComponent>> doomed;
+  std::vector<std::string> wal_segments;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+    std::lock_guard<std::mutex> lock(mu_);
     doomed.swap(components_);
+    for (const auto& pf : flush_queue_) {
+      if (!pf.wal_path.empty()) wal_segments.push_back(pf.wal_path);
+    }
+    flush_queue_.clear();
     mem_ = std::make_shared<MemTable>();
   }
   for (auto& c : doomed) reclaimer_->Retire(std::move(c));
   doomed.clear();
   TC_RETURN_IF_ERROR(reclaimer_->Drain());
-  std::string wal_path = JoinPath(opts_.dir, opts_.name + ".wal");
-  if (opts_.fs->Exists(wal_path)) TC_RETURN_IF_ERROR(opts_.fs->Delete(wal_path));
+  for (const auto& seg : wal_segments) {
+    if (opts_.fs->Exists(seg)) TC_RETURN_IF_ERROR(opts_.fs->Delete(seg));
+  }
+  if (wal_ != nullptr) {
+    // Drop the live segment too, then restart at the base path so post-
+    // destroy writes log into a file recovery will actually find.
+    if (opts_.fs->Exists(wal_->path())) {
+      TC_RETURN_IF_ERROR(opts_.fs->Delete(wal_->path()));
+    }
+    wal_seq_ = 0;
+    TC_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(opts_.fs, WalSegmentPath(0),
+                                                  opts_.wal_sync_every));
+  }
   return Status::OK();
 }
 
@@ -709,9 +1031,36 @@ Status LsmTree::Iterator::Position(const BtreeKey* seek_key) {
   // Copy the (budget-bounded) in-memory entries: the live generation may
   // still receive writes, and a private copy makes the scan a stable snapshot
   // of seek time. An upper-bound hint keeps narrow range scans O(range).
-  view_->memtable().Snapshot(seek_key,
-                             upper_bound_.has_value() ? &*upper_bound_ : nullptr,
-                             &mem_entries_);
+  // With pooled flush builds the view may pin several generations; merge
+  // their snapshots newest-first (a newer generation's entry — anti-matter
+  // included — shadows an older generation's under the same key).
+  const BtreeKey* to = upper_bound_.has_value() ? &*upper_bound_ : nullptr;
+  view_->memtable().Snapshot(seek_key, to, &mem_entries_);
+  const auto& pending = view_->pending_memtables();
+  if (!pending.empty()) {
+    std::vector<MemTable::ScanEntry> older;
+    std::vector<MemTable::ScanEntry> merged;
+    for (const auto& gen : pending) {
+      gen->Snapshot(seek_key, to, &older);
+      if (older.empty()) continue;
+      merged.clear();
+      merged.reserve(mem_entries_.size() + older.size());
+      size_t a = 0, b = 0;
+      while (a < mem_entries_.size() || b < older.size()) {
+        if (b >= older.size() ||
+            (a < mem_entries_.size() && mem_entries_[a].key < older[b].key)) {
+          merged.push_back(std::move(mem_entries_[a++]));
+        } else if (a >= mem_entries_.size() ||
+                   older[b].key < mem_entries_[a].key) {
+          merged.push_back(std::move(older[b++]));
+        } else {
+          merged.push_back(std::move(mem_entries_[a++]));  // newer shadows
+          ++b;
+        }
+      }
+      mem_entries_.swap(merged);
+    }
+  }
   mem_pos_ = 0;
   cursors_.clear();
   for (const auto& c : view_->components()) {

@@ -5,35 +5,50 @@
 // format-agnostic: payloads are opaque bytes; the transformer decides whether
 // flushes infer schemas and compact records.
 //
-// Concurrency model (snapshot reads, ROADMAP "Parallelism"):
+// Concurrency model (snapshot reads + concurrent background work, ROADMAP
+// "Parallelism"):
 //   * Every read goes through a ReadView — an immutable value pinning the
-//     memtable generation and the shared_ptr component vector as of one
-//     instant. Acquisition is O(components) under the structure mutex `mu_`;
-//     the search itself runs entirely OUTSIDE any tree lock, so point lookups
-//     and scans from many threads proceed in parallel with each other and
-//     with flush/merge rewrites.
-//   * Writers are serialized by `write_mu_` (held across WAL append, memtable
-//     update, and flush builds) and take `mu_` only for the brief structure
-//     swaps — readers never wait out a flush or merge rewrite.
-//   * Flush retires the memtable generation by swapping in a fresh one; the
-//     retired generation is frozen and lives as long as some view pins it.
+//     memtable generations (live + any sealed ones awaiting their pooled
+//     flush build) and the shared_ptr component vector as of one instant.
+//     Acquisition is O(components) under the structure mutex `mu_`; the
+//     search itself runs entirely OUTSIDE any tree lock, so point lookups and
+//     scans from many threads proceed in parallel with each other and with
+//     flush/merge rewrites.
+//   * Writers are serialized by `write_mu_` (held across WAL append and
+//     memtable update) and take `mu_` only for the brief structure swaps —
+//     readers never wait out a flush or merge rewrite.
+//   * Flush seals the live generation and swaps in a fresh one. Without a
+//     merge pool the component build runs inline on the writer thread
+//     (deterministic — what unit tests use). With a pool the build is
+//     submitted to the shared executor: the writer pays only the generation
+//     swap and a WAL segment rotation, sealed generations stay readable from
+//     the flush queue until their component installs, and at most
+//     `max_pending_flush_builds` generations may be queued before writers
+//     stall (backpressure).
+//   * Merges run concurrently per tree: the policy proposes plans over
+//     DISJOINT component ranges (components claimed by an in-flight merge
+//     are excluded from later decisions), up to `max_concurrent_merges` jobs
+//     build at once on the pool, and completions install by component
+//     identity — out of order, interleaved with flush installs.
 //   * Merge retires its input components by dropping them from the component
 //     vector into a deferred-deletion list (ComponentReclaimer); the physical
 //     files are deleted only when the last view referencing them is released.
-//   * With LsmTreeOptions::merge_pool set, merges are scheduled on the shared
-//     executor and rewrite components on a background thread, taking `mu_`
-//     only to capture inputs and to install the result; without a pool they
-//     run inline on the writer thread (deterministic — what unit tests use).
+//   * A background build failure latches a sticky error that gates writers,
+//     short-circuits queued/cascading jobs, and surfaces from
+//     WaitForMerges(); deferred-deletion failures latch into the reclaimer's
+//     own sticky error, surfaced the same way.
 #ifndef TC_LSM_LSM_TREE_H_
 #define TC_LSM_LSM_TREE_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -95,9 +110,18 @@ struct LsmTreeOptions {
   /// Capture old on-disk versions on upsert/delete (needed by the tuple
   /// compactor's anti-schema processing and by secondary index maintenance).
   bool capture_old_versions = false;
-  /// Shared background executor for merges (not owned; must outlive the
-  /// tree). Null = merge inline on the writer thread after each flush.
+  /// Shared background executor for merges and flush builds (not owned; must
+  /// outlive the tree). Null = all background work runs inline on the writer
+  /// thread after each flush.
   TaskPool* merge_pool = nullptr;
+  /// Cap on merges of THIS tree building concurrently on the pool (clamped
+  /// to >= 1; irrelevant without a pool). Disjoint plans beyond the cap stay
+  /// unscheduled until a running merge completes.
+  size_t max_concurrent_merges = kDefaultMaxConcurrentMerges;
+  /// Backpressure for pooled flush builds: writers stall once this many
+  /// sealed generations await their component build (clamped to >= 1;
+  /// irrelevant without a pool).
+  size_t max_pending_flush_builds = kDefaultMaxPendingFlushBuilds;
 };
 
 struct LsmStats {
@@ -105,14 +129,28 @@ struct LsmStats {
   uint64_t merge_count = 0;
   uint64_t bytes_flushed = 0;       // physical bytes written by flushes
   uint64_t bytes_merged = 0;        // physical bytes written by merges
+  /// Bulk loads tracked apart from flushes: a bulk-built component is written
+  /// exactly once by construction, so folding it into bytes_flushed would
+  /// dilute WriteAmplification() toward 1.0 and make the fig17 policy axis
+  /// incomparable between fed and bulk-loaded datasets.
+  uint64_t bulk_load_count = 0;
+  uint64_t bytes_bulk_loaded = 0;
   uint64_t point_lookups = 0;
   uint64_t old_version_lookups = 0;
   /// Most on-disk components ever live at once — the worst case a point
   /// lookup pays under this merge schedule (the fig24 policy-axis metric).
   uint64_t component_count_high_water = 0;
+  /// Most merges of this tree ever BUILDING at the same instant — >= 2 proves
+  /// disjoint merges actually ran concurrently (scheduled-but-queued jobs
+  /// don't count).
+  uint64_t concurrent_merges_high_water = 0;
+  /// Most sealed generations ever queued for a pooled flush build at once
+  /// (bounded by max_pending_flush_builds).
+  uint64_t flush_queue_high_water = 0;
 
   /// (bytes_flushed + bytes_merged) / bytes_flushed — the fig17 policy-axis
-  /// metric; 1.0 means the policy never rewrote a flushed byte.
+  /// metric; 1.0 means the policy never rewrote a flushed byte. Bulk-loaded
+  /// bytes are excluded on both sides.
   double WriteAmplification() const {
     if (bytes_flushed == 0) return 1.0;
     return static_cast<double>(bytes_flushed + bytes_merged) /
@@ -133,8 +171,14 @@ class ComponentReclaimer {
   void Retire(std::shared_ptr<BtreeComponent> comp);
 
   /// Deletes the files of every retired component nobody else references.
-  /// Returns the first deletion error (deferred entries are not an error).
+  /// Returns the first deletion error of THIS drain (deferred entries are not
+  /// an error) and also latches it into sticky_error(): drains run from merge
+  /// jobs and view destructors, call sites that have nowhere good to report
+  /// to, so the owning tree surfaces the latched error instead.
   Status Drain();
+
+  /// First deletion error any drain ever hit; never cleared.
+  Status sticky_error() const;
 
   /// Lock-free fast path for the per-view release check.
   bool has_pending() const { return pending_.load(std::memory_order_acquire); }
@@ -146,6 +190,7 @@ class ComponentReclaimer {
   BufferCache* cache_;
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<BtreeComponent>> retired_;
+  Status sticky_error_;  // first Drain failure, guarded by mu_
   std::atomic<bool> pending_{false};
 };
 
@@ -158,16 +203,17 @@ struct LsmReadCounters {
 
 class LsmTree {
  public:
-  /// An immutable snapshot of the tree: the pinned memtable generation plus
-  /// the on-disk component vector at acquisition time. All searching happens
-  /// without tree locks. A view observes every write committed before its
-  /// acquisition; writes applied to the pinned in-memory generation while it
-  /// is still live also become visible (read-committed in memory), but once a
-  /// flush retires that generation the view is fully frozen — later flushes,
-  /// merges, and deletes are never observed. Views are value types; share one
-  /// across threads via ReadViewRef. Releasing a view drains the deferred-
-  /// deletion list, so retired component files disappear exactly when the
-  /// last reader lets go.
+  /// An immutable snapshot of the tree: the pinned memtable generations
+  /// (live, plus any sealed generations whose pooled flush build has not
+  /// installed yet) plus the on-disk component vector at acquisition time.
+  /// All searching happens without tree locks. A view observes every write
+  /// committed before its acquisition; writes applied to the pinned live
+  /// generation while it is still live also become visible (read-committed
+  /// in memory), but once a flush retires that generation the view is fully
+  /// frozen — later flushes, merges, and deletes are never observed. Views
+  /// are value types; share one across threads via ReadViewRef. Releasing a
+  /// view drains the deferred-deletion list, so retired component files
+  /// disappear exactly when the last reader lets go.
   class ReadView {
    public:
     ReadView(ReadView&&) = default;
@@ -187,7 +233,16 @@ class LsmTree {
     const std::vector<std::shared_ptr<BtreeComponent>>& components() const {
       return comps_;
     }
+    /// The generation that was live at acquisition time.
     const MemTable& memtable() const { return *mem_; }
+    /// Sealed generations still awaiting their pooled flush build, newest
+    /// first — empty in the common case (inline flushes, or an idle queue).
+    /// Lookups and scans must consult memtable() first, then these in order
+    /// (newer shadows older).
+    const std::vector<std::shared_ptr<const MemTable>>& pending_memtables()
+        const {
+      return pending_mems_;
+    }
     /// Total on-disk physical bytes of the pinned components (data files +
     /// LAFs) — the Figure 16 metric.
     uint64_t physical_bytes() const;
@@ -198,7 +253,11 @@ class LsmTree {
     friend class LsmTree;
     ReadView() = default;
 
-    std::shared_ptr<const MemTable> mem_;
+    std::shared_ptr<const MemTable> mem_;  // live generation at acquisition
+    // Sealed-but-unbuilt generations, newest first; only populated when the
+    // flush queue was non-empty, so the common point-lookup path stays
+    // allocation-free.
+    std::vector<std::shared_ptr<const MemTable>> pending_mems_;
     std::vector<std::shared_ptr<BtreeComponent>> comps_;  // newest first
     std::shared_ptr<LsmReadCounters> counters_;
     std::shared_ptr<ComponentReclaimer> reclaimer_;
@@ -209,8 +268,11 @@ class LsmTree {
   /// WAL, then flushes the restored memtable (paper §3.1.2).
   static Result<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
 
-  /// Waits out scheduled merges, then releases the tree's own pins and
-  /// reclaims whatever no view still holds.
+  /// Cancels merge jobs that have not started, waits out running ones, then
+  /// releases the tree's own pins and reclaims whatever no view still holds.
+  /// Queued flush builds are canceled only when a WAL backs the tree (the
+  /// sealed generations keep their WAL segments on disk for the next Open to
+  /// replay); WAL-less trees drain them so clean teardown stays lossless.
   ~LsmTree();
 
   /// Snapshot acquisition: O(components) pointer copies under `mu_`.
@@ -238,11 +300,16 @@ class LsmTree {
   Result<std::optional<Buffer>> GetDiskVersion(const BtreeKey& key);
 
   /// Flushes the in-memory component if non-empty, then consults the merge
-  /// policy (inline, or scheduled on the merge pool when configured).
+  /// policy. Without a merge pool the build and any merges run inline; with
+  /// one, the sealed generation is queued for a pooled build (subject to the
+  /// max_pending_flush_builds backpressure) and Flush returns as soon as the
+  /// swap is done — call WaitForMerges() to quiesce.
   Status Flush();
 
-  /// Blocks until no merge is scheduled or running for this tree; returns the
-  /// sticky background-merge error, if any. A no-op without a merge pool.
+  /// Blocks until no background work — merge or pooled flush build — is
+  /// scheduled or running for this tree; returns the sticky background
+  /// error, if any (build failures and deferred-deletion failures alike). A
+  /// no-op without a merge pool.
   Status WaitForMerges();
 
   /// Builds a single on-disk component from externally sorted entries
@@ -335,26 +402,72 @@ class LsmTree {
     uint64_t cid_max = 0;
   };
 
+  // A sealed generation whose component build is queued on the pool. The
+  // generation stays readable (views pin it from this queue) and its WAL
+  // segment stays on disk until the build installs.
+  struct PendingFlush {
+    uint64_t cid = 0;
+    std::shared_ptr<MemTable> mem;
+    std::string wal_path;  // empty when the tree runs without a WAL
+  };
+
   std::string ComponentPath(uint64_t cid_min, uint64_t cid_max) const;
+  std::string WalSegmentPath(uint64_t seq) const;
   Status RecoverComponents();
   Status ReplayWal();
-  // Writer-side (write_mu_ held): builds + installs the flushed component.
-  Status FlushMemtable();
-  // Dispatches to inline or pool-scheduled merging after a flush.
-  Status MaybeMerge();
+  // Writer-side (write_mu_ held): flush + merge dispatch — inline builds
+  // without a pool, generation handoff + scheduling with one.
+  Status FlushLocked();
+  // Writer-side: builds + installs the flushed component synchronously and
+  // resets the WAL (the no-pool path, and crash-recovery replay).
+  Status FlushMemtableInline();
+  // Streams one sealed generation through the transformer into a component
+  // file. Runs on the writer thread (inline mode) or a pool thread (at most
+  // one flush build per tree at a time, in generation order — the
+  // transformer is stateful and schema evolution is order-dependent).
+  Result<std::shared_ptr<BtreeComponent>> BuildFlushComponent(
+      const MemTable& mem, uint64_t cid);
+  // Pool job: builds the oldest queued generation, installs it, reschedules
+  // itself while generations remain queued.
+  void FlushBuildJob(bool canceled);
+  // Inline-mode merging: one policy decision per flush on the writer thread.
+  Status MaybeMergeInline();
   // *Locked methods require `mu_` to be held by the caller.
+  // Launches merge jobs for every disjoint plan the policy proposes, up to
+  // max_concurrent_merges; claimed components are excluded from decisions.
+  // No-op without a pool or once an error is latched.
+  void ScheduleMergesLocked();
   Result<MergePlan> DecideMergeLocked();
   void InstallMergedLocked(const MergePlan& plan,
                            std::shared_ptr<BtreeComponent> merged);
-  // Sticky first async-merge failure (never cleared); every writer entry
-  // point gates on it. Takes mu_ itself.
+  // Unclaims a plan's inputs and decrements the in-flight count (the
+  // completion bookkeeping shared by the install, failure, and cancel-skip
+  // paths of MergeJob).
+  void ReleaseMergePlanLocked(const MergePlan& plan);
+  // Sticky first background failure (never cleared) — build errors and the
+  // reclaimer's deferred-deletion errors; every writer entry point gates on
+  // it. Takes mu_ itself.
   Status BackgroundError() const;
+  Status BackgroundErrorLocked() const;
+  // Writer-side: newest entry for `key` among the sealed generations queued
+  // for flush builds (newer shadows older), or nullopt.
+  std::optional<MemTable::ScanEntry> FindPendingFlushEntry(
+      const BtreeKey& key) const;
+  // Writer-side old-version capture for a live-memtable miss (requires
+  // capture_old_versions): a sealed generation queued for its pooled flush
+  // build shadows the disk — the version surviving in it is exactly what the
+  // disk will hold once that build installs (its tombstone means "no
+  // previous version") — otherwise the current on-disk version is looked up,
+  // optionally guarded by the key_may_exist filter.
+  Result<std::optional<Buffer>> CaptureOldVersion(const BtreeKey& key,
+                                                  bool consult_key_filter);
   // Rewrites the plan's pinned inputs into one component. Lock-free: inputs
   // are immutable files read through the (thread-safe) buffer cache.
   Result<std::shared_ptr<BtreeComponent>> BuildMergedComponent(
       const MergePlan& plan);
-  // Executes one scheduled merge on a pool thread, then re-decides.
-  void MergeJob(MergePlan plan);
+  // Executes one scheduled merge on a pool thread, then re-decides
+  // (cascade); short-circuits when canceled or an error is latched.
+  void MergeJob(MergePlan plan, bool canceled);
 
   LsmTreeOptions opts_;
   std::shared_ptr<const Compressor> compressor_;
@@ -362,24 +475,43 @@ class LsmTree {
   FlushTransformer* transformer_ = nullptr;
 
   // Serializes writers (Insert/Upsert/Delete/Flush/BulkLoad/DestroyAll) end
-  // to end: WAL append, memtable update, flush builds. Readers never take it.
+  // to end: WAL append, memtable update, generation swaps. Readers and pool
+  // jobs never take it.
   std::mutex write_mu_;
 
   // Guards the STRUCTURE only — the component vector, the live memtable
-  // pointer, stats_, and the merge-scheduling state. Held for view
-  // acquisition and swaps, never across component searches or rewrites.
-  // Mutable so const observers (View) can lock it. Lock order: write_mu_
-  // before mu_; memtable-internal locks nest innermost.
+  // pointer, the flush queue, stats_, and the merge-scheduling state. Held
+  // for view acquisition and swaps, never across component searches or
+  // rewrites. Mutable so const observers (View) can lock it. Lock order:
+  // write_mu_ before mu_; memtable-internal locks nest innermost.
   mutable std::mutex mu_;
-  std::condition_variable merge_cv_;  // signals merge completion (with mu_)
   std::shared_ptr<MemTable> mem_;     // live generation; swapped by flush
   std::vector<std::shared_ptr<BtreeComponent>> components_;  // newest first
-  bool merge_inflight_ = false;       // a merge is scheduled or running
-  Status background_error_;           // sticky first async-merge failure
+  // Sealed generations awaiting pooled builds, oldest first. Builds run one
+  // at a time in queue order; views pin every queued generation.
+  std::deque<PendingFlush> flush_queue_;
+  bool flush_build_running_ = false;  // a FlushBuildJob is scheduled/running
+  std::condition_variable flush_cv_;  // backpressure (with mu_)
+  // Merge scheduling: inputs of every in-flight merge (excluded from new
+  // decisions) and the in-flight/building counts.
+  std::unordered_set<const BtreeComponent*> claimed_;
+  size_t merges_inflight_ = 0;  // scheduled or running
+  size_t merges_building_ = 0;  // actually rewriting right now
+  Status background_error_;     // sticky first background failure
+
+  // Track this tree's pool jobs, split by kind: WaitForMerges() waits on
+  // both; the destructor always cancels queued MERGE jobs (their inputs
+  // stay live in the tree), but cancels queued FLUSH builds only when a WAL
+  // backs the tree — without one, a sealed generation has no segment to
+  // replay, so teardown must drain its build to stay lossless (the
+  // pk/secondary index trees run WAL-less). Null without a pool.
+  std::unique_ptr<TaskGroup> flush_jobs_;
+  std::unique_ptr<TaskGroup> merge_jobs_;
 
   std::shared_ptr<ComponentReclaimer> reclaimer_;
   std::shared_ptr<LsmReadCounters> counters_;
-  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<WriteAheadLog> wal_;  // live segment (writer-side)
+  uint64_t wal_seq_ = 0;   // writer-side; suffix of the live segment
   uint64_t next_cid_ = 1;  // writer-side (write_mu_)
   LsmStats stats_;         // non-read-counter fields; guarded by mu_
 };

@@ -7,6 +7,7 @@ constexpr size_t kEntryOverhead = 64;  // rough per-entry bookkeeping cost
 
 void MemTable::Put(const BtreeKey& key, Buffer payload,
                    std::optional<Buffer> old_payload) {
+  TC_CHECK(!sealed());  // writes to a retired generation are a tree-logic bug
   std::unique_lock<std::shared_mutex> lock(sync_);
   auto [it, inserted] = map_.try_emplace(key);
   Entry& e = it->second;
@@ -27,6 +28,7 @@ void MemTable::Put(const BtreeKey& key, Buffer payload,
 }
 
 void MemTable::Delete(const BtreeKey& key, std::optional<Buffer> old_payload) {
+  TC_CHECK(!sealed());
   std::unique_lock<std::shared_mutex> lock(sync_);
   auto [it, inserted] = map_.try_emplace(key);
   Entry& e = it->second;
@@ -49,7 +51,9 @@ const MemTable::Entry* MemTable::Get(const BtreeKey& key) const {
 }
 
 std::optional<MemTable::ScanEntry> MemTable::Find(const BtreeKey& key) const {
-  std::shared_lock<std::shared_mutex> lock(sync_);
+  // Sealed generations are immutable; skip the lock (see sealed_'s comment).
+  std::shared_lock<std::shared_mutex> lock(sync_, std::defer_lock);
+  if (!sealed()) lock.lock();
   auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return ScanEntry{key, it->second.anti, it->second.payload};
@@ -57,7 +61,8 @@ std::optional<MemTable::ScanEntry> MemTable::Find(const BtreeKey& key) const {
 
 void MemTable::Snapshot(const BtreeKey* from, const BtreeKey* to,
                         std::vector<ScanEntry>* out) const {
-  std::shared_lock<std::shared_mutex> lock(sync_);
+  std::shared_lock<std::shared_mutex> lock(sync_, std::defer_lock);
+  if (!sealed()) lock.lock();
   auto it = from == nullptr ? map_.begin() : map_.lower_bound(*from);
   auto end = to == nullptr ? map_.end() : map_.upper_bound(*to);
   out->clear();
@@ -87,9 +92,12 @@ bool MemTable::empty() const {
 }
 
 void MemTable::Clear() {
+  TC_CHECK(!sealed());
   std::unique_lock<std::shared_mutex> lock(sync_);
   map_.clear();
   bytes_ = 0;
 }
+
+void MemTable::Seal() { sealed_.store(true, std::memory_order_release); }
 
 }  // namespace tc

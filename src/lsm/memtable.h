@@ -10,17 +10,21 @@
 //
 // Concurrency: one MemTable is a *generation*. Writers (serialized by the
 // tree's writer mutex) mutate the live generation; a flush retires it by
-// swapping in a fresh one, after which the old generation is frozen forever —
-// ReadViews that pinned it keep reading it without synchronization. Reads of
-// the LIVE generation race only with the single writer, so mutators take this
-// table's internal lock exclusively and the copy-out read API (Find/Snapshot
-// and the size observers) takes it shared. The pointer/iterator API
-// (Get/begin/end/LowerBound) is writer-side only: it is safe on the writer
-// thread (nothing else mutates) and on frozen generations, but must not be
-// used to read a live generation from another thread.
+// Seal()ing it and swapping in a fresh one, after which the old generation is
+// frozen forever — ReadViews that pinned it (and the pooled flush build that
+// turns it into a component) keep reading it without synchronization. Reads
+// of the LIVE generation race only with the single writer, so mutators take
+// this table's internal lock exclusively and the copy-out read API
+// (Find/Snapshot and the size observers) takes it shared; on a sealed
+// generation the copy-out readers skip the lock entirely. The
+// pointer/iterator API (Get/begin/end/LowerBound) is writer-side only: it is
+// safe on the writer thread (nothing else mutates) and on sealed
+// generations, but must not be used to read a live generation from another
+// thread.
 #ifndef TC_LSM_MEMTABLE_H_
 #define TC_LSM_MEMTABLE_H_
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <shared_mutex>
@@ -80,6 +84,13 @@ class MemTable {
   bool empty() const;
   void Clear();
 
+  /// Freezes this generation for good: mutators TC_CHECK against it, and the
+  /// copy-out readers stop taking the internal lock (there is nothing left to
+  /// race with). Called by the flush swap, after the writer's last mutation
+  /// and before the generation is published to the flush queue.
+  void Seal();
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+
   using ConstIterator = std::map<BtreeKey, Entry>::const_iterator;
   // Writer-side iteration (flush builds, tests on quiesced tables).
   ConstIterator begin() const { return map_.begin(); }
@@ -94,6 +105,10 @@ class MemTable {
   mutable std::shared_mutex sync_;
   std::map<BtreeKey, Entry> map_;
   size_t bytes_ = 0;
+  // Release-published after the last mutation; an acquire-load observing true
+  // therefore observes the final map, so lock-free reads are safe. A stale
+  // false only costs the shared-lock slow path.
+  std::atomic<bool> sealed_{false};
 };
 
 }  // namespace tc

@@ -26,8 +26,22 @@ class MergePolicy {
  public:
   virtual ~MergePolicy() = default;
   virtual const char* name() const = 0;
-  /// `sizes[0]` is the newest component's physical size in bytes.
-  virtual MergeDecision Decide(const std::vector<uint64_t>& sizes) const = 0;
+  /// Claim-aware decision — what enables several disjoint merges per tree.
+  /// `sizes[0]` is the newest component's physical size in bytes;
+  /// `claimed[i]` marks a component already pinned as the input of an
+  /// in-flight merge (an empty vector means nothing is claimed). The returned
+  /// range must not overlap a claimed component, so policies apply their
+  /// logic within each maximal run of unclaimed components: with nothing
+  /// claimed the single run [0, n) reproduces the historical single-inflight
+  /// behaviour exactly, and with a merge running the newer flushes that
+  /// accumulate in front of (or the strata stranded behind) its claimed run
+  /// can still be proposed concurrently.
+  virtual MergeDecision Decide(const std::vector<uint64_t>& sizes,
+                               const std::vector<bool>& claimed) const = 0;
+  /// Convenience for single-inflight callers and tests: nothing claimed.
+  MergeDecision Decide(const std::vector<uint64_t>& sizes) const {
+    return Decide(sizes, {});
+  }
 };
 
 /// Never merges.
@@ -70,6 +84,12 @@ enum class MergePolicyKind {
   kLazyLeveled,
 };
 
+/// Background-scheduling defaults, shared by MergePolicyConfig (the
+/// dataset-level knob bag) and LsmTreeOptions (directly-opened trees) so the
+/// two entry points cannot silently drift apart.
+inline constexpr size_t kDefaultMaxConcurrentMerges = 4;
+inline constexpr size_t kDefaultMaxPendingFlushBuilds = 2;
+
 const char* MergePolicyKindName(MergePolicyKind kind);
 
 /// Parses "none"/"no-merge", "prefix", "constant", "tiered", and
@@ -88,11 +108,19 @@ struct MergePolicyConfig {
   size_t min_merge_width = 4;
   // Constant-policy knob.
   size_t constant_k = 8;
+  // Background-scheduling (not policy) knobs, carried here because this
+  // config already reaches every LSM tree and both are irrelevant without a
+  // merge pool: cap on merges of one tree running concurrently, and the
+  // pooled-flush backpressure bound (sealed generations that may queue for
+  // their component build before writers stall). Both >= 1.
+  size_t max_concurrent_merges = kDefaultMaxConcurrentMerges;
+  size_t max_pending_flush_builds = kDefaultMaxPendingFlushBuilds;
 
   /// Overlays the TC_MERGE_POLICY / TC_MERGE_MAX_MB / TC_MERGE_TOLERANCE /
-  /// TC_MERGE_SIZE_RATIO / TC_MERGE_MIN_WIDTH / TC_MERGE_CONSTANT_K
-  /// environment knobs onto `defaults`; unset knobs keep their defaults. An
-  /// unknown TC_MERGE_POLICY value warns on stderr and keeps the default.
+  /// TC_MERGE_SIZE_RATIO / TC_MERGE_MIN_WIDTH / TC_MERGE_CONSTANT_K /
+  /// TC_MERGE_CONCURRENT / TC_FLUSH_PENDING environment knobs onto
+  /// `defaults`; unset knobs keep their defaults. An unknown TC_MERGE_POLICY
+  /// value warns on stderr and keeps the default.
   static MergePolicyConfig FromEnv(MergePolicyConfig defaults);
   static MergePolicyConfig FromEnv();
 };

@@ -84,6 +84,12 @@ Status WriteAheadLog::Replay(
   return Status::OK();
 }
 
+Status WriteAheadLog::Sync() {
+  if (sync_every_n_ == 0) return Status::OK();  // caller opted out of fsync
+  appends_since_sync_ = 0;
+  return file_->Sync();
+}
+
 Status WriteAheadLog::Reset() {
   // Recreate the file; next_lsn_ keeps increasing so LSNs stay unique.
   TC_ASSIGN_OR_RETURN(file_, fs_->Create(path_));

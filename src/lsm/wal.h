@@ -48,8 +48,14 @@ class WriteAheadLog {
   /// Drops all log records (called after a flush commits).
   Status Reset();
 
+  /// Forces buffered appends to the device — called before a log segment is
+  /// frozen behind a pooled flush build, so the segment is as durable as the
+  /// configured sync cadence ever made it.
+  Status Sync();
+
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t size_bytes() const { return write_offset_; }
+  const std::string& path() const { return path_; }
 
  private:
   WriteAheadLog() = default;

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
 #include "common/bit_packer.h"
 #include "common/bytes.h"
 #include "common/crc32.h"
 #include "common/rng.h"
+#include "common/task_pool.h"
 
 namespace tc {
 namespace {
@@ -137,6 +144,93 @@ TEST(Rng, RangeBounds) {
     EXPECT_GE(v, -5);
     EXPECT_LE(v, 5);
   }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup: the per-owner completion/cancellation story of the shared pool.
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroup, WaitCoversEverySubmittedTask) {
+  TaskPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([&](bool canceled) {
+      EXPECT_FALSE(canceled);
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(group.outstanding(), 0u);
+}
+
+TEST(TaskGroup, WaitCoversTasksSubmittedByTasks) {
+  TaskPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Submit([&](bool) {
+    ran.fetch_add(1);
+    group.Submit([&](bool) { ran.fetch_add(1); });
+  });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskGroup, CancelSkipsQueuedButNotStartedTasks) {
+  TaskPool pool(1);  // single worker: deterministic queue order
+  TaskGroup group(&pool);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  std::atomic<bool> first_canceled{true};
+  std::atomic<bool> second_canceled{false};
+  // First task occupies the worker until released. The test waits for it to
+  // START before canceling, so it must see canceled == false and run to
+  // completion.
+  group.Submit([&](bool canceled) {
+    first_canceled.store(canceled);
+    std::unique_lock<std::mutex> lock(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(30), [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(30), [&] { return started; });
+  }
+  // Second task is queued behind it and must observe the cancellation.
+  group.Submit([&](bool canceled) { second_canceled.store(canceled); });
+  group.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  group.Wait();
+  EXPECT_FALSE(first_canceled.load());
+  EXPECT_TRUE(second_canceled.load());
+}
+
+TEST(TaskGroup, TwoGroupsOnOnePoolAreIndependent) {
+  TaskPool pool(2);
+  TaskGroup a(&pool);
+  TaskGroup b(&pool);
+  std::atomic<int> a_ran{0}, b_ran{0};
+  a.Submit([&](bool canceled) {
+    EXPECT_FALSE(canceled);
+    a_ran.fetch_add(1);
+  });
+  b.Cancel();
+  b.Submit([&](bool canceled) {
+    EXPECT_TRUE(canceled);  // b's cancellation must not leak into a
+    b_ran.fetch_add(1);
+  });
+  a.Wait();
+  b.Wait();
+  EXPECT_EQ(a_ran.load(), 1);
+  EXPECT_EQ(b_ran.load(), 1);
 }
 
 }  // namespace

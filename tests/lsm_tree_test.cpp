@@ -249,7 +249,8 @@ class RiggedPolicy final : public MergePolicy {
  public:
   RiggedPolicy(size_t begin, size_t end) : begin_(begin), end_(end) {}
   const char* name() const override { return "rigged"; }
-  MergeDecision Decide(const std::vector<uint64_t>&) const override {
+  MergeDecision Decide(const std::vector<uint64_t>&,
+                       const std::vector<bool>&) const override {
     return {true, begin_, end_};
   }
 

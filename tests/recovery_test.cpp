@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/task_pool.h"
 #include "lsm/lsm_tree.h"
 #include "schema/schema_io.h"
 #include "tests/test_util.h"
@@ -129,6 +135,62 @@ TEST(Recovery, DeletesReplayedFromWal) {
   }
   auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
   EXPECT_FALSE(t->Get(BtreeKey{1, 0}).ValueOrDie().has_value());
+}
+
+// Pooled flush builds rotate the WAL into per-generation segments; a crash
+// (or teardown that cancels queued builds) leaves rotated segments on disk,
+// and the next Open must replay every segment in order — the sealed
+// generations whose builds never installed, plus the live generation's tail.
+TEST(Recovery, WalSegmentsFromPendingFlushBuildsReplayInOrder) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  {
+    TaskPool pool(1);
+    // Occupy the single worker so the flush builds stay QUEUED; destroying
+    // the tree then cancels them, leaving only the WAL segments behind.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::seconds(30), [&] { return release; });
+    });
+    auto opts = BaseOptions(fs, &cache);
+    opts.merge_pool = &pool;
+    auto t = LsmTree::Open(std::move(opts)).ValueOrDie();
+    ASSERT_TRUE(t->Insert(BtreeKey{1, 0}, "gen1.v1").ok());
+    ASSERT_TRUE(t->Flush().ok());  // sealed; build queued behind the blocker
+    ASSERT_TRUE(t->Upsert(BtreeKey{1, 0}, "gen2", nullptr).ok());
+    ASSERT_TRUE(t->Insert(BtreeKey{2, 0}, "gen2").ok());
+    ASSERT_TRUE(t->Flush().ok());  // second sealed generation
+    ASSERT_TRUE(t->Insert(BtreeKey{3, 0}, "live-tail").ok());
+    // The rotated segments exist alongside the live one.
+    auto segs = fs->List("rec", "t.wal").ValueOrDie();
+    EXPECT_GE(segs.size(), 3u);
+    // Teardown on a helper thread (it blocks waiting out the canceled
+    // skips), then let the blocker go.
+    std::thread destroyer([&] { t.reset(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    destroyer.join();
+  }
+  // A stray file that merely LOOKS like a segment must be neither replayed
+  // nor deleted (the suffix parse requires all digits).
+  { ASSERT_TRUE(fs->Create("rec/t.wal.1.bak").ok()); }
+  // Reopen without a pool: every record — from both sealed generations and
+  // the live tail — must be there, with the NEWEST version winning, and the
+  // rotated segments must be gone after recovery flushed them.
+  auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+  EXPECT_EQ(S(*t->Get(BtreeKey{1, 0}).ValueOrDie()), "gen2");
+  EXPECT_EQ(S(*t->Get(BtreeKey{2, 0}).ValueOrDie()), "gen2");
+  EXPECT_EQ(S(*t->Get(BtreeKey{3, 0}).ValueOrDie()), "live-tail");
+  EXPECT_TRUE(fs->Exists("rec/t.wal.1.bak"));  // the stray survived
+  auto segs = fs->List("rec", "t.wal").ValueOrDie();
+  EXPECT_EQ(segs.size(), 2u);  // the fresh base segment + the stray
 }
 
 }  // namespace
