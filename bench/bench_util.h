@@ -58,6 +58,10 @@ struct BenchConfig {
   /// 0 = defer to TC_MERGE_CONCURRENT / the FromEnv default, like the other
   /// merge knobs.
   size_t max_concurrent_merges = 0;
+  /// Per-component bloom-filter sizing for the fig24 filter axis: -1 defers
+  /// to TC_BLOOM_BITS_PER_KEY / the FromEnv default, 0 disables filters, any
+  /// other value is bits per key.
+  int bloom_bits_per_key = -1;
 };
 
 struct BenchDataset {
@@ -108,6 +112,9 @@ inline std::unique_ptr<BenchDataset> OpenBench(const BenchConfig& cfg) {
     // its single-vs-concurrent comparison stays meaningful under any
     // TC_MERGE_CONCURRENT.
     o.merge.max_concurrent_merges = cfg.max_concurrent_merges;
+  }
+  if (cfg.bloom_bits_per_key >= 0) {
+    o.filter.bits_per_key = static_cast<size_t>(cfg.bloom_bits_per_key);
   }
   o.use_wal = cfg.use_wal;
   o.wal_sync_every = cfg.wal_sync_every;

@@ -262,6 +262,86 @@ BENCHMARK(BM_ReaderScaling)
     ->UseRealTime();
 
 // ---------------------------------------------------------------------------
+// Point-lookup scaling with per-component bloom filters: N reader threads
+// issue a 50/50 hit/miss mix against a dozen live components (no-merge
+// policy, even keys present, odd keys in-fence-absent) through a tiny cache
+// with SATA-SSD-modeled I/O. With filters every miss is answered by ~12
+// memory-resident probes; without them it walks a B-tree per component.
+// Compare items/s across the filters=0/1 axis at each reader count.
+// ---------------------------------------------------------------------------
+
+struct LookupScalingFixture {
+  static constexpr int64_t kKeys = 20000;  // even keys 0,2,...,2*(kKeys-1)
+  std::shared_ptr<FileSystem> fs = MakeMemFileSystem();
+  std::shared_ptr<DeviceModel> device =
+      std::make_shared<DeviceModel>(DeviceProfile::SataSsd());
+  BufferCache cache{4096, 64};  // ~256 KB: far smaller than the data
+  std::unique_ptr<LsmTree> tree;
+  std::string payload = std::string(120, 'v');
+
+  explicit LookupScalingFixture(bool filters) {
+    fs->set_device(device);
+    LsmTreeOptions o;
+    o.fs = fs;
+    o.cache = &cache;
+    o.dir = "ls";
+    o.name = "t";
+    o.page_size = 4096;
+    o.memtable_budget_bytes = 256 * 1024;
+    o.use_wal = false;
+    o.merge_policy = MakeNoMergePolicy();
+    o.filter.bits_per_key = filters ? 10 : 0;
+    tree = LsmTree::Open(std::move(o)).ValueOrDie();
+    for (int64_t k = 0; k < kKeys; ++k) {
+      TC_CHECK(tree->Insert(BtreeKey{2 * k, 0}, payload).ok());
+    }
+    TC_CHECK(tree->Flush().ok());
+  }
+};
+
+void BM_PointLookupScaling(benchmark::State& state) {
+  const int n_readers = static_cast<int>(state.range(0));
+  const bool filters = state.range(1) != 0;
+  LookupScalingFixture fx(filters);
+  uint64_t total_reads = 0;
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::vector<std::thread> readers;
+    readers.reserve(static_cast<size_t>(n_readers));
+    for (int r = 0; r < n_readers; ++r) {
+      readers.emplace_back([&, r] {
+        Rng rng(31 + r);
+        while (!stop.load(std::memory_order_acquire)) {
+          // 50/50 hit/miss: even keys are present, odd keys never were.
+          int64_t k =
+              static_cast<int64_t>(rng.Uniform(2 * LookupScalingFixture::kKeys));
+          auto got = fx.tree->Get(BtreeKey{k, 0});
+          TC_CHECK(got.ok());
+          TC_CHECK(got.value().has_value() == (k % 2 == 0));
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    stop.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+    total_reads += reads.load();
+  }
+  LsmStats s = fx.tree->stats();
+  state.SetItemsProcessed(static_cast<int64_t>(total_reads));
+  state.counters["readers"] = n_readers;
+  state.counters["components"] = static_cast<double>(fx.tree->component_count());
+  state.counters["filter_negatives"] = static_cast<double>(s.filter_negatives);
+  state.counters["pages_read"] = static_cast<double>(s.lookup_pages_read);
+}
+BENCHMARK(BM_PointLookupScaling)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"readers", "filters"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
 // Ingest scaling under the background-work pipeline: one writer inserts a
 // fixed volume through a tiny memtable (constant flush pressure) with the
 // SATA-SSD device model throttling all file I/O; flush builds and merges run

@@ -84,7 +84,22 @@ class Parser {
     return false;
   }
 
+  // Nesting cap: deeply nested input ("[[[[...") would otherwise recurse once
+  // per level and overflow the stack — a parser must fail cleanly on any
+  // byte sequence.
+  static constexpr int kMaxDepth = 512;
+
   Status ParseValue(AdmValue* out) {
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return Err("value nesting exceeds depth limit");
+    }
+    Status st = ParseValueInner(out);
+    --depth_;
+    return st;
+  }
+
+  Status ParseValueInner(AdmValue* out) {
     SkipWs();
     if (pos_ >= text_.size()) return Err("unexpected end of input");
     char c = text_[pos_];
@@ -273,7 +288,11 @@ class Parser {
     std::string token(text_.substr(start, pos_ - start));
     if (token.empty() || token == "-") return Err("malformed number");
     if (is_double) {
-      *out = AdmValue::Double(std::strtod(token.c_str(), nullptr));
+      double d = std::strtod(token.c_str(), nullptr);
+      // Overflowing literals ("1e999") produce inf, which the printer cannot
+      // round-trip; reject them like any other malformed number.
+      if (!std::isfinite(d)) return Err("number out of range");
+      *out = AdmValue::Double(d);
     } else {
       *out = AdmValue::BigInt(std::strtoll(token.c_str(), nullptr, 10));
     }
@@ -366,6 +385,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

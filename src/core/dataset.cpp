@@ -44,6 +44,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.memtable_budget_bytes = opts->memtable_budget_bytes;
   lsm.compression = opts->compression ? CompressionKind::kSnappy
                                       : CompressionKind::kNone;
+  lsm.filter = opts->filter;
   lsm.merge_policy = MakeMergePolicy(opts->merge);
   lsm.merge_pool = opts->merge_pool;
   lsm.max_concurrent_merges = opts->merge.max_concurrent_merges;
@@ -84,6 +85,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
                                                 opts->memtable_budget_bytes / 8);
     sk.compression = opts->compression ? CompressionKind::kSnappy
                                        : CompressionKind::kNone;
+    sk.filter = opts->filter;
     sk.merge_policy = MakeMergePolicy(opts->merge);
     sk.merge_pool = opts->merge_pool;
     sk.max_concurrent_merges = lsm.max_concurrent_merges;
@@ -311,9 +313,11 @@ Result<int64_t> Dataset::PrimaryKeyOf(const AdmValue& record) const {
 }
 
 size_t Dataset::PartitionOf(int64_t pk) const {
-  // Fibonacci hashing spreads sequential keys uniformly.
+  // Fibonacci hashing spreads sequential keys uniformly — but only through
+  // the HIGH bits: the multiplier is odd, so `h % 2^k` degenerates to
+  // `pk % 2^k` (an all-even key set would leave half of 2 partitions empty).
   uint64_t h = static_cast<uint64_t>(pk) * 0x9e3779b97f4a7c15ull;
-  return static_cast<size_t>(h % partitions_.size());
+  return static_cast<size_t>((h >> 32) % partitions_.size());
 }
 
 Status Dataset::Insert(const AdmValue& record) {
@@ -431,6 +435,10 @@ LsmStats Dataset::AggregateStats() const {
     agg.bytes_bulk_loaded += s.bytes_bulk_loaded;
     agg.point_lookups += s.point_lookups;
     agg.old_version_lookups += s.old_version_lookups;
+    agg.filter_checks += s.filter_checks;
+    agg.filter_negatives += s.filter_negatives;
+    agg.filter_false_positives += s.filter_false_positives;
+    agg.lookup_pages_read += s.lookup_pages_read;
     // The high-water marks are per-tree costs/levels, not additive: report
     // the worst partition.
     agg.component_count_high_water =

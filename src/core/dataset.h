@@ -52,6 +52,9 @@ struct DatasetOptions {
   /// TC_MERGE_POLICY / TC_MERGE_* environment knobs so every bench, example,
   /// and cluster node can switch the merge schedule without recompiling.
   MergePolicyConfig merge = MergePolicyConfig::FromEnv();
+  /// Bloom-filter + lookup fast-path policy for every tree of a partition.
+  /// Defaults honor TC_BLOOM_BITS_PER_KEY / TC_FILTER_CACHE.
+  BloomFilterConfig filter = BloomFilterConfig::FromEnv();
   bool use_wal = true;
   size_t wal_sync_every = 64;
   /// Primary-key index for upsert existence checks (paper §3.2.2, Fig. 17b).

@@ -10,8 +10,15 @@ namespace {
 constexpr uint8_t kLeafPage = 1;
 constexpr uint8_t kInteriorPage = 2;
 constexpr uint8_t kMetaBlobPage = 3;
+// v1 footer: fixed fields + CRC, no filter. Still readable (filterless).
 constexpr uint32_t kFooterMagic = 0x54434254;  // "TCBT"
+// v2 footer: v1 fields, then filter_start/filter_len/filter_crc, then CRC.
+// Filter pages sit between the schema-blob pages and the footer.
+constexpr uint32_t kFooterMagicV2 = 0x32424354;  // "TCB2"
 constexpr uint32_t kNoPage = UINT32_MAX;
+// Byte offsets of the footer fields shared by both versions (magic at 0).
+constexpr size_t kFooterFixedV1 = 4 + 4 + 4 + 4 + 4 + 8 + 8 + 16 + 16 + 8 + 8;
+constexpr size_t kFooterFixedV2 = kFooterFixedV1 + 4 + 4 + 4;
 
 constexpr size_t kLeafHeader = 7;       // type + n + next_leaf
 constexpr size_t kInteriorHeader = 3;   // type + n
@@ -38,11 +45,12 @@ std::string ValidPath(const std::string& path) { return path + ".valid"; }
 
 Result<std::unique_ptr<BtreeComponentBuilder>> BtreeComponentBuilder::Create(
     std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
-    std::shared_ptr<const Compressor> compressor) {
+    std::shared_ptr<const Compressor> compressor, BloomFilterConfig filter) {
   auto b = std::unique_ptr<BtreeComponentBuilder>(new BtreeComponentBuilder());
   b->fs_ = fs;
   b->path_ = path;
   b->page_size_ = page_size;
+  b->filter_builder_ = BloomFilterBuilder(filter.bits_per_key);
   TC_ASSIGN_OR_RETURN(b->file_,
                       PagedFile::Create(std::move(fs), path, page_size,
                                         std::move(compressor)));
@@ -88,6 +96,9 @@ Status BtreeComponentBuilder::Add(const BtreeKey& key, bool anti,
     has_min_ = true;
   }
   max_key_ = key;
+  if (filter_builder_.bits_per_key() > 0) {
+    filter_builder_.AddHash(BloomKeyHash(key.a, key.b));
+  }
   if (anti) {
     ++n_anti_;
   } else {
@@ -181,10 +192,33 @@ Status BtreeComponentBuilder::Finish(uint64_t cid_min, uint64_t cid_max,
     }
   }
 
-  // Footer.
+  // Bloom filter pages, between the schema blob and the footer. The filter
+  // blob carries its own CRC in the footer so a torn/corrupted filter can be
+  // dropped at open time without condemning the component.
+  Buffer filter_blob;
+  filter_builder_.Finish(&filter_blob);
+  uint32_t filter_start = kNoPage;
+  uint32_t filter_crc = 0;
+  if (!filter_blob.empty()) {
+    filter_crc = Crc32c(filter_blob.data(), filter_blob.size());
+    filter_start = next_page_;
+    Buffer page(page_size_, 0);
+    size_t pos = 0;
+    while (pos < filter_blob.size()) {
+      size_t chunk = std::min(page_size_, filter_blob.size() - pos);
+      std::memset(page.data(), 0, page_size_);
+      std::memcpy(page.data(), filter_blob.data() + pos, chunk);
+      TC_RETURN_IF_ERROR(file_->AppendPage(page.data()));
+      ++next_page_;
+      pos += chunk;
+    }
+  }
+
+  // Footer (v2). Field layout matches v1 through the CID range, then the
+  // filter locator; the CRC covers everything before it.
   Buffer footer;
   footer.reserve(page_size_);
-  PutFixed32(&footer, kFooterMagic);
+  PutFixed32(&footer, kFooterMagicV2);
   PutFixed32(&footer, root_page_);
   PutFixed32(&footer, leaf_count_);
   PutFixed32(&footer, meta_start);
@@ -195,6 +229,9 @@ Status BtreeComponentBuilder::Finish(uint64_t cid_min, uint64_t cid_max,
   PutKey(&footer, max_key_);
   PutFixed64(&footer, cid_min);
   PutFixed64(&footer, cid_max);
+  PutFixed32(&footer, filter_start);
+  PutFixed32(&footer, static_cast<uint32_t>(filter_blob.size()));
+  PutFixed32(&footer, filter_crc);
   PutFixed32(&footer, Crc32c(footer.data(), footer.size()));
   footer.resize(page_size_, 0);
   TC_RETURN_IF_ERROR(file_->AppendPage(footer.data()));
@@ -219,7 +256,8 @@ Status BtreeComponentBuilder::MarkValid() {
 
 Result<std::shared_ptr<BtreeComponent>> BtreeComponent::Open(
     std::shared_ptr<FileSystem> fs, BufferCache* cache, const std::string& path,
-    size_t page_size, std::shared_ptr<const Compressor> compressor) {
+    size_t page_size, std::shared_ptr<const Compressor> compressor,
+    BloomFilterConfig filter) {
   auto c = std::shared_ptr<BtreeComponent>(new BtreeComponent());
   c->fs_ = fs;
   c->cache_ = cache;
@@ -233,10 +271,16 @@ Result<std::shared_ptr<BtreeComponent>> BtreeComponent::Open(
   Buffer footer(page_size);
   TC_RETURN_IF_ERROR(c->file_->ReadPage(c->file_->page_count() - 1, footer.data()));
   const uint8_t* p = footer.data();
-  if (GetFixed32(p) != kFooterMagic) {
+  uint32_t magic = GetFixed32(p);
+  // v1 footers (pre-filter) load filterless and keep serving.
+  size_t fixed;
+  if (magic == kFooterMagic) {
+    fixed = kFooterFixedV1;
+  } else if (magic == kFooterMagicV2) {
+    fixed = kFooterFixedV2;
+  } else {
     return Status::Corruption("bad footer magic: " + path);
   }
-  size_t fixed = 4 + 4 + 4 + 4 + 4 + 8 + 8 + 16 + 16 + 8 + 8;
   uint32_t stored_crc = GetFixed32(p + fixed);
   if (Crc32c(p, fixed) != stored_crc) {
     return Status::Corruption("footer checksum mismatch: " + path);
@@ -263,7 +307,61 @@ Result<std::shared_ptr<BtreeComponent>> BtreeComponent::Open(
       pos += chunk;
     }
   }
+  if (magic == kFooterMagicV2) {
+    uint32_t filter_start = GetFixed32(p + kFooterFixedV1);
+    uint32_t filter_len = GetFixed32(p + kFooterFixedV1 + 4);
+    uint32_t filter_crc = GetFixed32(p + kFooterFixedV1 + 8);
+    if (filter_start != kNoPage && filter_len > 0) {
+      // A filter that fails its CRC or header check is dropped, not fatal:
+      // the component still answers lookups correctly, just without pruning.
+      Buffer blob(filter_len);
+      Buffer page(page_size);
+      size_t pos = 0;
+      uint32_t page_no = filter_start;
+      bool read_ok = true;
+      while (pos < filter_len) {
+        if (!c->file_->ReadPage(page_no++, page.data()).ok()) {
+          read_ok = false;
+          break;
+        }
+        size_t chunk = std::min(page_size, static_cast<size_t>(filter_len) - pos);
+        std::memcpy(blob.data() + pos, page.data(), chunk);
+        pos += chunk;
+      }
+      if (read_ok && Crc32c(blob.data(), blob.size()) == filter_crc) {
+        auto loaded = BloomFilter::Load(blob.data(), blob.size());
+        if (loaded.ok()) {
+          c->filter_ = std::move(loaded).value();
+        } else {
+          c->filter_degraded_ = true;
+        }
+      } else {
+        c->filter_degraded_ = true;
+      }
+    }
+  }
+  // Point-lookup fast path: pin interior pages [leaf_count_, root_page_] so a
+  // descent touches disk only for the leaf. Skipped for empty or single-leaf
+  // trees (the root IS the leaf then).
+  if (filter.pin_lookup_pages && cache != nullptr && c->root_page_ != kNoPage &&
+      c->root_page_ >= c->leaf_count_) {
+    c->pinned_interior_.reserve(c->root_page_ - c->leaf_count_ + 1);
+    for (uint32_t page_no = c->leaf_count_; page_no <= c->root_page_; ++page_no) {
+      TC_ASSIGN_OR_RETURN(auto ref, cache->GetPinnedPage(c->file_.get(), page_no));
+      c->pinned_interior_.push_back(std::move(ref));
+    }
+  }
   return c;
+}
+
+BtreeComponent::~BtreeComponent() {
+  // Drop pins before invalidating so the pinned entries are reclaimable; the
+  // invalidate keeps retired components (and their pinned pages) from
+  // lingering in the cache when opened outside a tree.
+  pinned_interior_.clear();
+  if (cache_ != nullptr && file_ != nullptr) {
+    cache_->InvalidateFile(file_->file_id());
+  }
 }
 
 bool BtreeComponent::IsValid(FileSystem* fs, const std::string& path) {
@@ -277,12 +375,21 @@ Status BtreeComponent::Destroy(FileSystem* fs, const std::string& path) {
   return PagedFile::Remove(fs, path);
 }
 
-Result<uint32_t> BtreeComponent::FindLeaf(const BtreeKey& key) const {
+Result<uint32_t> BtreeComponent::FindLeaf(const BtreeKey& key,
+                                          uint64_t* pages_read) const {
   if (root_page_ == kNoPage) return Status::NotFound("empty component");
   uint32_t page_no = root_page_;
   // Leaves occupy pages [0, leaf_count_); anything else is interior.
   while (page_no >= leaf_count_) {
-    TC_ASSIGN_OR_RETURN(auto page, cache_->GetPage(file_.get(), page_no));
+    BufferCache::PageRef page;
+    if (!pinned_interior_.empty() && page_no >= leaf_count_ &&
+        page_no - leaf_count_ < pinned_interior_.size()) {
+      page = pinned_interior_[page_no - leaf_count_];
+    } else {
+      bool disk_read = false;
+      TC_ASSIGN_OR_RETURN(page, cache_->GetPage(file_.get(), page_no, &disk_read));
+      if (disk_read && pages_read != nullptr) ++*pages_read;
+    }
     const uint8_t* p = page->data();
     if (p[0] != kInteriorPage) {
       return Status::Corruption("expected interior page in " + path_);
@@ -306,13 +413,18 @@ Result<uint32_t> BtreeComponent::FindLeaf(const BtreeKey& key) const {
 }
 
 Result<std::optional<BtreeComponent::LookupResult>> BtreeComponent::Get(
-    const BtreeKey& key) const {
+    const BtreeKey& key, uint64_t* pages_read) const {
   if (root_page_ == kNoPage) return std::optional<LookupResult>{};
   if (key < meta_.min_key || meta_.max_key < key) {
     return std::optional<LookupResult>{};
   }
-  TC_ASSIGN_OR_RETURN(uint32_t leaf_no, FindLeaf(key));
-  TC_ASSIGN_OR_RETURN(auto page, cache_->GetPage(file_.get(), leaf_no));
+  if (filter_ != nullptr && !filter_->MayContainHash(BloomKeyHash(key.a, key.b))) {
+    return std::optional<LookupResult>{};
+  }
+  TC_ASSIGN_OR_RETURN(uint32_t leaf_no, FindLeaf(key, pages_read));
+  bool disk_read = false;
+  TC_ASSIGN_OR_RETURN(auto page, cache_->GetPage(file_.get(), leaf_no, &disk_read));
+  if (disk_read && pages_read != nullptr) ++*pages_read;
   const uint8_t* p = page->data();
   if (p[0] != kLeafPage) return Status::Corruption("expected leaf page");
   uint16_t n = GetFixed16(p + 1);
@@ -349,7 +461,7 @@ Status BtreeComponent::Iterator::Seek(const BtreeKey& key) {
   valid_ = false;
   if (c_->leaf_count_ == 0) return Status::OK();
   if (c_->meta_.max_key < key) return Status::OK();
-  auto leaf = c_->FindLeaf(key);
+  auto leaf = c_->FindLeaf(key, nullptr);
   if (!leaf.ok()) return leaf.status();
   page_no_ = leaf.value();
   TC_ASSIGN_OR_RETURN(page_, c_->cache_->GetPage(c_->file_.get(), page_no_));

@@ -1,10 +1,14 @@
 // Immutable on-disk LSM component: a B+-tree built bottom-up from sorted
 // entries (paper §2.2). Leaf pages are chained for range scans; the last page
 // is a footer locating the root and the component metadata (component ID,
-// entry counts, key range, and — for inferred datasets — the serialized schema
-// persisted at flush time, §3.1.1). A sidecar ".valid" marker file plays the
-// role of the paper's validity bit: it is written only after the component is
-// fully durable, so crash recovery can identify and remove INVALID components.
+// entry counts, key range / fences, and — for inferred datasets — the
+// serialized schema persisted at flush time, §3.1.1). Components built since
+// the v2 footer also carry a per-component bloom filter (CRC-guarded filter
+// pages between the schema blob and the footer); v1 footers load filterless
+// and keep serving, so old component files stay readable. A sidecar ".valid"
+// marker file plays the role of the paper's validity bit: it is written only
+// after the component is fully durable, so crash recovery can identify and
+// remove INVALID components.
 #ifndef TC_LSM_BTREE_COMPONENT_H_
 #define TC_LSM_BTREE_COMPONENT_H_
 
@@ -14,6 +18,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "lsm/bloom_filter.h"
 #include "storage/buffer_cache.h"
 
 namespace tc {
@@ -46,10 +51,13 @@ struct ComponentMeta {
 /// Streams strictly-increasing keyed entries into a new component.
 class BtreeComponentBuilder {
  public:
-  /// The component is written to `path` via a fresh PagedFile.
+  /// The component is written to `path` via a fresh PagedFile. `filter`
+  /// controls the bloom filter built alongside the tree (bits_per_key == 0
+  /// writes none).
   static Result<std::unique_ptr<BtreeComponentBuilder>> Create(
       std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
-      std::shared_ptr<const Compressor> compressor);
+      std::shared_ptr<const Compressor> compressor,
+      BloomFilterConfig filter = {});
 
   /// Adds one entry; keys must be strictly increasing. `anti` marks an
   /// anti-matter (delete) entry whose payload must be empty.
@@ -88,15 +96,27 @@ class BtreeComponentBuilder {
   BtreeKey min_key_;
   BtreeKey max_key_;
   bool finished_ = false;
+
+  // Bloom filter accumulated over every added key — anti-matter included,
+  // since a filter skip on a tombstone would resurrect older versions.
+  BloomFilterBuilder filter_builder_{0};
 };
 
 /// Read-only handle to a finished component. Page reads go through the shared
 /// buffer cache.
 class BtreeComponent {
  public:
+  /// `filter.pin_lookup_pages` controls whether interior pages are pinned in
+  /// the cache at open time (the point-lookup fast path); the on-disk filter,
+  /// if any, is always loaded. A filter whose CRC or header does not check
+  /// out is dropped — the component still opens and serves correct (if
+  /// slower) lookups, with filter_degraded() set.
   static Result<std::shared_ptr<BtreeComponent>> Open(
       std::shared_ptr<FileSystem> fs, BufferCache* cache, const std::string& path,
-      size_t page_size, std::shared_ptr<const Compressor> compressor);
+      size_t page_size, std::shared_ptr<const Compressor> compressor,
+      BloomFilterConfig filter = {});
+
+  ~BtreeComponent();
 
   /// True when `path` has a validity marker (flush/merge completed).
   static bool IsValid(FileSystem* fs, const std::string& path);
@@ -108,8 +128,31 @@ class BtreeComponent {
     bool anti = false;
     Buffer payload;
   };
-  /// Point lookup; nullopt when the key is not in this component.
-  Result<std::optional<LookupResult>> Get(const BtreeKey& key) const;
+  /// Point lookup; nullopt when the key is not in this component. Consults
+  /// the fences and the bloom filter before touching any page. When
+  /// `pages_read` is non-null it accumulates the number of pages fetched
+  /// from DISK (buffer-cache hits and pinned pages are free).
+  Result<std::optional<LookupResult>> Get(const BtreeKey& key,
+                                          uint64_t* pages_read = nullptr) const;
+
+  /// Filter-only probe, no I/O: false proves the key is absent; true when it
+  /// may be present (or the component has no filter).
+  bool MayContain(const BtreeKey& key) const {
+    return filter_ == nullptr || filter_->MayContainHash(BloomKeyHash(key.a, key.b));
+  }
+  /// Fence check, no I/O: false when the key lies outside [min_key, max_key]
+  /// (or the component is empty).
+  bool KeyInFence(const BtreeKey& key) const {
+    return root_page_ != UINT32_MAX && !(key < meta_.min_key) &&
+           !(meta_.max_key < key);
+  }
+  bool has_filter() const { return filter_ != nullptr; }
+  /// True when the component carried a filter that failed its CRC/header
+  /// validation and was dropped at open time.
+  bool filter_degraded() const { return filter_degraded_; }
+  const BloomFilter* filter() const { return filter_.get(); }
+  /// Interior pages held memory-resident for the lookup fast path.
+  size_t pinned_interior_pages() const { return pinned_interior_.size(); }
 
   /// Forward iterator over leaf entries in key order. Holds page pins; the
   /// payload view is valid until the next call to Next/Seek.
@@ -147,7 +190,7 @@ class BtreeComponent {
  private:
   BtreeComponent() = default;
 
-  Result<uint32_t> FindLeaf(const BtreeKey& key) const;
+  Result<uint32_t> FindLeaf(const BtreeKey& key, uint64_t* pages_read) const;
 
   std::shared_ptr<FileSystem> fs_;
   BufferCache* cache_ = nullptr;
@@ -157,6 +200,12 @@ class BtreeComponent {
   uint32_t root_page_ = UINT32_MAX;
   uint32_t leaf_count_ = 0;
   ComponentMeta meta_;
+  // Memory-resident lookup state: the loaded bloom filter and (when pinning
+  // is on) the interior pages [leaf_count_, root_page_], held as cache pins
+  // so FindLeaf descends without I/O.
+  std::shared_ptr<const BloomFilter> filter_;
+  bool filter_degraded_ = false;
+  std::vector<BufferCache::PageRef> pinned_interior_;
 };
 
 }  // namespace tc

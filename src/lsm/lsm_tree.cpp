@@ -115,11 +115,31 @@ Result<std::optional<Buffer>> LsmTree::ReadView::Get(const BtreeKey& key) const 
 
 Result<std::optional<Buffer>> LsmTree::ReadView::GetDiskVersion(
     const BtreeKey& key) const {
+  // THE filter-aware disk search: every point-lookup entry point (Get,
+  // GetDiskVersion, upsert/delete old-version capture, secondary-index pk
+  // resolution) funnels through here, so fences, filters, and the counters
+  // behave identically everywhere.
   for (const auto& comp : comps_) {
-    TC_ASSIGN_OR_RETURN(auto hit, comp->Get(key));
+    if (!comp->KeyInFence(key)) continue;
+    bool filtered = comp->has_filter();
+    if (filtered) {
+      counters_->filter_checks.fetch_add(1, std::memory_order_relaxed);
+      if (!comp->MayContain(key)) {
+        counters_->filter_negatives.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    uint64_t pages = 0;
+    TC_ASSIGN_OR_RETURN(auto hit, comp->Get(key, &pages));
+    if (pages > 0) {
+      counters_->lookup_pages_read.fetch_add(pages, std::memory_order_relaxed);
+    }
     if (hit.has_value()) {
       if (hit->anti) return std::optional<Buffer>{};
       return std::optional<Buffer>{std::move(hit->payload)};
+    }
+    if (filtered) {
+      counters_->filter_false_positives.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return std::optional<Buffer>{};
@@ -283,7 +303,8 @@ Status LsmTree::RecoverComponents() {
   for (const auto& c : keep) {
     TC_ASSIGN_OR_RETURN(auto comp,
                         BtreeComponent::Open(opts_.fs, opts_.cache, c.path,
-                                             opts_.page_size, compressor_));
+                                             opts_.page_size, compressor_,
+                                             opts_.filter));
     components_.push_back(std::move(comp));
     next_cid_ = std::max(next_cid_, c.cid_max + 1);
   }
@@ -394,8 +415,7 @@ std::optional<MemTable::ScanEntry> LsmTree::FindPendingFlushEntry(
   return std::nullopt;
 }
 
-Result<std::optional<Buffer>> LsmTree::CaptureOldVersion(
-    const BtreeKey& key, bool consult_key_filter) {
+Result<std::optional<Buffer>> LsmTree::CaptureOldVersion(const BtreeKey& key) {
   std::optional<MemTable::ScanEntry> pending = FindPendingFlushEntry(key);
   if (pending.has_value()) {
     if (pending->anti || pending->payload.empty()) {
@@ -403,7 +423,11 @@ Result<std::optional<Buffer>> LsmTree::CaptureOldVersion(
     }
     return std::optional<Buffer>{std::move(pending->payload)};
   }
-  if (consult_key_filter && opts_.key_may_exist && !opts_.key_may_exist(key)) {
+  // Every old-version capture consults the existence filter (the pk index):
+  // a false answer proves there is no on-disk version, so the B-tree probes
+  // are skipped on upserts AND deletes alike. Safe on delete because the
+  // dataset removes the pk-index entry only after the primary delete.
+  if (opts_.key_may_exist && !opts_.key_may_exist(key)) {
     return std::optional<Buffer>{};
   }
   counters_->old_version_lookups.fetch_add(1, std::memory_order_relaxed);
@@ -442,7 +466,7 @@ Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
     // contract does not depend on build timing. Trees that never capture
     // (e.g. the pk index) skip both probes entirely.
     if (opts_.capture_old_versions) {
-      TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(key, /*consult_key_filter=*/true));
+      TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(key));
     }
     if (old_out != nullptr && old.has_value()) *old_out = old;
   } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
@@ -466,7 +490,7 @@ Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
   const MemTable::Entry* mem_hit = mem_->Get(key);  // writer-side, no copy
   if (mem_hit == nullptr) {
     if (opts_.capture_old_versions) {
-      TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(key, /*consult_key_filter=*/false));
+      TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(key));
     }
     // Unlike Upsert, Delete's miss path ALWAYS assigns *old_out (nullopt
     // included) — the historical contract.
@@ -499,6 +523,13 @@ LsmStats LsmTree::stats() const {
   s.point_lookups = counters_->point_lookups.load(std::memory_order_relaxed);
   s.old_version_lookups =
       counters_->old_version_lookups.load(std::memory_order_relaxed);
+  s.filter_checks = counters_->filter_checks.load(std::memory_order_relaxed);
+  s.filter_negatives =
+      counters_->filter_negatives.load(std::memory_order_relaxed);
+  s.filter_false_positives =
+      counters_->filter_false_positives.load(std::memory_order_relaxed);
+  s.lookup_pages_read =
+      counters_->lookup_pages_read.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -577,7 +608,8 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildFlushComponent(
   std::string path = ComponentPath(cid, cid);
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
-                                                    opts_.page_size, compressor_));
+                                                    opts_.page_size, compressor_,
+                                                    opts_.filter));
   TC_RETURN_IF_ERROR(transformer_->OnFlushBegin());
   // Writer-side iteration is safe here: either this runs on the writer
   // thread (inline mode, write_mu_ held) or `mem` is a sealed generation
@@ -611,7 +643,7 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildFlushComponent(
   TC_RETURN_IF_ERROR(builder->Finish(cid, cid, schema_blob));
   TC_RETURN_IF_ERROR(builder->MarkValid());
   return BtreeComponent::Open(opts_.fs, opts_.cache, path, opts_.page_size,
-                              compressor_);
+                              compressor_, opts_.filter);
 }
 
 Status LsmTree::FlushMemtableInline() {
@@ -745,7 +777,8 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
   std::string path = ComponentPath(plan.cid_min, plan.cid_max);
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
-                                                    opts_.page_size, compressor_));
+                                                    opts_.page_size, compressor_,
+                                                    opts_.filter));
   // K-way merge, newest component wins on key ties. The merge does not touch
   // the in-memory schema (paper §3.1.1: merges and flushes need no
   // synchronization); the newest component's schema covers the merged set.
@@ -792,7 +825,7 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
                                      plan.inputs.front()->meta().schema_blob));
   TC_RETURN_IF_ERROR(builder->MarkValid());
   return BtreeComponent::Open(opts_.fs, opts_.cache, path, opts_.page_size,
-                              compressor_);
+                              compressor_, opts_.filter);
 }
 
 void LsmTree::InstallMergedLocked(const MergePlan& plan,
@@ -947,7 +980,8 @@ Status LsmTree::BulkLoad(
   std::string path = ComponentPath(cid, cid);
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
-                                                    opts_.page_size, compressor_));
+                                                    opts_.page_size, compressor_,
+                                                    opts_.filter));
   TC_RETURN_IF_ERROR(transformer_->OnFlushBegin());
   Buffer transformed;
   TC_RETURN_IF_ERROR(feed([&](const BtreeKey& key, std::string_view payload) {
@@ -962,8 +996,10 @@ Status LsmTree::BulkLoad(
   TC_RETURN_IF_ERROR(transformer_->OnFlushEnd(&schema_blob));
   TC_RETURN_IF_ERROR(builder->Finish(cid, cid, schema_blob));
   TC_RETURN_IF_ERROR(builder->MarkValid());
-  TC_ASSIGN_OR_RETURN(auto comp, BtreeComponent::Open(opts_.fs, opts_.cache, path,
-                                                      opts_.page_size, compressor_));
+  TC_ASSIGN_OR_RETURN(auto comp,
+                      BtreeComponent::Open(opts_.fs, opts_.cache, path,
+                                           opts_.page_size, compressor_,
+                                           opts_.filter));
   std::lock_guard<std::mutex> lock(mu_);
   // Bulk loads get their own stat: folding them into flush_count /
   // bytes_flushed inflated WriteAmplification() (and the fig17 policy axis)

@@ -96,6 +96,9 @@ struct LsmTreeOptions {
   size_t page_size = 32 * 1024;
   size_t memtable_budget_bytes = 4 * 1024 * 1024;
   CompressionKind compression = CompressionKind::kNone;
+  /// Bloom filters built into every flushed/merged/bulk-loaded component, plus
+  /// the interior-page pinning knob for the point-lookup fast path.
+  BloomFilterConfig filter;
   std::shared_ptr<MergePolicy> merge_policy;  // default: prefix(32 MiB, 5)
   bool use_wal = true;
   /// fdatasync cadence for the WAL; 0 disables syncing (bulk loads, benches).
@@ -137,6 +140,19 @@ struct LsmStats {
   uint64_t bytes_bulk_loaded = 0;
   uint64_t point_lookups = 0;
   uint64_t old_version_lookups = 0;
+  /// Disk-component filter probes across all point-lookup entry points
+  /// (Get, GetDiskVersion, upsert old-version capture). Only components that
+  /// carry a filter and pass the fence check count.
+  uint64_t filter_checks = 0;
+  /// Filter probes answering "definitely absent" — each one is a component
+  /// whose B-tree was never touched.
+  uint64_t filter_negatives = 0;
+  /// Filter said "maybe" but the B-tree search missed (the measured FPR is
+  /// filter_false_positives / filter_checks on a miss-only workload).
+  uint64_t filter_false_positives = 0;
+  /// Pages fetched from DISK by point lookups (cache hits and pinned interior
+  /// pages are free) — the fast-path counter: a hot lookup should add <= 1.
+  uint64_t lookup_pages_read = 0;
   /// Most on-disk components ever live at once — the worst case a point
   /// lookup pays under this merge schedule (the fig24 policy-axis metric).
   uint64_t component_count_high_water = 0;
@@ -199,6 +215,10 @@ class ComponentReclaimer {
 struct LsmReadCounters {
   std::atomic<uint64_t> point_lookups{0};
   std::atomic<uint64_t> old_version_lookups{0};
+  std::atomic<uint64_t> filter_checks{0};
+  std::atomic<uint64_t> filter_negatives{0};
+  std::atomic<uint64_t> filter_false_positives{0};
+  std::atomic<uint64_t> lookup_pages_read{0};
 };
 
 class LsmTree {
@@ -458,9 +478,9 @@ class LsmTree {
   // build shadows the disk — the version surviving in it is exactly what the
   // disk will hold once that build installs (its tombstone means "no
   // previous version") — otherwise the current on-disk version is looked up,
-  // optionally guarded by the key_may_exist filter.
-  Result<std::optional<Buffer>> CaptureOldVersion(const BtreeKey& key,
-                                                  bool consult_key_filter);
+  // always guarded by the key_may_exist filter (every point-lookup entry
+  // point consults it; a false from the pk index proves absence).
+  Result<std::optional<Buffer>> CaptureOldVersion(const BtreeKey& key);
   // Rewrites the plan's pinned inputs into one component. Lock-free: inputs
   // are immutable files read through the (thread-safe) buffer cache.
   Result<std::shared_ptr<BtreeComponent>> BuildMergedComponent(

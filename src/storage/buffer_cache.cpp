@@ -117,14 +117,56 @@ Status PagedFile::ReadPage(uint32_t page_no, uint8_t* out) const {
 uint64_t PagedFile::physical_bytes() const { return append_offset_ + laf_bytes_; }
 
 Result<BufferCache::PageRef> BufferCache::GetPage(const PagedFile* file,
-                                                  uint32_t page_no) {
+                                                  uint32_t page_no,
+                                                  bool* disk_read) {
+  TC_CHECK(file->page_size() == page_size_);
+  if (disk_read != nullptr) *disk_read = false;
+  Key key{file->file_id(), page_no};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (!it->second.pinned) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.page;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (disk_read != nullptr) *disk_read = true;
+  auto page = std::make_shared<Buffer>(page_size_);
+  TC_RETURN_IF_ERROR(file->ReadPage(page_no, page->data()));
+  PageRef ref = page;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.find(key) == map_.end()) {
+      lru_.push_front(key);
+      map_[key] = Entry{ref, lru_.begin(), /*pinned=*/false};
+      // Pinned entries live outside the LRU budget.
+      while (map_.size() - pinned_count_ > capacity_ && !lru_.empty()) {
+        Key victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+      }
+    }
+  }
+  return ref;
+}
+
+Result<BufferCache::PageRef> BufferCache::GetPinnedPage(const PagedFile* file,
+                                                        uint32_t page_no) {
   TC_CHECK(file->page_size() == page_size_);
   Key key{file->file_id(), page_no};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      if (!it->second.pinned) {  // promote an LRU entry in place
+        lru_.erase(it->second.lru_pos);
+        it->second.pinned = true;
+        ++pinned_count_;
+      }
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.page;
     }
@@ -135,14 +177,18 @@ Result<BufferCache::PageRef> BufferCache::GetPage(const PagedFile* file,
   PageRef ref = page;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (map_.find(key) == map_.end()) {
-      lru_.push_front(key);
-      map_[key] = Entry{ref, lru_.begin()};
-      while (map_.size() > capacity_ && !lru_.empty()) {
-        Key victim = lru_.back();
-        lru_.pop_back();
-        map_.erase(victim);
-      }
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      map_[key] = Entry{ref, lru_.end(), /*pinned=*/true};
+      ++pinned_count_;
+    } else if (!it->second.pinned) {
+      // Raced with a plain GetPage insert: promote that entry instead.
+      lru_.erase(it->second.lru_pos);
+      it->second.pinned = true;
+      ++pinned_count_;
+      return it->second.page;
+    } else {
+      return it->second.page;
     }
   }
   return ref;
@@ -152,12 +198,21 @@ void BufferCache::InvalidateFile(uint64_t file_id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.file_id == file_id) {
-      lru_.erase(it->second.lru_pos);
+      if (it->second.pinned) {
+        --pinned_count_;
+      } else {
+        lru_.erase(it->second.lru_pos);
+      }
       it = map_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+size_t BufferCache::pinned_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_count_;
 }
 
 }  // namespace tc

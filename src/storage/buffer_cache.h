@@ -82,14 +82,26 @@ class BufferCache {
   BufferCache(size_t page_size, size_t capacity_pages)
       : page_size_(page_size), capacity_(capacity_pages) {}
 
-  Result<PageRef> GetPage(const PagedFile* file, uint32_t page_no);
+  /// When `disk_read` is non-null it is set to true iff the page had to be
+  /// fetched from the file (a cache miss), false on a hit.
+  Result<PageRef> GetPage(const PagedFile* file, uint32_t page_no,
+                          bool* disk_read = nullptr);
 
-  /// Drops all cached pages of a file (called when a component is deleted).
+  /// Like GetPage, but marks the entry pinned: it lives outside the LRU list
+  /// and does not count against `capacity_pages`, so it stays memory-resident
+  /// until InvalidateFile drops it. Used for B-tree interior pages on the
+  /// point-lookup fast path.
+  Result<PageRef> GetPinnedPage(const PagedFile* file, uint32_t page_no);
+
+  /// Drops all cached pages of a file, pinned ones included (called when a
+  /// component is deleted or its last handle closes).
   void InvalidateFile(uint64_t file_id);
 
   uint64_t hits() const { return hits_.load(); }
   uint64_t misses() const { return misses_.load(); }
   size_t page_size() const { return page_size_; }
+  /// Pages currently held pinned (outside the LRU budget).
+  size_t pinned_pages() const;
 
  private:
   struct Key {
@@ -106,14 +118,16 @@ class BufferCache {
   };
   struct Entry {
     PageRef page;
-    std::list<Key>::iterator lru_pos;
+    std::list<Key>::iterator lru_pos;  // valid only when !pinned
+    bool pinned = false;
   };
 
   size_t page_size_;
   size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
-  std::list<Key> lru_;  // front = most recent
+  std::list<Key> lru_;  // front = most recent; excludes pinned entries
+  size_t pinned_count_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

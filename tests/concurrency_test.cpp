@@ -348,5 +348,120 @@ TEST(Concurrency, DestroyAllRespectsLiveViews) {
   EXPECT_EQ(fx.ComponentFilesOnDisk(), 0u);
 }
 
+// Point-lookup storm against concurrent flushes and merges with per-component
+// bloom filters: miss-heavy readers hammer the filter fast path while the
+// writer constantly retires components under them. Filters ride inside the
+// components a view pins, so a pinned filter must stay valid (and keep giving
+// correct answers) even after its component retires into the reclaimer.
+TEST(Concurrency, FilteredLookupStormDuringFlushAndMerge) {
+  ConcurrencyFixture fx;
+  auto t = fx.Open(2 * 1024, MakeTieredMergePolicy(3, 2), /*use_pool=*/true);
+  constexpr int64_t kKeys = 64;  // even keys present, odd keys always absent
+  constexpr uint64_t kRounds = 40;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(
+        t->Upsert(BtreeKey{2 * k, 0}, VersionedPayload(2 * k, 1), nullptr).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  auto fail = [&](const char* what) {
+    failed.store(true);
+    ADD_FAILURE() << what;
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(9000 + r);
+      while (!done.load(std::memory_order_acquire) && !failed.load()) {
+        // Hold each view across a batch of lookups so merges retire filtered
+        // components while the view still pins them.
+        auto view = t->AcquireView();
+        for (int i = 0; i < 24; ++i) {
+          int64_t k = static_cast<int64_t>(rng.Uniform(2 * kKeys));
+          auto got = view->Get(BtreeKey{k, 0});
+          if (!got.ok()) return fail("lookup errored under churn");
+          if (k % 2 != 0) {
+            if (got.value().has_value()) return fail("filter invented a key");
+            continue;
+          }
+          if (!got.value().has_value()) return fail("lookup lost a present key");
+          int64_t pk = -1;
+          uint64_t pv = 0;
+          if (!ParseVersionedPayload(S(*got.value()), &pk, &pv) || pk != k) {
+            return fail("torn payload through the filter fast path");
+          }
+        }
+      }
+    });
+  }
+
+  for (uint64_t v = 2; v <= kRounds && !failed.load(); ++v) {
+    for (int64_t k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(
+          t->Upsert(BtreeKey{2 * k, 0}, VersionedPayload(2 * k, v), nullptr)
+              .ok());
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  ASSERT_FALSE(failed.load());
+
+  ASSERT_TRUE(t->Flush().ok());
+  ASSERT_TRUE(t->WaitForMerges().ok());
+  LsmStats stats = t->stats();
+  EXPECT_GT(stats.merge_count, 0u);
+  // The storm actually exercised the filters: probes happened, and the odd
+  // keys were overwhelmingly answered without touching any component B-tree.
+  EXPECT_GT(stats.filter_checks, 0u);
+  EXPECT_GT(stats.filter_negatives, 0u);
+  for (int64_t k = 0; k < kKeys; ++k) {
+    auto got = t->Get(BtreeKey{2 * k, 0}).ValueOrDie();
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(S(*got), VersionedPayload(2 * k, kRounds)) << k;
+  }
+}
+
+// A view pinned BEFORE a merge keeps using the retired components' filters
+// after the merge installs and the inputs move to the reclaimer: lookups
+// through the pinned view stay correct and still consult filters.
+TEST(Concurrency, PinnedViewKeepsRetiredFiltersValid) {
+  ConcurrencyFixture fx;
+  auto t = fx.Open(1 << 20, MakeConstantMergePolicy(2), /*use_pool=*/false);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      int64_t k = round * 8 + i;
+      ASSERT_TRUE(t->Insert(BtreeKey{k, 0}, "r" + std::to_string(round)).ok());
+    }
+    ASSERT_TRUE(t->Flush().ok());
+  }
+  auto pinned = t->AcquireView();
+  ASSERT_EQ(pinned->component_count(), 2u);
+  for (size_t i = 0; i < pinned->component_count(); ++i) {
+    ASSERT_TRUE(pinned->components()[i]->has_filter());
+  }
+
+  // Trip the merge: both inputs retire into the reclaimer, held only by the
+  // pinned view.
+  for (int i = 16; i < 20; ++i) {
+    ASSERT_TRUE(t->Insert(BtreeKey{i, 0}, "r2").ok());
+  }
+  ASSERT_TRUE(t->Flush().ok());
+  ASSERT_EQ(t->component_count(), 1u);
+
+  uint64_t checks_before = t->stats().filter_checks;
+  // Present keys resolve through the retired components' filters...
+  EXPECT_EQ(S(*pinned->Get(BtreeKey{0, 0}).ValueOrDie()), "r0");
+  EXPECT_EQ(S(*pinned->Get(BtreeKey{15, 0}).ValueOrDie()), "r1");
+  // ...and in-fence misses are still pruned by them ({3,1} sorts between the
+  // present keys {3,0} and {4,0}, so fences cannot shortcut it).
+  EXPECT_FALSE(pinned->Get(BtreeKey{3, 1}).ValueOrDie().has_value());
+  EXPECT_GT(t->stats().filter_checks, checks_before);
+
+  pinned.reset();
+  EXPECT_EQ(fx.ComponentFilesOnDisk(), 1u);
+}
+
 }  // namespace
 }  // namespace tc

@@ -1,0 +1,7 @@
+// libFuzzer binary for DeserializeSchema (built only with -DTC_FUZZERS=ON
+// under Clang).
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return tc::FuzzDeserializeSchema(data, size);
+}

@@ -1,0 +1,94 @@
+// Standalone driver used when the toolchain has no libFuzzer (GCC builds of
+// TC_FUZZERS=ON): replays every corpus file passed on the command line, then
+// optionally runs a timed random-mutation loop over the corpus
+// (--seconds=N). Links against the same LLVMFuzzerTestOneInput as the
+// libFuzzer build, so invariant violations abort identically.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long seconds = 0;
+  std::vector<std::vector<uint8_t>> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::strtol(argv[i] + 10, nullptr, 10);
+      continue;
+    }
+    // Like libFuzzer, accept corpus directories as well as single files.
+    std::vector<std::string> paths;
+    if (std::filesystem::is_directory(argv[i])) {
+      for (const auto& entry : std::filesystem::directory_iterator(argv[i])) {
+        if (entry.is_regular_file()) paths.push_back(entry.path().string());
+      }
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+    for (const auto& path : paths) {
+      std::vector<uint8_t> bytes;
+      if (!ReadFile(path, &bytes)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+      }
+      LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      corpus.push_back(std::move(bytes));
+    }
+  }
+  std::printf("replayed %zu corpus inputs\n", corpus.size());
+  if (seconds > 0 && !corpus.empty()) {
+    tc::Rng rng(42);
+    uint64_t iters = 0;
+    const auto deadline = std::time(nullptr) + seconds;
+    while (std::time(nullptr) < deadline) {
+      std::vector<uint8_t> input = corpus[rng.Uniform(corpus.size())];
+      // Cheap mutations: byte flips, truncation, splice of another input.
+      size_t n_mut = 1 + rng.Uniform(8);
+      for (size_t m = 0; m < n_mut && !input.empty(); ++m) {
+        switch (rng.Uniform(3)) {
+          case 0:
+            input[rng.Uniform(input.size())] =
+                static_cast<uint8_t>(rng.Uniform(256));
+            break;
+          case 1:
+            input.resize(rng.Uniform(input.size()) + 1);
+            break;
+          default: {
+            const auto& other = corpus[rng.Uniform(corpus.size())];
+            if (!other.empty()) {
+              input.insert(input.begin() + rng.Uniform(input.size() + 1),
+                           other.begin(),
+                           other.begin() + rng.Uniform(other.size()) + 1);
+            }
+            break;
+          }
+        }
+      }
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++iters;
+    }
+    std::printf("mutated for %lds: %llu iterations\n", seconds,
+                static_cast<unsigned long long>(iters));
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzz entry points shared by the libFuzzer binaries (TC_FUZZERS=ON, Clang),
+// the standalone driver (any compiler), and the always-on corpus-replay gtest.
+// Each target returns 0 and aborts (TC_CHECK) on an invariant violation, so
+// the same body serves every harness.
+#ifndef TC_TESTS_FUZZ_FUZZ_TARGETS_H_
+#define TC_TESTS_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tc {
+
+/// ParseAdm over arbitrary bytes. Invariants: never crashes, and any value it
+/// accepts survives a print -> reparse round trip.
+int FuzzParseAdm(const uint8_t* data, size_t size);
+
+/// DeserializeSchema over arbitrary bytes. Invariants: never crashes, never
+/// reads past `size`, and any schema it accepts re-serializes to a canonical
+/// form that deserializes to the same bytes again.
+int FuzzDeserializeSchema(const uint8_t* data, size_t size);
+
+}  // namespace tc
+
+#endif  // TC_TESTS_FUZZ_FUZZ_TARGETS_H_

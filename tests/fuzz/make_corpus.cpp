@@ -1,0 +1,104 @@
+// Regenerates the checked-in fuzz corpus under tests/fuzz/corpus/. Seeds come
+// from the workload generators (real record shapes for ParseAdm; their
+// inferred schemas, serialized, for DeserializeSchema) plus handwritten edge
+// cases. Deterministic — rerunning produces identical files.
+//
+//   ./make_corpus <corpus_dir>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adm/printer.h"
+#include "schema/inference.h"
+#include "schema/schema_io.h"
+#include "schema/schema_tree.h"
+#include "workload/workload.h"
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus_dir>\n", argv[0]);
+    return 1;
+  }
+  std::string dir = argv[1];
+  std::filesystem::create_directories(dir);
+
+  // ParseAdm seeds: generator records across all three datasets...
+  int n = 0;
+  for (const char* dataset : {"twitter", "wos", "sensors"}) {
+    auto gen = tc::MakeGenerator(dataset, /*seed=*/7);
+    for (int i = 0; i < 4; ++i) {
+      std::string text = tc::PrintAdm(gen->NextRecord());
+      char name[64];
+      std::snprintf(name, sizeof(name), "/adm_%s_%d", dataset, i);
+      WriteFile(dir + name, text);
+      ++n;
+    }
+  }
+  // ...plus handwritten edge cases the generators never emit.
+  const char* handwritten[] = {
+      "{}",
+      "[]",
+      "{{1, 2, 3}}",
+      "null",
+      "missing",
+      "-9223372036854775808",
+      "1.7976931348623157e308",
+      "{\"a\": [{\"b\": {{\"c\"}}}], \"d\": point(\"1.5,-2.5\")}",
+      "{\"t\": datetime(\"2014-01-01T00:00:00\"), \"u\": "
+      "uuid(\"5c848e5c-6b6a-498f-8452-8847a2957a48\")}",
+      "{\"s\": \"\\\"\\\\\\u00e9\\n\", \"d\": duration(\"P3DT1H\"), "
+      "\"w\": date(\"2020-02-29\"), \"x\": time(\"23:59:59\")}",
+      "[[[[[[[[1]]]]]]]]",
+      "{\"a\": true, \"b\": false, \"deep\": [1, [2, [3, [4.25]]]]}",
+  };
+  int h = 0;
+  for (const char* text : handwritten) {
+    WriteFile(dir + "/adm_edge_" + std::to_string(h++), text);
+    ++n;
+  }
+
+  // DeserializeSchema seeds: schemas inferred from generator records.
+  for (const char* dataset : {"twitter", "wos", "sensors"}) {
+    auto gen = tc::MakeGenerator(dataset, /*seed=*/11);
+    tc::DatasetType declared = gen->OpenType();
+    tc::Schema schema;
+    for (int i = 0; i < 16; ++i) {
+      auto st = tc::InferRecord(&schema, gen->NextRecord(), declared.root.get());
+      if (!st.ok()) {
+        std::fprintf(stderr, "infer failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    tc::Buffer blob;
+    tc::SerializeSchema(schema, &blob);
+    WriteFile(dir + "/schema_" + dataset,
+              std::string(blob.begin(), blob.end()));
+    ++n;
+  }
+  // An empty schema and a truncated blob round out the schema seeds.
+  {
+    tc::Schema schema;
+    tc::Buffer blob;
+    tc::SerializeSchema(schema, &blob);
+    WriteFile(dir + "/schema_empty", std::string(blob.begin(), blob.end()));
+    if (blob.size() > 2) {
+      WriteFile(dir + "/schema_truncated",
+                std::string(blob.begin(), blob.begin() + blob.size() / 2));
+    }
+    n += 2;
+  }
+
+  std::printf("wrote %d corpus files to %s\n", n, dir.c_str());
+  return 0;
+}

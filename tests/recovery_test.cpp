@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/bytes.h"
 #include "common/task_pool.h"
 #include "lsm/lsm_tree.h"
 #include "schema/schema_io.h"
@@ -14,6 +15,21 @@ namespace tc {
 namespace {
 
 std::string S(const Buffer& b) { return std::string(b.begin(), b.end()); }
+
+std::vector<uint8_t> ReadFileBytes(FileSystem* fs, const std::string& path) {
+  auto f = fs->Open(path).ValueOrDie();
+  std::vector<uint8_t> bytes(f->Size());
+  TC_CHECK(f->Read(0, bytes.size(), bytes.data()).ok());
+  return bytes;
+}
+
+void WriteFileBytes(FileSystem* fs, const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  TC_CHECK(fs->Delete(path).ok());
+  auto f = fs->Create(path).ValueOrDie();
+  TC_CHECK(f->Write(0, bytes.data(), bytes.size()).ok());
+  TC_CHECK(f->Sync().ok());
+}
 
 LsmTreeOptions BaseOptions(std::shared_ptr<FileSystem> fs, BufferCache* cache) {
   LsmTreeOptions o;
@@ -191,6 +207,131 @@ TEST(Recovery, WalSegmentsFromPendingFlushBuildsReplayInOrder) {
   EXPECT_TRUE(fs->Exists("rec/t.wal.1.bak"));  // the stray survived
   auto segs = fs->List("rec", "t.wal").ValueOrDie();
   EXPECT_EQ(segs.size(), 2u);  // the fresh base segment + the stray
+}
+
+// ---------------------------------------------------------------------------
+// Filter crash matrix: a crash or corruption anywhere around the bloom-filter
+// pages and the v2 footer must never produce a wrong answer — the outcomes
+// are (a) the unvalidated component is discarded, (b) the open fails with a
+// clean Corruption status, or (c) the component loads filterless and serves
+// correct (if slower) lookups.
+// ---------------------------------------------------------------------------
+
+// Crash after the data pages were written but before the filter pages and
+// footer made it out: the truncated, never-validated component is removed on
+// recovery and lookups stay correct.
+TEST(RecoveryFilterMatrix, CrashBeforeFilterFooterDiscardsComponent) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  {
+    auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+    ASSERT_TRUE(t->Insert(BtreeKey{1, 0}, "good").ok());
+    ASSERT_TRUE(t->Flush().ok());
+  }
+  const std::string half = "rec/t.c00000007-00000007.btree";
+  {
+    auto b = BtreeComponentBuilder::Create(fs, half, 4096, nullptr).ValueOrDie();
+    ASSERT_TRUE(b->Add(BtreeKey{9, 0}, false, "torn").ok());
+    ASSERT_TRUE(b->Finish(7, 7, {}).ok());
+    // No MarkValid, and the tail of the file (filter pages + footer) never
+    // hit the disk: keep only the first data page.
+    auto bytes = ReadFileBytes(fs.get(), half);
+    ASSERT_GT(bytes.size(), 4096u);
+    bytes.resize(4096);
+    WriteFileBytes(fs.get(), half, bytes);
+  }
+  auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+  EXPECT_FALSE(fs->Exists(half));
+  EXPECT_EQ(t->component_count(), 1u);
+  EXPECT_FALSE(t->Get(BtreeKey{9, 0}).ValueOrDie().has_value());
+  EXPECT_EQ(S(*t->Get(BtreeKey{1, 0}).ValueOrDie()), "good");
+}
+
+// A VALID component whose footer page was lost (page-aligned truncation)
+// fails the reopen with a clean Corruption — never a silent wrong answer.
+TEST(RecoveryFilterMatrix, TruncatedFooterOnValidComponentFailsCleanly) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  const std::string path = "rec/t.c00000001-00000001.btree";
+  {
+    auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+    ASSERT_TRUE(t->Insert(BtreeKey{1, 0}, "v").ok());
+    ASSERT_TRUE(t->Flush().ok());
+  }
+  ASSERT_TRUE(fs->Exists(path));
+  auto bytes = ReadFileBytes(fs.get(), path);
+  ASSERT_GT(bytes.size(), 4096u);
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 4096);
+  WriteFileBytes(fs.get(), path, truncated);
+  auto r = LsmTree::Open(BaseOptions(fs, &cache));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+
+  // Non-page-aligned truncation (torn write) is caught one layer lower but
+  // is just as clean.
+  truncated = bytes;
+  truncated.resize(truncated.size() - 100);
+  WriteFileBytes(fs.get(), path, truncated);
+  auto r2 = LsmTree::Open(BaseOptions(fs, &cache));
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kCorruption);
+}
+
+// A flipped byte inside the filter pages fails the filter's own CRC: the
+// component loads FILTERLESS (degraded) and keeps answering correctly.
+TEST(RecoveryFilterMatrix, CorruptedFilterPageLoadsFilterlessAndServes) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  const std::string path = "rec/t.c00000001-00000001.btree";
+  {
+    auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+    for (int64_t k = 0; k < 200; ++k) {
+      ASSERT_TRUE(t->Insert(BtreeKey{k, 0}, "v" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(t->Flush().ok());
+    ASSERT_TRUE(t->View().components()[0]->has_filter());
+  }
+  // Locate the filter pages through the v2 footer (filter_start lives right
+  // after the v1 fixed fields, at offset 84) and flip one byte.
+  auto bytes = ReadFileBytes(fs.get(), path);
+  size_t footer_off = bytes.size() - 4096;
+  uint32_t filter_start = GetFixed32(bytes.data() + footer_off + 84);
+  ASSERT_NE(filter_start, UINT32_MAX);
+  bytes[static_cast<size_t>(filter_start) * 4096 + 5] ^= 0xff;
+  WriteFileBytes(fs.get(), path, bytes);
+
+  auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+  auto view = t->View();
+  ASSERT_EQ(view.component_count(), 1u);
+  EXPECT_FALSE(view.components()[0]->has_filter());
+  EXPECT_TRUE(view.components()[0]->filter_degraded());
+  for (int64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(S(*t->Get(BtreeKey{k, 0}).ValueOrDie()), "v" + std::to_string(k));
+  }
+  EXPECT_FALSE(t->Get(BtreeKey{999, 0}).ValueOrDie().has_value());
+  // Degraded components never consult a filter, so no counters move.
+  EXPECT_EQ(t->stats().filter_checks, 0u);
+}
+
+// A flipped byte in the footer's filter-CRC field breaks the FOOTER checksum
+// (it covers the filter locator too): clean Corruption on open.
+TEST(RecoveryFilterMatrix, CorruptedFooterFilterCrcFailsCleanly) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  const std::string path = "rec/t.c00000001-00000001.btree";
+  {
+    auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+    ASSERT_TRUE(t->Insert(BtreeKey{1, 0}, "v").ok());
+    ASSERT_TRUE(t->Flush().ok());
+  }
+  auto bytes = ReadFileBytes(fs.get(), path);
+  size_t footer_off = bytes.size() - 4096;
+  bytes[footer_off + 92] ^= 0xff;  // stored filter_crc field
+  WriteFileBytes(fs.get(), path, bytes);
+  auto r = LsmTree::Open(BaseOptions(fs, &cache));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace
