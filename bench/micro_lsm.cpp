@@ -407,6 +407,64 @@ BENCHMARK(BM_IngestScaling)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// BM_BatchIngest: LsmTree::InsertBatch at varying batch sizes with the WAL on
+// and sync cadence 1 — one sync per batch. Batch size 1 is the delegated
+// single-record path (Insert -> InsertBatch of one), so the axis isolates
+// exactly what group commit buys: fewer WAL writes/syncs and one
+// writer-lock + memtable round per batch. MemFS keeps the numbers about code
+// path cost, not disk latency; fig17's batch axis covers real fsyncs.
+// ---------------------------------------------------------------------------
+
+void BM_BatchIngest(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto payloads = EncodedTweets(256);
+  uint64_t total_records = 0;
+  std::vector<MemPutOp> batch;
+  batch.reserve(batch_size);
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      auto fs = MakeMemFileSystem();
+      BufferCache cache{32 * 1024, 1024};
+      LsmTreeOptions o;
+      o.fs = fs;
+      o.cache = &cache;
+      o.dir = "bi";
+      o.name = "t";
+      o.page_size = 32 * 1024;
+      o.memtable_budget_bytes = 4 << 20;
+      o.use_wal = true;
+      o.wal_sync_every = 1;
+      auto tree = LsmTree::Open(std::move(o)).ValueOrDie();
+      state.ResumeTiming();
+      constexpr int kRecords = 8192;
+      int64_t key = 0;
+      while (key < kRecords) {
+        batch.clear();
+        for (size_t b = 0; b < batch_size && key < kRecords; ++b, ++key) {
+          const Buffer& p = payloads[static_cast<size_t>(key) % payloads.size()];
+          batch.push_back(MemPutOp{
+              BtreeKey{key, 0},
+              std::string_view(reinterpret_cast<const char*>(p.data()),
+                               p.size())});
+        }
+        TC_CHECK(tree->InsertBatch(batch).ok());
+      }
+      state.PauseTiming();
+      total_records += kRecords;
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_records));
+}
+BENCHMARK(BM_BatchIngest)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->ArgNames({"batch"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace tc
 

@@ -1,0 +1,47 @@
+// Minimal std::span stand-in (C++17 has none): a non-owning view over a
+// contiguous run of T. The batch APIs (WAL group commit, memtable batch
+// insertion, Dataset::InsertBatch) take Span parameters so callers can pass a
+// vector, an array, or a single element without copies.
+#ifndef TC_COMMON_SPAN_H_
+#define TC_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+
+namespace tc {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  /// From any contiguous container with data()/size() whose element type
+  /// converts to T* (vector<T>, const vector<remove_const_t<T>>, array...).
+  template <typename C,
+            typename = std::enable_if_t<std::is_convertible<
+                decltype(std::declval<C&>().data()), T*>::value>>
+  constexpr Span(C& container)  // NOLINT(runtime/explicit): view adapter
+      : data_(container.data()), size_(container.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// One-element span (the "a single insert is a batch of one" adapters).
+template <typename T>
+constexpr Span<T> SingletonSpan(T& value) {
+  return Span<T>(&value, 1);
+}
+
+}  // namespace tc
+
+#endif  // TC_COMMON_SPAN_H_

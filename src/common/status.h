@@ -55,6 +55,14 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
+  /// Same code, message prefixed with `context + ": "` — for threading
+  /// location context (a batch offset, a file name) into an error without
+  /// losing its code. No-op on OK.
+  Status Annotate(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + msg_);
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }

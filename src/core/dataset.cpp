@@ -179,20 +179,83 @@ Status DatasetPartition::MaintainIndexesOnWrite(
 }
 
 Status DatasetPartition::Insert(const AdmValue& record) {
-  std::lock_guard<std::mutex> lock(write_mu_);
-  const AdmValue* pk_field = record.FindField(opts_->type.primary_key_field);
-  if (pk_field == nullptr) return Status::InvalidArgument("record missing primary key");
-  int64_t pk = pk_field->int_value();
-  Buffer payload;
-  TC_RETURN_IF_ERROR(EncodeRecord(record, &payload));
-  TC_RETURN_IF_ERROR(primary_->Insert(
-      BtreeKey{pk, 0},
-      std::string_view(reinterpret_cast<const char*>(payload.data()),
-                       payload.size())));
-  if (pk_index_ != nullptr) {
-    TC_RETURN_IF_ERROR(pk_index_->Insert(BtreeKey{pk, 0}, {}));
+  // A batch of one: the single-record path IS the batch path, so there is
+  // exactly one write-side code path to reason about (and to test).
+  return InsertBatch(SingletonSpan<const AdmValue>(record));
+}
+
+Status DatasetPartition::InsertBatch(Span<const AdmValue> records,
+                                     BatchErrors* errors) {
+  // Encode outside the writer lock — pure per-record work that concurrent
+  // feed threads can overlap; only the apply step serializes.
+  std::vector<EncodedWrite> writes;
+  writes.reserve(records.size());
+  Status first_error;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EncodedWrite w;
+    w.index = i;
+    w.record = &records[i];
+    const AdmValue* pk_field = records[i].FindField(opts_->type.primary_key_field);
+    Status st = pk_field == nullptr
+                    ? Status::InvalidArgument("record missing primary key")
+                    : EncodeRecord(records[i], &w.payload);
+    if (!st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, st);
+      if (first_error.ok()) first_error = st;
+      continue;
+    }
+    w.pk = pk_field->int_value();
+    writes.push_back(std::move(w));
   }
-  return MaintainIndexesOnWrite(pk, record, std::nullopt, /*is_delete=*/false);
+  BatchErrors apply_errors;
+  Status st = InsertEncodedBatch(writes, &apply_errors);
+  for (auto& [pos, rec_st] : apply_errors) {
+    if (errors != nullptr) errors->emplace_back(writes[pos].index, rec_st);
+    if (first_error.ok()) first_error = rec_st;
+  }
+  if (first_error.ok()) first_error = st;
+  return first_error;
+}
+
+Status DatasetPartition::InsertEncodedBatch(Span<EncodedWrite> writes,
+                                            BatchErrors* errors) {
+  if (writes.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::vector<MemPutOp> ops;
+  ops.reserve(writes.size());
+  for (const EncodedWrite& w : writes) {
+    ops.push_back(MemPutOp{
+        BtreeKey{w.pk, 0},
+        std::string_view(reinterpret_cast<const char*>(w.payload.data()),
+                         w.payload.size())});
+  }
+  // One group-committed append + one memtable lock round for the whole batch.
+  // A failure here means nothing of the batch was acknowledged: report every
+  // record as failed so async submitters can attribute it.
+  Status st = primary_->InsertBatch(ops);
+  if (!st.ok()) {
+    if (errors != nullptr) {
+      for (size_t i = 0; i < writes.size(); ++i) errors->emplace_back(i, st);
+    }
+    return st;
+  }
+  if (pk_index_ != nullptr) {
+    for (MemPutOp& op : ops) op.payload = {};
+    TC_RETURN_IF_ERROR(pk_index_->InsertBatch(ops));
+  }
+  // Secondary maintenance stays per-record (it decodes old versions), but
+  // runs inside the same critical section so a concurrent reader never sees
+  // a batch half-indexed relative to another writer's interleaving.
+  Status first_error;
+  for (size_t i = 0; i < writes.size(); ++i) {
+    Status rec_st = MaintainIndexesOnWrite(writes[i].pk, *writes[i].record,
+                                           std::nullopt, /*is_delete=*/false);
+    if (!rec_st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, rec_st);
+      if (first_error.ok()) first_error = rec_st;
+    }
+  }
+  return first_error;
 }
 
 Status DatasetPartition::Upsert(const AdmValue& record) {
@@ -325,6 +388,41 @@ Status Dataset::Insert(const AdmValue& record) {
   return partitions_[PartitionOf(pk)]->Insert(record);
 }
 
+Status Dataset::InsertBatch(Span<const AdmValue> records, BatchErrors* errors) {
+  // Hash-partition + encode up front (no locks), then one apply round per
+  // touched partition. Per-partition buckets keep submission order, so
+  // records for the same key apply in the order the caller gave them.
+  std::vector<std::vector<EncodedWrite>> buckets(partitions_.size());
+  Status first_error;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EncodedWrite w;
+    w.index = i;
+    w.record = &records[i];
+    auto pk = PrimaryKeyOf(records[i]);
+    Status st = pk.ok() ? Status::OK() : pk.status();
+    if (st.ok()) {
+      w.pk = pk.value();
+      st = partitions_[PartitionOf(w.pk)]->EncodeRecord(records[i], &w.payload);
+    }
+    if (!st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, st);
+      if (first_error.ok()) first_error = st;
+      continue;
+    }
+    buckets[PartitionOf(w.pk)].push_back(std::move(w));
+  }
+  for (size_t p = 0; p < buckets.size(); ++p) {
+    if (buckets[p].empty()) continue;
+    BatchErrors part_errors;
+    Status st = partitions_[p]->InsertEncodedBatch(buckets[p], &part_errors);
+    for (auto& [pos, rec_st] : part_errors) {
+      if (errors != nullptr) errors->emplace_back(buckets[p][pos].index, rec_st);
+    }
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
 Status Dataset::Upsert(const AdmValue& record) {
   TC_ASSIGN_OR_RETURN(int64_t pk, PrimaryKeyOf(record));
   return partitions_[PartitionOf(pk)]->Upsert(record);
@@ -338,9 +436,19 @@ Result<std::optional<AdmValue>> Dataset::Get(int64_t pk) {
   return partitions_[PartitionOf(pk)]->Get(pk);
 }
 
-Status Dataset::InsertJson(std::string_view text) {
-  TC_ASSIGN_OR_RETURN(AdmValue record, ParseAdm(text));
-  return Insert(record);
+Status Dataset::InsertJson(std::string_view text,
+                           std::optional<size_t> batch_offset) {
+  Status st;
+  auto parsed = ParseAdm(text);
+  if (!parsed.ok()) {
+    st = parsed.status();
+  } else {
+    st = Insert(parsed.value());
+  }
+  if (st.ok() || !batch_offset.has_value()) return st;
+  // Thread the feed position into the message: "parse error" alone is
+  // useless when the caller just streamed 10k records.
+  return st.Annotate("record " + std::to_string(*batch_offset));
 }
 
 Status Dataset::FlushAll() {

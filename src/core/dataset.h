@@ -16,9 +16,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adm/value.h"
+#include "common/span.h"
 #include "core/tuple_compactor.h"
 #include "format/adm_format.h"
 #include "lsm/lsm_tree.h"
@@ -27,6 +29,25 @@
 #include "storage/buffer_cache.h"
 
 namespace tc {
+
+/// Per-record failures of a batched insert: (record position, status). For
+/// the public InsertBatch APIs the position is the index into the submitted
+/// batch; for the lower-level InsertEncodedBatch it is the position within
+/// the passed span (callers owning a wider batch remap via EncodedWrite's
+/// `index`).
+using BatchErrors = std::vector<std::pair<size_t, Status>>;
+
+/// One pre-encoded record of a batch — the handoff unit between the
+/// partitioning front ends (Dataset::InsertBatch, IngestFrontEnd's
+/// per-partition writers) and DatasetPartition::InsertEncodedBatch. `record`
+/// is viewed, not owned; `index` is the caller's batch offset, carried along
+/// so a bad record deep in a 10k-record feed stays locatable.
+struct EncodedWrite {
+  size_t index = 0;
+  int64_t pk = 0;
+  const AdmValue* record = nullptr;
+  Buffer payload;
+};
 
 enum class SchemaMode {
   kOpen,
@@ -96,6 +117,24 @@ class DatasetPartition {
   Status Upsert(const AdmValue& record);
   Status Delete(int64_t pk);
   Result<std::optional<AdmValue>> Get(int64_t pk);
+
+  /// Batched insert into THIS partition (every record must hash here when
+  /// routed through a Dataset; direct callers just own the whole batch).
+  /// Encodes outside the partition writer lock, then applies everything in
+  /// one critical section. Per-record encode/pk failures go to `errors` (by
+  /// batch index) and the remaining records still apply; the first error also
+  /// comes back as the return status.
+  Status InsertBatch(Span<const AdmValue> records, BatchErrors* errors = nullptr);
+
+  /// The batch back end: applies pre-encoded records under ONE writer-lock
+  /// acquisition — one group-committed primary InsertBatch (single WAL write
+  /// + fsync per group), one pk-index InsertBatch, then the secondary-index
+  /// maintenance loop, all inside the same critical section so concurrent
+  /// feeds interleave at batch granularity. `errors` entries are positions
+  /// within `writes` (remap via writes[pos].index); a batch-level failure
+  /// (WAL/LSM) marks every record failed and is returned.
+  Status InsertEncodedBatch(Span<EncodedWrite> writes,
+                            BatchErrors* errors = nullptr);
 
   /// Pins a coherent snapshot of every tree in this partition (primary, and
   /// the pk/secondary indexes when configured).
@@ -173,8 +212,20 @@ class Dataset {
   Status Delete(int64_t pk);
   Result<std::optional<AdmValue>> Get(int64_t pk);
 
-  /// Parses ADM text and inserts (convenience for examples).
-  Status InsertJson(std::string_view text);
+  /// Batched insert across partitions: records are hash-partitioned, encoded,
+  /// and applied with one writer-lock/WAL/memtable round per touched
+  /// partition. Per-record failures (bad pk, encode errors, index
+  /// maintenance) are reported in `errors` by submitted-batch index while the
+  /// healthy records still apply; the first error doubles as the return
+  /// status. Within a partition, records apply in submission order.
+  Status InsertBatch(Span<const AdmValue> records, BatchErrors* errors = nullptr);
+
+  /// Parses ADM text and inserts (convenience for examples). When
+  /// `batch_offset` is given (multi-record feeds), any error message is
+  /// prefixed with "record N: " so one bad record in a 10k batch is
+  /// locatable.
+  Status InsertJson(std::string_view text,
+                    std::optional<size_t> batch_offset = std::nullopt);
 
   Status FlushAll();
   /// Drains background merges across all partitions (see DatasetPartition).

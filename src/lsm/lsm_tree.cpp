@@ -435,13 +435,23 @@ Result<std::optional<Buffer>> LsmTree::CaptureOldVersion(const BtreeKey& key) {
 }
 
 Status LsmTree::Insert(const BtreeKey& key, std::string_view payload) {
+  MemPutOp one{key, payload};
+  return InsertBatch(SingletonSpan<const MemPutOp>(one));
+}
+
+Status LsmTree::InsertBatch(Span<const MemPutOp> ops) {
+  if (ops.empty()) return Status::OK();
   std::lock_guard<std::mutex> wlock(write_mu_);
   TC_RETURN_IF_ERROR(BackgroundError());
   if (wal_ != nullptr) {
-    auto lsn = wal_->Append(WalOp::kPut, key, payload);
-    if (!lsn.ok()) return lsn.status();
+    wal_batch_.clear();
+    wal_batch_.reserve(ops.size());
+    for (const MemPutOp& op : ops) {
+      wal_batch_.push_back(WalAppendOp{WalOp::kPut, op.key, op.payload});
+    }
+    TC_RETURN_IF_ERROR(wal_->AppendBatch(wal_batch_));
   }
-  mem_->Put(key, Buffer(payload.begin(), payload.end()), std::nullopt);
+  mem_->InsertBatch(ops);
   if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
     TC_RETURN_IF_ERROR(FlushLocked());
   }

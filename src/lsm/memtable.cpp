@@ -1,5 +1,7 @@
 #include "lsm/memtable.h"
 
+#include <algorithm>
+
 namespace tc {
 namespace {
 constexpr size_t kEntryOverhead = 64;  // rough per-entry bookkeeping cost
@@ -43,6 +45,37 @@ void MemTable::Delete(const BtreeKey& key, std::optional<Buffer> old_payload) {
   bytes_ -= e.payload.size();
   e.payload.clear();
   e.anti = true;
+}
+
+void MemTable::InsertBatch(Span<const MemPutOp> ops) {
+  TC_CHECK(!sealed());
+  if (ops.empty()) return;
+  // Sort indices, not entries: the ops stay where the caller put them and the
+  // stable sort keeps duplicate keys in submission order (last one wins).
+  std::vector<size_t> order(ops.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&ops](size_t a, size_t b) {
+    return ops[a].key < ops[b].key;
+  });
+  std::unique_lock<std::shared_mutex> lock(sync_);
+  auto hint = map_.end();
+  for (size_t idx : order) {
+    const MemPutOp& op = ops[idx];
+    // The previous insertion's successor is the correct hint for an ascending
+    // run; std::map degrades to a normal O(log n) insert when it is wrong.
+    size_t before = map_.size();
+    auto it = map_.try_emplace(hint, op.key);
+    bool inserted = map_.size() != before;
+    Entry& e = it->second;
+    if (inserted) bytes_ += kEntryOverhead;
+    // Same replacement rule as Put(): batches are insert-only, so there is no
+    // old_payload to retain — a duplicate key just takes the newer bytes.
+    bytes_ -= e.payload.size();
+    e.payload.assign(op.payload.begin(), op.payload.end());
+    bytes_ += e.payload.size();
+    e.anti = false;
+    hint = std::next(it);
+  }
 }
 
 const MemTable::Entry* MemTable::Get(const BtreeKey& key) const {

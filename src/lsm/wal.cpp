@@ -9,6 +9,21 @@ namespace {
 // Body: u64 lsn | u8 op | 16B key | payload bytes.
 constexpr size_t kBodyFixed = 8 + 1 + 16;
 
+// Appends one framed record to `buf` (the shared encoder behind both Append
+// and AppendBatch).
+void EncodeWalRecord(Buffer* buf, uint64_t lsn, const WalAppendOp& op) {
+  PutFixed32(buf, static_cast<uint32_t>(kBodyFixed + op.payload.size()));
+  PutFixed32(buf, 0);  // crc patched below
+  size_t body_start = buf->size();
+  PutFixed64(buf, lsn);
+  PutU8(buf, static_cast<uint8_t>(op.op));
+  PutFixed64(buf, static_cast<uint64_t>(op.key.a));
+  PutFixed64(buf, static_cast<uint64_t>(op.key.b));
+  PutString(buf, op.payload);
+  OverwriteFixed32(buf, body_start - 4,
+                   Crc32c(buf->data() + body_start, buf->size() - body_start));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
@@ -38,25 +53,37 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 
 Result<uint64_t> WriteAheadLog::Append(WalOp op, const BtreeKey& key,
                                        std::string_view payload) {
-  uint64_t lsn = next_lsn_++;
-  Buffer rec;
-  rec.reserve(8 + kBodyFixed + payload.size());
-  PutFixed32(&rec, static_cast<uint32_t>(kBodyFixed + payload.size()));
-  PutFixed32(&rec, 0);  // crc patched below
-  size_t body_start = rec.size();
-  PutFixed64(&rec, lsn);
-  PutU8(&rec, static_cast<uint8_t>(op));
-  PutFixed64(&rec, static_cast<uint64_t>(key.a));
-  PutFixed64(&rec, static_cast<uint64_t>(key.b));
-  PutString(&rec, payload);
-  OverwriteFixed32(&rec, 4, Crc32c(rec.data() + body_start, rec.size() - body_start));
-  TC_RETURN_IF_ERROR(file_->Write(write_offset_, rec.data(), rec.size()));
-  write_offset_ += rec.size();
-  if (sync_every_n_ > 0 && ++appends_since_sync_ >= sync_every_n_) {
-    TC_RETURN_IF_ERROR(file_->Sync());
-    appends_since_sync_ = 0;
-  }
+  WalAppendOp one{op, key, payload};
+  uint64_t lsn = 0;
+  TC_RETURN_IF_ERROR(AppendBatch(SingletonSpan<const WalAppendOp>(one), &lsn));
   return lsn;
+}
+
+Status WriteAheadLog::AppendBatch(Span<const WalAppendOp> ops,
+                                  uint64_t* first_lsn) {
+  if (first_lsn != nullptr) *first_lsn = next_lsn_;
+  if (ops.empty()) return Status::OK();
+  size_t total = 0;
+  for (const WalAppendOp& op : ops) total += 8 + kBodyFixed + op.payload.size();
+  encode_buf_.clear();
+  encode_buf_.reserve(total);
+  for (const WalAppendOp& op : ops) {
+    EncodeWalRecord(&encode_buf_, next_lsn_++, op);
+  }
+  // One buffered write for the whole group. A torn write inside it truncates
+  // replay at the first broken record, so recovery sees a prefix of the
+  // group — exactly the single-record torn-tail semantics.
+  TC_RETURN_IF_ERROR(
+      file_->Write(write_offset_, encode_buf_.data(), encode_buf_.size()));
+  write_offset_ += encode_buf_.size();
+  if (sync_every_n_ > 0) {
+    appends_since_sync_ += ops.size();
+    if (appends_since_sync_ >= sync_every_n_) {
+      TC_RETURN_IF_ERROR(file_->Sync());
+      appends_since_sync_ = 0;
+    }
+  }
+  return Status::OK();
 }
 
 Status WriteAheadLog::Replay(

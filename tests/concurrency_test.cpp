@@ -24,7 +24,9 @@
 
 #include "common/rng.h"
 #include "common/task_pool.h"
+#include "core/ingest.h"
 #include "lsm/lsm_tree.h"
+#include "tests/test_util.h"
 
 namespace tc {
 namespace {
@@ -461,6 +463,96 @@ TEST(Concurrency, PinnedViewKeepsRetiredFiltersValid) {
 
   pinned.reset();
   EXPECT_EQ(fx.ComponentFilesOnDisk(), 1u);
+}
+
+// Ingest storm through the group-committing feed queue: 4 producers submit
+// whole batches to an IngestFrontEnd targeting one partition (so batch ==
+// commit chunk) while readers range-scan individual batches on pinned
+// snapshots and flush builds + merges run on a shared pool. Every batch is
+// applied in ONE memtable critical section and never split across
+// generations, and an Iterator copies the in-memory entries at seek time —
+// so a scan must observe each batch either completely or not at all.
+TEST(Concurrency, IngestStormWholeBatchVisibility) {
+  TaskPool pool(3);
+  testutil::DatasetFixture fx;
+  DatasetOptions o = testutil::SmallOptions(SchemaMode::kInferred, /*memtable_kb=*/32);
+  o.merge_pool = &pool;
+  ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 24;
+  constexpr int kBatch = 32;
+  constexpr int kTotalBatches = kProducers * kBatchesPerProducer;
+
+  GroupCommitConfig gc;
+  gc.max_records = 64;  // groups span a couple of chunks
+  gc.max_usecs = 500;
+  IngestFrontEnd front_end(fx.dataset.get(), gc, /*queue_capacity=*/2);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn_batches{0};
+  std::atomic<int> producer_failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + static_cast<uint64_t>(r));
+      while (!done.load(std::memory_order_acquire)) {
+        int64_t b = static_cast<int64_t>(rng.Uniform(kTotalBatches));
+        int64_t lo = b * kBatch;
+        int64_t hi = lo + kBatch - 1;
+        auto view = fx.dataset->partition(0)->primary()->AcquireView();
+        LsmTree::Iterator it(view);
+        it.set_upper_bound(BtreeKey{hi, 0});
+        if (!it.Seek(BtreeKey{lo, 0}).ok()) continue;
+        int count = 0;
+        while (it.Valid() && it.key().a <= hi) {
+          ++count;
+          if (!it.Next().ok()) break;
+        }
+        if (count != 0 && count != kBatch) torn_batches.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(static_cast<uint64_t>(p));
+      std::vector<IngestTicket> outstanding;
+      for (int i = 0; i < kBatchesPerProducer; ++i) {
+        int64_t b = p * kBatchesPerProducer + i;
+        std::vector<AdmValue> batch;
+        batch.reserve(kBatch);
+        for (int64_t k = b * kBatch; k < (b + 1) * kBatch; ++k) {
+          AdmValue rec = AdmValue::Object();
+          rec.AddField("id", AdmValue::BigInt(k));
+          rec.AddField("pad", AdmValue::String(rng.AlphaString(40)));
+          batch.push_back(std::move(rec));
+        }
+        outstanding.push_back(front_end.Submit(std::move(batch)));
+        if (outstanding.size() >= 3) {
+          if (!outstanding.front().Wait().ok()) producer_failures.fetch_add(1);
+          outstanding.erase(outstanding.begin());
+        }
+      }
+      for (auto& t : outstanding) {
+        if (!t.Wait().ok()) producer_failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(front_end.Drain().ok());
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn_batches.load(), 0);
+  EXPECT_EQ(producer_failures.load(), 0);
+  // Completeness: every record of every acknowledged batch is in the dataset.
+  for (int64_t k = 0; k < static_cast<int64_t>(kTotalBatches) * kBatch; ++k) {
+    ASSERT_TRUE(fx.dataset->Get(k).ValueOrDie().has_value()) << k;
+  }
+  ASSERT_TRUE(fx.dataset->WaitForBackgroundWork().ok());
 }
 
 }  // namespace

@@ -263,5 +263,56 @@ TEST(Dataset, MissingPrimaryKeyRejected) {
   EXPECT_TRUE(fx.dataset->InsertJson(R"({"id": 5, "ok": true})").ok());
 }
 
+TEST(Dataset, InsertBatchAppliesHealthyRecordsAndReportsBad) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 2).ok());
+  std::vector<AdmValue> batch = {
+      R(R"({"id": 1, "v": "a"})"),
+      R(R"({"name": "nopk"})"),  // index 1: no primary key
+      R(R"({"id": 3, "v": "c"})"),
+      R(R"({"id": 4, "v": "d"})"),
+  };
+  BatchErrors errors;
+  Status st = fx.dataset->InsertBatch(batch, &errors);
+  EXPECT_FALSE(st.ok());  // first error doubles as the return status
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].first, 1u);  // attributed to the bad record's offset
+  EXPECT_FALSE(errors[0].second.ok());
+  // The healthy records landed despite the bad one.
+  for (int64_t pk : {1, 3, 4}) {
+    EXPECT_TRUE(fx.dataset->Get(pk).ValueOrDie().has_value()) << pk;
+  }
+}
+
+TEST(Dataset, InsertBatchSurvivesFlushAndPartitioning) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred, /*memtable_kb=*/16), 3).ok());
+  std::vector<AdmValue> batch;
+  for (int64_t k = 0; k < 300; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(k) + R"(, "v": "payload-)" +
+                      std::to_string(k) + R"("})"));
+  }
+  ASSERT_TRUE(fx.dataset->InsertBatch(batch).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  for (int64_t k = 0; k < 300; ++k) {
+    auto got = fx.dataset->Get(k).ValueOrDie();
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(got->FindField("v")->string_value(),
+              "payload-" + std::to_string(k));
+  }
+}
+
+TEST(Dataset, InsertJsonBatchOffsetLocatesBadRecord) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 1).ok());
+  Status st = fx.dataset->InsertJson(R"({"name": "nopk"})", /*batch_offset=*/4217);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message().find("record 4217: "), 0u) << st.message();
+  // Without an offset the message stays unprefixed.
+  Status bare = fx.dataset->InsertJson(R"({"name": "nopk"})");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.message().find("record 4217"), std::string::npos) << bare.message();
+}
+
 }  // namespace
 }  // namespace tc

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+
+namespace tc {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int v = -1;
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueue, PushBlocksUntilSpaceFrees) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(2));  // blocks: queue full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(MpmcQueue, CloseDrainsQueuedItemsThenReportsClosed) {
+  MpmcQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7));
+  ASSERT_TRUE(q.Push(8));
+  q.Close();
+  EXPECT_FALSE(q.Push(9));  // rejected after close
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v));  // items pushed before close still drain
+  EXPECT_EQ(v, 7);
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.Pop(&v));  // closed AND drained
+}
+
+TEST(MpmcQueue, PopUntilTimesOutAndDistinguishesClose) {
+  MpmcQueue<int> q(4);
+  int v = 0;
+  auto soon = std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_EQ(q.PopUntil(&v, soon), MpmcQueue<int>::PopResult::kTimeout);
+  ASSERT_TRUE(q.Push(3));
+  EXPECT_EQ(q.PopUntil(&v, soon), MpmcQueue<int>::PopResult::kItem);
+  EXPECT_EQ(v, 3);
+  q.Close();
+  EXPECT_EQ(q.PopUntil(&v, soon), MpmcQueue<int>::PopResult::kClosed);
+}
+
+// 4 producers x 4 consumers over a tiny queue: every pushed value is popped
+// exactly once, and Close() releases all blocked consumers.
+TEST(MpmcQueue, ManyProducersManyConsumersExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  MpmcQueue<int> q(3);
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::multiset<int> seen;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (q.Pop(&v)) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        seen.insert(v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen.count(i), 1u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -209,6 +209,39 @@ TEST(Recovery, WalSegmentsFromPendingFlushBuildsReplayInOrder) {
   EXPECT_EQ(segs.size(), 2u);  // the fresh base segment + the stray
 }
 
+// Group-commit crash point: a batch acknowledged BEFORE the crash (its group
+// was written and synced) must survive replay in full; a later batch torn
+// mid-write may vanish entirely — never a partial mix inside the acked batch.
+TEST(Recovery, AckedBatchSurvivesTornFollowingBatch) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  std::vector<uint8_t> torn_wal;
+  {
+    auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+    std::vector<MemPutOp> batch_a;
+    for (int64_t k = 1; k <= 4; ++k) batch_a.push_back({BtreeKey{k, 0}, "acked"});
+    ASSERT_TRUE(t->InsertBatch(batch_a).ok());
+    // Everything up to here was synced (cadence 1): the ack point.
+    uint64_t acked_bytes = fs->FileSize("rec/t.wal").ValueOrDie();
+    std::vector<MemPutOp> batch_b;
+    for (int64_t k = 10; k <= 13; ++k) batch_b.push_back({BtreeKey{k, 0}, "torn"});
+    ASSERT_TRUE(t->InsertBatch(batch_b).ok());
+    // "Crash" between batch B's buffered write and its sync reaching the
+    // platter: keep only a 7-byte sliver of B's first record header.
+    torn_wal = ReadFileBytes(fs.get(), "rec/t.wal");
+    ASSERT_GT(torn_wal.size(), acked_bytes + 7);
+    torn_wal.resize(acked_bytes + 7);
+  }
+  WriteFileBytes(fs.get(), "rec/t.wal", torn_wal);
+  auto t = LsmTree::Open(BaseOptions(fs, &cache)).ValueOrDie();
+  for (int64_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(S(*t->Get(BtreeKey{k, 0}).ValueOrDie()), "acked") << k;
+  }
+  for (int64_t k = 10; k <= 13; ++k) {
+    EXPECT_FALSE(t->Get(BtreeKey{k, 0}).ValueOrDie().has_value()) << k;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Filter crash matrix: a crash or corruption anywhere around the bloom-filter
 // pages and the v2 footer must never produce a wrong answer — the outcomes
