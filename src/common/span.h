@@ -24,6 +24,13 @@ class Span {
   constexpr Span(C& container)  // NOLINT(runtime/explicit): view adapter
       : data_(container.data()), size_(container.size()) {}
 
+  /// A Span over a temporary container would dangle the moment the full
+  /// expression ends — reject rvalues outright.
+  template <typename C,
+            typename = std::enable_if_t<std::is_convertible<
+                decltype(std::declval<C&>().data()), T*>::value>>
+  constexpr Span(const C&& container) = delete;
+
   constexpr T* data() const { return data_; }
   constexpr size_t size() const { return size_; }
   constexpr bool empty() const { return size_ == 0; }

@@ -218,7 +218,9 @@ Status DatasetPartition::InsertBatch(Span<const AdmValue> records,
 }
 
 Status DatasetPartition::InsertEncodedBatch(Span<EncodedWrite> writes,
-                                            BatchErrors* errors) {
+                                            BatchErrors* errors,
+                                            bool* batch_failed) {
+  if (batch_failed != nullptr) *batch_failed = false;
   if (writes.empty()) return Status::OK();
   std::lock_guard<std::mutex> lock(write_mu_);
   std::vector<MemPutOp> ops;
@@ -229,19 +231,23 @@ Status DatasetPartition::InsertEncodedBatch(Span<EncodedWrite> writes,
         std::string_view(reinterpret_cast<const char*>(w.payload.data()),
                          w.payload.size())});
   }
-  // One group-committed append + one memtable lock round for the whole batch.
-  // A failure here means nothing of the batch was acknowledged: report every
-  // record as failed so async submitters can attribute it.
-  Status st = primary_->InsertBatch(ops);
-  if (!st.ok()) {
+  // A batch-level failure (primary or pk-index write) means nothing of the
+  // batch was acknowledged: report every record as failed so async
+  // submitters can attribute it to their tickets.
+  auto fail_batch = [&](const Status& st) {
     if (errors != nullptr) {
       for (size_t i = 0; i < writes.size(); ++i) errors->emplace_back(i, st);
     }
+    if (batch_failed != nullptr) *batch_failed = true;
     return st;
-  }
+  };
+  // One group-committed append + one memtable lock round for the whole batch.
+  Status st = primary_->InsertBatch(ops);
+  if (!st.ok()) return fail_batch(st);
   if (pk_index_ != nullptr) {
     for (MemPutOp& op : ops) op.payload = {};
-    TC_RETURN_IF_ERROR(pk_index_->InsertBatch(ops));
+    Status pk_st = pk_index_->InsertBatch(ops);
+    if (!pk_st.ok()) return fail_batch(pk_st);
   }
   // Secondary maintenance stays per-record (it decodes old versions), but
   // runs inside the same critical section so a concurrent reader never sees

@@ -132,9 +132,12 @@ class DatasetPartition {
   /// maintenance loop, all inside the same critical section so concurrent
   /// feeds interleave at batch granularity. `errors` entries are positions
   /// within `writes` (remap via writes[pos].index); a batch-level failure
-  /// (WAL/LSM) marks every record failed and is returned.
+  /// (WAL/LSM primary or pk-index write) marks every record failed, is
+  /// returned, and sets `*batch_failed` when provided — per-record rejections
+  /// (secondary-index maintenance) leave it false.
   Status InsertEncodedBatch(Span<EncodedWrite> writes,
-                            BatchErrors* errors = nullptr);
+                            BatchErrors* errors = nullptr,
+                            bool* batch_failed = nullptr);
 
   /// Pins a coherent snapshot of every tree in this partition (primary, and
   /// the pk/secondary indexes when configured).

@@ -190,7 +190,9 @@ void IngestFrontEnd::CommitGroup(size_t partition, std::vector<Chunk>* group) {
     writes = &combined;
   }
   BatchErrors errors;
-  Status st = dataset_->partition(partition)->InsertEncodedBatch(*writes, &errors);
+  bool batch_failed = false;
+  Status st = dataset_->partition(partition)->InsertEncodedBatch(
+      *writes, &errors, &batch_failed);
   // Attribute per-record errors back to their tickets (positions are into the
   // combined span; EncodedWrite::index is the ticket-local submission index).
   std::vector<std::vector<std::pair<size_t, Status>>> per_chunk(group->size());
@@ -206,10 +208,7 @@ void IngestFrontEnd::CommitGroup(size_t partition, std::vector<Chunk>* group) {
     inflight_chunks_ -= group->size();
     // Batch-level failures (WAL/LSM write errors) latch; per-record
     // rejections do not — they belong to the tickets.
-    if (sticky_error_.ok() && !st.ok() && !errors.empty() &&
-        errors.size() == writes->size()) {
-      sticky_error_ = st;
-    }
+    if (sticky_error_.ok() && batch_failed) sticky_error_ = st;
     drain_cv_.notify_all();
   }
   group->clear();

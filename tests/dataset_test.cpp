@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 
 #include "adm/parser.h"
 #include "adm/printer.h"
+#include "core/ingest.h"
 #include "tests/test_util.h"
 #include "workload/workload.h"
 
@@ -300,6 +302,121 @@ TEST(Dataset, InsertBatchSurvivesFlushAndPartitioning) {
     EXPECT_EQ(got->FindField("v")->string_value(),
               "payload-" + std::to_string(k));
   }
+}
+
+/// Filesystem wrapper that (once armed) fails component creation for the
+/// pk-index tree only — forces a batch-level pk-index failure while the
+/// primary keeps working.
+class PkIndexFailFs final : public FileSystem {
+ public:
+  explicit PkIndexFailFs(std::shared_ptr<FileSystem> inner)
+      : inner_(std::move(inner)) {}
+
+  std::atomic<bool> fail_pkidx{false};
+
+  Result<std::unique_ptr<File>> Open(const std::string& path) override {
+    return inner_->Open(path);
+  }
+  Result<std::unique_ptr<File>> Create(const std::string& path) override {
+    if (fail_pkidx.load() && path.find(".pkidx") != std::string::npos) {
+      return Status::IOError("injected pk-index create failure: " + path);
+    }
+    return inner_->Create(path);
+  }
+  Status Delete(const std::string& path) override { return inner_->Delete(path); }
+  bool Exists(const std::string& path) const override {
+    return inner_->Exists(path);
+  }
+  Result<std::vector<std::string>> List(const std::string& dir,
+                                        const std::string& prefix) const override {
+    return inner_->List(dir, prefix);
+  }
+  Status CreateDir(const std::string& path) override {
+    return inner_->CreateDir(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) const override {
+    return inner_->FileSize(path);
+  }
+
+ private:
+  std::shared_ptr<FileSystem> inner_;
+};
+
+std::vector<AdmValue> SequentialBatch(int64_t base, size_t n) {
+  std::vector<AdmValue> batch;
+  batch.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(base + static_cast<int64_t>(k)) +
+                      R"(, "v": "x"})"));
+  }
+  return batch;
+}
+
+// Regression: a pk-index batch failure (here: its memtable flush cannot build
+// a component) must mark EVERY record of the batch failed, exactly like a
+// primary-tree batch failure — not return a bare status with `errors` empty.
+TEST(Dataset, InsertBatchPkIndexFailureMarksEveryRecord) {
+  DatasetFixture fx;
+  auto fail_fs = std::make_shared<PkIndexFailFs>(fx.fs);
+  fx.fs = fail_fs;
+  DatasetOptions o = SmallOptions(SchemaMode::kOpen, /*memtable_kb=*/1024);
+  o.primary_key_index = true;
+  ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+  fail_fs->fail_pkidx = true;
+  constexpr size_t kBatch = 256;
+  bool failed = false;
+  // The pk-index memtable budget is 64 KiB (~1024 entries): a few batches in,
+  // its inline flush hits the injected failure.
+  for (int64_t base = 0; base < 4096 && !failed; base += kBatch) {
+    std::vector<AdmValue> batch = SequentialBatch(base, kBatch);
+    BatchErrors errors;
+    Status st = fx.dataset->InsertBatch(batch, &errors);
+    if (st.ok()) {
+      EXPECT_TRUE(errors.empty());
+      continue;
+    }
+    failed = true;
+    // Batch-level failure: every record attributed, each with the failure.
+    ASSERT_EQ(errors.size(), kBatch);
+    for (const auto& [idx, rec_st] : errors) {
+      EXPECT_LT(idx, kBatch);
+      EXPECT_FALSE(rec_st.ok());
+    }
+  }
+  EXPECT_TRUE(failed) << "pk-index flush failure never surfaced";
+}
+
+// Regression: the same failure through the async front end must fail the
+// ticket (Wait + per-record errors) AND latch the batch-level sticky error
+// that Drain() reports — it is not a per-record rejection.
+TEST(Dataset, IngestFrontEndSurfacesPkIndexBatchFailure) {
+  DatasetFixture fx;
+  auto fail_fs = std::make_shared<PkIndexFailFs>(fx.fs);
+  fx.fs = fail_fs;
+  DatasetOptions o = SmallOptions(SchemaMode::kOpen, /*memtable_kb=*/1024);
+  o.primary_key_index = true;
+  ASSERT_TRUE(fx.Open(std::move(o), 1).ok());
+  fail_fs->fail_pkidx = true;
+  GroupCommitConfig gc;
+  gc.max_records = 256;
+  gc.max_usecs = 1000;
+  IngestFrontEnd front_end(fx.dataset.get(), gc, /*queue_capacity=*/2);
+  constexpr size_t kBatch = 256;
+  bool failed = false;
+  for (int64_t base = 0; base < 4096 && !failed; base += kBatch) {
+    IngestTicket ticket = front_end.Submit(SequentialBatch(base, kBatch));
+    Status st = ticket.Wait();
+    if (st.ok()) continue;
+    failed = true;
+    auto errors = ticket.errors();
+    ASSERT_EQ(errors.size(), kBatch);
+    for (const auto& [idx, rec_st] : errors) {
+      EXPECT_LT(idx, kBatch);
+      EXPECT_FALSE(rec_st.ok());
+    }
+  }
+  ASSERT_TRUE(failed) << "pk-index flush failure never surfaced";
+  EXPECT_FALSE(front_end.Drain().ok());  // batch-level failures latch
 }
 
 TEST(Dataset, InsertJsonBatchOffsetLocatesBadRecord) {
