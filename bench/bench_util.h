@@ -226,6 +226,54 @@ inline IngestResult IngestFeedBatched(BenchDataset* bd, int64_t target_mb,
   return r;
 }
 
+/// Batched feed with updates: like IngestFeedBatched, but `update_fraction`
+/// of the records re-key to previously ingested pks (with mutated shapes, as
+/// in IngestFeed's update path) and every group goes through
+/// Dataset::UpsertBatch — the fig17 section (f) upsert column.
+inline IngestResult IngestFeedBatchedUpsert(BenchDataset* bd, int64_t target_mb,
+                                            size_t batch_size,
+                                            double update_fraction = 0.5) {
+  auto gen = MakeGenerator(bd->config.workload, bd->config.seed);
+  Rng rng(bd->config.seed ^ 0xfeed);
+  IngestResult r;
+  uint64_t target = static_cast<uint64_t>(target_mb) << 20;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<int64_t> keys;
+  std::vector<AdmValue> batch;
+  batch.reserve(batch_size);
+  auto submit = [&]() {
+    Status st = bd->dataset->UpsertBatch(batch);
+    TC_CHECK(st.ok());
+    batch.clear();
+  };
+  while (r.raw_bytes < target) {
+    AdmValue rec = gen->NextRecord();
+    if (!keys.empty() && rng.Bernoulli(update_fraction)) {
+      int64_t victim = keys[rng.Uniform(keys.size())];
+      for (size_t f = 0; f < rec.field_count(); ++f) {
+        if (rec.field_name(f) == "id") {
+          rec.field_value(f) = AdmValue::BigInt(victim);
+          break;
+        }
+      }
+      rec.AddField("update_note", AdmValue::String(rng.AlphaString(12)));
+    } else {
+      keys.push_back(rec.FindField("id")->int_value());
+    }
+    r.raw_bytes += PrintAdm(rec).size();
+    ++r.records;
+    batch.push_back(std::move(rec));
+    if (batch.size() >= batch_size) submit();
+  }
+  if (!batch.empty()) submit();
+  Status st = bd->dataset->FlushAll();
+  TC_CHECK(st.ok());
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
+
 /// Bulk load (paper §4.3): generate, sort, build one component per partition.
 inline IngestResult IngestBulkLoad(BenchDataset* bd, int64_t target_mb) {
   auto gen = MakeGenerator(bd->config.workload, bd->config.seed);

@@ -40,10 +40,14 @@
 //       per COMMIT GROUP. Batch size 1 is the classic sync-per-record
 //       durability; larger batches keep the same guarantee for acknowledged
 //       batches while amortizing the sync — records/sec should scale with
-//       the group size until the LSM write path dominates.
+//       the group size until the LSM write path dominates. A second column
+//       runs the same cadence through Dataset::UpsertBatch with 50% updates
+//       (pk index on, as in section (b)) — group commit composes with the
+//       read-modify-write upsert path.
 //
-// TC_FIG17_BATCH_ASSERT=1 runs only section (f) and exits non-zero unless
-// the 1024-record batches ingest at >= 3x the single-record records/sec.
+// TC_FIG17_BATCH_ASSERT=1 runs only section (f)'s insert axis and exits
+// non-zero unless the 1024-record batches ingest at >= 3x the single-record
+// records/sec.
 #include "bench/bench_util.h"
 
 using namespace tc;
@@ -201,15 +205,17 @@ int RunConcurrencyAxis(bool assert_mode) {
 // Section (f): group-commit batch axis. Real fsyncs (PosixFS + sync cadence
 // 1) are the whole point here, so this section ingests less data than the
 // others — per-record fsync throughput is brutal by design.
-double RunBatch(size_t batch_size, int64_t mb) {
+double RunBatch(size_t batch_size, int64_t mb, bool upserts = false) {
   BenchConfig cfg;
   cfg.workload = "twitter";
   cfg.mode = SchemaMode::kInferred;
   cfg.device = DeviceProfile::Unthrottled();
   cfg.partitions = 2;
   cfg.wal_sync_every = 1;  // sync every group; batch=1 -> sync every record
+  cfg.primary_key_index = upserts;  // as in section (b): updates want the pk index
   auto bd = OpenBench(cfg);
-  IngestResult in = IngestFeedBatched(bd.get(), mb, batch_size);
+  IngestResult in = upserts ? IngestFeedBatchedUpsert(bd.get(), mb, batch_size)
+                            : IngestFeedBatched(bd.get(), mb, batch_size);
   double rps = static_cast<double>(in.records) / in.seconds;
   std::printf("%-10zu %10.2f %12.0f %10.2f\n", batch_size, in.seconds, rps,
               MiB(in.raw_bytes) / in.seconds);
@@ -229,7 +235,20 @@ int RunBatchAxis(bool assert_mode) {
   RunBatch(64, mb);
   double batched = RunBatch(1024, mb);
   std::printf("\n");
-  if (!assert_mode) return 0;
+  if (!assert_mode) {
+    // Upsert column: the same group-commit cadence through Dataset::
+    // UpsertBatch with 50% updates of earlier keys (pk index on, as in (b)).
+    // Not part of the CI assert — the point-lookup leg dominates at batch=1
+    // and the amortization curve is the insert axis's contract.
+    std::printf("   ... with 50%% updates via UpsertBatch (pk index on):\n");
+    std::printf("%-10s %10s %12s %10s\n", "batch", "time(s)", "records/s",
+                "MiB/s");
+    RunBatch(1, mb, /*upserts=*/true);
+    RunBatch(64, mb, /*upserts=*/true);
+    RunBatch(1024, mb, /*upserts=*/true);
+    std::printf("\n");
+    return 0;
+  }
   if (batched < 3.0 * single) {
     std::fprintf(stderr,
                  "FAIL: batch-1024 ingestion %.0f rec/s not >= 3x "

@@ -34,6 +34,19 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
     p->compactor_ = std::make_unique<TupleCompactor>(&opts->type);
   }
 
+  // The auxiliary-tree carve-outs, once magic /16 and /8 constants here, now
+  // named (and env-tunable) DatasetOptions fields. With an arbiter they
+  // become the per-tree flush floors instead of budgets.
+  size_t min_budget = std::max<size_t>(1, opts->min_tree_budget_bytes);
+  size_t pk_carve = std::max<size_t>(
+      min_budget,
+      opts->memtable_budget_bytes /
+          std::max<size_t>(1, opts->pk_index_budget_divisor));
+  size_t sk_carve = std::max<size_t>(
+      min_budget,
+      opts->memtable_budget_bytes /
+          std::max<size_t>(1, opts->secondary_budget_divisor));
+
   std::string part_suffix = ".p" + std::to_string(partition_id);
   LsmTreeOptions lsm;
   lsm.fs = opts->fs;
@@ -54,6 +67,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.transformer = p->compactor_.get();
   lsm.capture_old_versions = opts->mode == SchemaMode::kInferred ||
                              !opts->secondary_index_field.empty();
+  lsm.arbiter = opts->arbiter;
+  lsm.arbiter_floor_bytes = min_budget;
 
   // Optional primary-key index for upsert existence checks (§3.2.2).
   if (opts->primary_key_index) {
@@ -62,8 +77,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
     pk.transformer = nullptr;
     pk.capture_old_versions = false;
     pk.use_wal = false;  // rebuilt through primary WAL replay on recovery
-    pk.memtable_budget_bytes = std::max<size_t>(64 * 1024,
-                                                opts->memtable_budget_bytes / 16);
+    pk.memtable_budget_bytes = pk_carve;
+    pk.arbiter_floor_bytes = pk_carve;
     TC_ASSIGN_OR_RETURN(p->pk_index_, LsmTree::Open(std::move(pk)));
     LsmTree* pk_tree = p->pk_index_.get();
     lsm.key_may_exist = [pk_tree](const BtreeKey& key) {
@@ -81,8 +96,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
     sk.dir = opts->dir;
     sk.name = opts->name + part_suffix + ".sidx";
     sk.page_size = opts->page_size;
-    sk.memtable_budget_bytes = std::max<size_t>(64 * 1024,
-                                                opts->memtable_budget_bytes / 8);
+    sk.memtable_budget_bytes = sk_carve;
     sk.compression = opts->compression ? CompressionKind::kSnappy
                                        : CompressionKind::kNone;
     sk.filter = opts->filter;
@@ -91,6 +105,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
     sk.max_concurrent_merges = lsm.max_concurrent_merges;
     sk.max_pending_flush_builds = lsm.max_pending_flush_builds;
     sk.use_wal = false;
+    sk.arbiter = opts->arbiter;
+    sk.arbiter_floor_bytes = sk_carve;
     TC_ASSIGN_OR_RETURN(p->secondary_, SecondaryIndex::Open(std::move(sk)));
   }
 
@@ -264,6 +280,119 @@ Status DatasetPartition::InsertEncodedBatch(Span<EncodedWrite> writes,
   return first_error;
 }
 
+Status DatasetPartition::UpsertBatch(Span<const AdmValue> records,
+                                     BatchErrors* errors) {
+  // InsertBatch's shape: encode outside the writer lock, apply in one
+  // critical section through the encoded back end.
+  std::vector<EncodedWrite> writes;
+  writes.reserve(records.size());
+  Status first_error;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EncodedWrite w;
+    w.index = i;
+    w.record = &records[i];
+    const AdmValue* pk_field = records[i].FindField(opts_->type.primary_key_field);
+    Status st = pk_field == nullptr
+                    ? Status::InvalidArgument("record missing primary key")
+                    : EncodeRecord(records[i], &w.payload);
+    if (!st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, st);
+      if (first_error.ok()) first_error = st;
+      continue;
+    }
+    w.pk = pk_field->int_value();
+    writes.push_back(std::move(w));
+  }
+  BatchErrors apply_errors;
+  Status st = UpsertEncodedBatch(writes, &apply_errors);
+  for (auto& [pos, rec_st] : apply_errors) {
+    if (errors != nullptr) errors->emplace_back(writes[pos].index, rec_st);
+    if (first_error.ok()) first_error = rec_st;
+  }
+  if (first_error.ok()) first_error = st;
+  return first_error;
+}
+
+Status DatasetPartition::UpsertEncodedBatch(Span<EncodedWrite> writes,
+                                            BatchErrors* errors,
+                                            bool* batch_failed) {
+  if (batch_failed != nullptr) *batch_failed = false;
+  if (writes.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::vector<MemPutOp> ops;
+  ops.reserve(writes.size());
+  for (const EncodedWrite& w : writes) {
+    ops.push_back(MemPutOp{
+        BtreeKey{w.pk, 0},
+        std::string_view(reinterpret_cast<const char*>(w.payload.data()),
+                         w.payload.size())});
+  }
+  auto fail_batch = [&](const Status& st) {
+    if (errors != nullptr) {
+      for (size_t i = 0; i < writes.size(); ++i) errors->emplace_back(i, st);
+    }
+    if (batch_failed != nullptr) *batch_failed = true;
+    return st;
+  };
+  // One group-committed WAL append; the per-record old-version captures run
+  // inside UpsertBatch, feeding the secondary maintenance below.
+  std::vector<std::optional<Buffer>> olds;
+  Status st = primary_->UpsertBatch(ops, &olds);
+  if (!st.ok()) return fail_batch(st);
+  if (pk_index_ != nullptr) {
+    // Key presence is all the pk index stores, so a blind batched put covers
+    // first-writes and overwrites alike.
+    for (MemPutOp& op : ops) op.payload = {};
+    Status pk_st = pk_index_->InsertBatch(ops);
+    if (!pk_st.ok()) return fail_batch(pk_st);
+  }
+  Status first_error;
+  for (size_t i = 0; i < writes.size(); ++i) {
+    Status rec_st = MaintainIndexesOnWrite(writes[i].pk, *writes[i].record,
+                                           olds[i], /*is_delete=*/false);
+    if (!rec_st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, rec_st);
+      if (first_error.ok()) first_error = rec_st;
+    }
+  }
+  return first_error;
+}
+
+Status DatasetPartition::DeleteBatch(Span<const int64_t> pks, BatchErrors* errors,
+                                     bool* batch_failed) {
+  if (batch_failed != nullptr) *batch_failed = false;
+  if (pks.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::vector<BtreeKey> keys;
+  keys.reserve(pks.size());
+  for (int64_t pk : pks) keys.push_back(BtreeKey{pk, 0});
+  auto fail_batch = [&](const Status& st) {
+    if (errors != nullptr) {
+      for (size_t i = 0; i < pks.size(); ++i) errors->emplace_back(i, st);
+    }
+    if (batch_failed != nullptr) *batch_failed = true;
+    return st;
+  };
+  std::vector<std::optional<Buffer>> olds;
+  Status st = primary_->DeleteBatch(keys, &olds);
+  if (!st.ok()) return fail_batch(st);
+  if (pk_index_ != nullptr) {
+    Status pk_st = pk_index_->DeleteBatch(keys);
+    if (!pk_st.ok()) return fail_batch(pk_st);
+  }
+  Status first_error;
+  const AdmValue empty = AdmValue::Object();
+  for (size_t i = 0; i < pks.size(); ++i) {
+    Status rec_st =
+        MaintainIndexesOnWrite(pks[i], empty, olds[i], /*is_delete=*/true);
+    if (!rec_st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, rec_st);
+      if (first_error.ok()) first_error = rec_st;
+    }
+  }
+  return first_error;
+}
+
 Status DatasetPartition::Upsert(const AdmValue& record) {
   std::lock_guard<std::mutex> lock(write_mu_);
   const AdmValue* pk_field = record.FindField(opts_->type.primary_key_field);
@@ -423,6 +552,62 @@ Status Dataset::InsertBatch(Span<const AdmValue> records, BatchErrors* errors) {
     Status st = partitions_[p]->InsertEncodedBatch(buckets[p], &part_errors);
     for (auto& [pos, rec_st] : part_errors) {
       if (errors != nullptr) errors->emplace_back(buckets[p][pos].index, rec_st);
+    }
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status Dataset::UpsertBatch(Span<const AdmValue> records, BatchErrors* errors) {
+  // InsertBatch's front end with the upsert back end: hash-partition +
+  // encode without locks, one apply round per touched partition.
+  std::vector<std::vector<EncodedWrite>> buckets(partitions_.size());
+  Status first_error;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EncodedWrite w;
+    w.index = i;
+    w.record = &records[i];
+    auto pk = PrimaryKeyOf(records[i]);
+    Status st = pk.ok() ? Status::OK() : pk.status();
+    if (st.ok()) {
+      w.pk = pk.value();
+      st = partitions_[PartitionOf(w.pk)]->EncodeRecord(records[i], &w.payload);
+    }
+    if (!st.ok()) {
+      if (errors != nullptr) errors->emplace_back(i, st);
+      if (first_error.ok()) first_error = st;
+      continue;
+    }
+    buckets[PartitionOf(w.pk)].push_back(std::move(w));
+  }
+  for (size_t p = 0; p < buckets.size(); ++p) {
+    if (buckets[p].empty()) continue;
+    BatchErrors part_errors;
+    Status st = partitions_[p]->UpsertEncodedBatch(buckets[p], &part_errors);
+    for (auto& [pos, rec_st] : part_errors) {
+      if (errors != nullptr) errors->emplace_back(buckets[p][pos].index, rec_st);
+    }
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status Dataset::DeleteBatch(Span<const int64_t> pks, BatchErrors* errors) {
+  std::vector<std::vector<int64_t>> buckets(partitions_.size());
+  // Original batch positions, parallel to `buckets`, for error remapping.
+  std::vector<std::vector<size_t>> indices(partitions_.size());
+  for (size_t i = 0; i < pks.size(); ++i) {
+    size_t p = PartitionOf(pks[i]);
+    buckets[p].push_back(pks[i]);
+    indices[p].push_back(i);
+  }
+  Status first_error;
+  for (size_t p = 0; p < buckets.size(); ++p) {
+    if (buckets[p].empty()) continue;
+    BatchErrors part_errors;
+    Status st = partitions_[p]->DeleteBatch(buckets[p], &part_errors);
+    for (auto& [pos, rec_st] : part_errors) {
+      if (errors != nullptr) errors->emplace_back(indices[p][pos], rec_st);
     }
     if (first_error.ok() && !st.ok()) first_error = st;
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "adm/value.h"
+#include "common/env_config.h"
 #include "common/span.h"
 #include "core/tuple_compactor.h"
 #include "format/adm_format.h"
@@ -68,6 +69,23 @@ struct DatasetOptions {
   bool compression = false;
   size_t page_size = 32 * 1024;
   size_t memtable_budget_bytes = 4 * 1024 * 1024;
+  /// Memtable carve-outs for a partition's auxiliary trees, as divisors of
+  /// memtable_budget_bytes (the pk index stores keys only; the secondary
+  /// index stores key pairs — neither earns a full budget). Each tree gets
+  /// max(min_tree_budget_bytes, memtable_budget_bytes / divisor). The same
+  /// carve-outs size the per-tree arbiter floors when an arbiter is attached.
+  size_t pk_index_budget_divisor =
+      static_cast<size_t>(EnvInt64("TC_PK_BUDGET_DIVISOR", 16));
+  size_t secondary_budget_divisor =
+      static_cast<size_t>(EnvInt64("TC_SK_BUDGET_DIVISOR", 8));
+  size_t min_tree_budget_bytes =
+      static_cast<size_t>(EnvInt64("TC_MIN_TREE_BUDGET", 64 * 1024));
+  /// Node-level memory arbiter shared by every tree of every partition (not
+  /// owned; must outlive the dataset). When set, flush triggering is global
+  /// across all registered trees and the per-tree budgets above only define
+  /// floors; null = the historical static per-tree budgets. ClusterHarness
+  /// wires one from TC_MEMORY_BUDGET across all its partitions.
+  MemoryArbiter* arbiter = nullptr;
   /// Merge-policy selection + knobs for every LSM tree of a partition
   /// (primary, primary-key index, secondary index). Defaults honor the
   /// TC_MERGE_POLICY / TC_MERGE_* environment knobs so every bench, example,
@@ -138,6 +156,22 @@ class DatasetPartition {
   Status InsertEncodedBatch(Span<EncodedWrite> writes,
                             BatchErrors* errors = nullptr,
                             bool* batch_failed = nullptr);
+
+  /// Batched upsert into THIS partition: encode outside the writer lock,
+  /// then one group-committed primary UpsertBatch (old versions captured
+  /// per-record inside), one pk-index round, and the secondary maintenance
+  /// loop — the InsertBatch shape with upsert semantics (fig17 §(f)).
+  Status UpsertBatch(Span<const AdmValue> records, BatchErrors* errors = nullptr);
+
+  /// The upsert batch back end (see InsertEncodedBatch for the errors /
+  /// batch_failed contract).
+  Status UpsertEncodedBatch(Span<EncodedWrite> writes,
+                            BatchErrors* errors = nullptr,
+                            bool* batch_failed = nullptr);
+
+  /// Batched delete by primary key; error positions index into `pks`.
+  Status DeleteBatch(Span<const int64_t> pks, BatchErrors* errors = nullptr,
+                     bool* batch_failed = nullptr);
 
   /// Pins a coherent snapshot of every tree in this partition (primary, and
   /// the pk/secondary indexes when configured).
@@ -222,6 +256,14 @@ class Dataset {
   /// healthy records still apply; the first error doubles as the return
   /// status. Within a partition, records apply in submission order.
   Status InsertBatch(Span<const AdmValue> records, BatchErrors* errors = nullptr);
+
+  /// Batched upsert across partitions: InsertBatch's hash-partition + encode
+  /// front end over the group-committed upsert back end (old-version capture
+  /// and index maintenance included).
+  Status UpsertBatch(Span<const AdmValue> records, BatchErrors* errors = nullptr);
+
+  /// Batched delete across partitions; error positions index into `pks`.
+  Status DeleteBatch(Span<const int64_t> pks, BatchErrors* errors = nullptr);
 
   /// Parses ADM text and inserts (convenience for examples). When
   /// `batch_offset` is given (multi-record feeds), any error message is

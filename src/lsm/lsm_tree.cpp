@@ -229,10 +229,25 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   if (tree->opts_.use_wal) {
     TC_RETURN_IF_ERROR(tree->ReplayWal());
   }
+  if (tree->opts_.arbiter != nullptr) {
+    // Register AFTER recovery: the replay flush above ran under the plain
+    // inline path, so a replaying tree never dispatches cross-tree victims.
+    LsmTree* raw = tree.get();
+    tree->arbiter_reg_ = tree->opts_.arbiter->Register(
+        tree->opts_.name, tree->opts_.arbiter_floor_bytes,
+        [raw] { return raw->TryArbiterFlush(); });
+  }
   return tree;
 }
 
 LsmTree::~LsmTree() {
+  // Leave the arbiter FIRST: Unregister blocks until any in-flight
+  // TryArbiterFlush dispatch on another writer's thread returns, so nothing
+  // below tears state out from under it.
+  if (arbiter_reg_ != nullptr) {
+    opts_.arbiter->Unregister(arbiter_reg_);
+    arbiter_reg_ = nullptr;
+  }
   // Cancel merge jobs that have not started (cheap skips — their inputs stay
   // in the tree) and wait out the running ones; after the waits no pool
   // thread touches this tree. Flush builds are canceled only when a WAL
@@ -452,10 +467,78 @@ Status LsmTree::InsertBatch(Span<const MemPutOp> ops) {
     TC_RETURN_IF_ERROR(wal_->AppendBatch(wal_batch_));
   }
   mem_->InsertBatch(ops);
-  if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushLocked());
+  return MaybeFlushPostWrite();
+}
+
+Status LsmTree::UpsertBatch(Span<const MemPutOp> ops,
+                            std::vector<std::optional<Buffer>>* old_out) {
+  if (old_out != nullptr) {
+    old_out->clear();
+    old_out->resize(ops.size());
   }
-  return Status::OK();
+  if (ops.empty()) return Status::OK();
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
+  // One group-committed WAL append for the whole batch; the old-version
+  // captures below are read-only and need no logging.
+  if (wal_ != nullptr) {
+    wal_batch_.clear();
+    wal_batch_.reserve(ops.size());
+    for (const MemPutOp& op : ops) {
+      wal_batch_.push_back(WalAppendOp{WalOp::kPut, op.key, op.payload});
+    }
+    TC_RETURN_IF_ERROR(wal_->AppendBatch(wal_batch_));
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MemPutOp& op = ops[i];
+    std::optional<Buffer> old;
+    const MemTable::Entry* mem_hit = mem_->Get(op.key);  // writer-side, no copy
+    if (mem_hit == nullptr) {
+      if (opts_.capture_old_versions) {
+        TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(op.key));
+      }
+      if (old_out != nullptr && old.has_value()) (*old_out)[i] = old;
+    } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
+      (*old_out)[i] = mem_hit->payload;
+    }
+    mem_->Put(op.key, Buffer(op.payload.begin(), op.payload.end()),
+              std::move(old));
+  }
+  return MaybeFlushPostWrite();
+}
+
+Status LsmTree::DeleteBatch(Span<const BtreeKey> keys,
+                            std::vector<std::optional<Buffer>>* old_out) {
+  if (old_out != nullptr) {
+    old_out->clear();
+    old_out->resize(keys.size());
+  }
+  if (keys.empty()) return Status::OK();
+  std::lock_guard<std::mutex> wlock(write_mu_);
+  TC_RETURN_IF_ERROR(BackgroundError());
+  if (wal_ != nullptr) {
+    wal_batch_.clear();
+    wal_batch_.reserve(keys.size());
+    for (const BtreeKey& key : keys) {
+      wal_batch_.push_back(WalAppendOp{WalOp::kDelete, key, {}});
+    }
+    TC_RETURN_IF_ERROR(wal_->AppendBatch(wal_batch_));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::optional<Buffer> old;
+    const MemTable::Entry* mem_hit = mem_->Get(keys[i]);
+    if (mem_hit == nullptr) {
+      if (opts_.capture_old_versions) {
+        TC_ASSIGN_OR_RETURN(old, CaptureOldVersion(keys[i]));
+      }
+      // Delete's miss path ALWAYS assigns (nullopt included), as Delete does.
+      if (old_out != nullptr) (*old_out)[i] = old;
+    } else if (old_out != nullptr && !mem_hit->anti && !mem_hit->payload.empty()) {
+      (*old_out)[i] = mem_hit->payload;
+    }
+    mem_->Delete(keys[i], std::move(old));
+  }
+  return MaybeFlushPostWrite();
 }
 
 Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
@@ -483,10 +566,7 @@ Status LsmTree::Upsert(const BtreeKey& key, std::string_view payload,
     *old_out = mem_hit->payload;
   }
   mem_->Put(key, Buffer(payload.begin(), payload.end()), std::move(old));
-  if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushLocked());
-  }
-  return Status::OK();
+  return MaybeFlushPostWrite();
 }
 
 Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
@@ -509,10 +589,52 @@ Status LsmTree::Delete(const BtreeKey& key, std::optional<Buffer>* old_out) {
     *old_out = mem_hit->payload;
   }
   mem_->Delete(key, std::move(old));
+  return MaybeFlushPostWrite();
+}
+
+Status LsmTree::MaybeFlushPostWrite() {
+  if (arbiter_reg_ != nullptr) {
+    // Global arbitration: report the live generation, flush only when this
+    // tree is the node-wide victim. A cross-tree victim was already flushed
+    // inside OnPostWrite (on this thread, via its TryArbiterFlush).
+    if (opts_.arbiter->OnPostWrite(arbiter_reg_, mem_->approximate_bytes())) {
+      return FlushLocked();
+    }
+    return Status::OK();
+  }
   if (mem_->approximate_bytes() >= opts_.memtable_budget_bytes) {
-    TC_RETURN_IF_ERROR(FlushLocked());
+    return FlushLocked();
   }
   return Status::OK();
+}
+
+bool LsmTree::TryArbiterFlush() {
+  // Called on another tree's writer thread, which holds ITS write_mu_ — so
+  // never block here: a writer of this tree could simultaneously be
+  // dispatching a victim flush the other way (ABBA).
+  std::unique_lock<std::mutex> wlock(write_mu_, std::try_to_lock);
+  if (!wlock.owns_lock()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!BackgroundErrorLocked().ok()) return false;
+    if (mem_->empty()) return false;
+    // Full flush queue: FlushLocked would block on the backpressure wait.
+    // Checked here because the queue cannot GROW before FlushLocked's wait —
+    // only writers push, and we hold write_mu_.
+    if (opts_.merge_pool != nullptr &&
+        flush_queue_.size() >= opts_.max_pending_flush_builds) {
+      return false;
+    }
+  }
+  Status st = FlushLocked();
+  if (!st.ok()) {
+    // No caller to report to (the dispatching writer belongs to another
+    // tree): latch it where this tree's own writers will see it.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (background_error_.ok()) background_error_ = st;
+    return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -589,12 +711,14 @@ Status LsmTree::FlushLocked() {
     }
     uint64_t cid = next_cid_++;
     bool submit = false;
+    size_t sealed_bytes = 0;
     {
       // The swap — all the writer pays: seal the generation, queue it for
       // its pooled build (views keep reading it from the queue), hand new
       // writes a fresh generation.
       std::lock_guard<std::mutex> lock(mu_);
       mem_->Seal();
+      sealed_bytes = mem_->approximate_bytes();
       flush_queue_.push_back(PendingFlush{cid, mem_, std::move(frozen_wal)});
       stats_.flush_queue_high_water = std::max<uint64_t>(
           stats_.flush_queue_high_water, flush_queue_.size());
@@ -603,6 +727,12 @@ Status LsmTree::FlushLocked() {
         flush_build_running_ = true;
         submit = true;
       }
+    }
+    if (arbiter_reg_ != nullptr) {
+      // live -> sealed: the generation keeps counting against the write
+      // share until its component installs, so a backlogged build pipeline
+      // backpressures global victim selection.
+      opts_.arbiter->OnSeal(arbiter_reg_, sealed_bytes);
     }
     if (submit) {
       flush_jobs_->Submit([this](bool canceled) { FlushBuildJob(canceled); });
@@ -660,6 +790,8 @@ Status LsmTree::FlushMemtableInline() {
   if (mem_->empty()) return Status::OK();
   uint64_t cid = next_cid_++;
   TC_ASSIGN_OR_RETURN(auto comp, BuildFlushComponent(*mem_, cid));
+  uint64_t phys = comp->physical_bytes();
+  size_t sealed_bytes = 0;
   {
     // The structure swap: install the component and retire the memtable
     // generation in one atomic step, so every snapshot sees the record
@@ -671,7 +803,14 @@ Status LsmTree::FlushMemtableInline() {
     stats_.component_count_high_water = std::max<uint64_t>(
         stats_.component_count_high_water, components_.size());
     mem_->Seal();  // frozen for good; views that pinned it keep reading it
+    sealed_bytes = mem_->approximate_bytes();
     mem_ = std::make_shared<MemTable>();
+  }
+  if (arbiter_reg_ != nullptr) {
+    // Inline flushes seal and install in one step: the generation passes
+    // through sealed accounting and straight out.
+    opts_.arbiter->OnSeal(arbiter_reg_, sealed_bytes);
+    opts_.arbiter->OnFlushInstalled(arbiter_reg_, sealed_bytes, phys);
   }
   if (wal_ != nullptr) TC_RETURN_IF_ERROR(wal_->Reset());
   return Status::OK();
@@ -694,6 +833,7 @@ void LsmTree::FlushBuildJob(bool canceled) {
   Result<std::shared_ptr<BtreeComponent>> built =
       BuildFlushComponent(*work.mem, work.cid);
   bool more = false;
+  uint64_t phys = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!built.ok()) {
@@ -709,7 +849,8 @@ void LsmTree::FlushBuildJob(bool canceled) {
     TC_CHECK(!flush_queue_.empty() && flush_queue_.front().cid == work.cid);
     TC_CHECK(components_.empty() ||
              components_.front()->meta().cid_max < work.cid);
-    stats_.bytes_flushed += comp->physical_bytes();
+    phys = comp->physical_bytes();
+    stats_.bytes_flushed += phys;
     ++stats_.flush_count;
     components_.insert(components_.begin(), std::move(comp));
     stats_.component_count_high_water = std::max<uint64_t>(
@@ -719,6 +860,12 @@ void LsmTree::FlushBuildJob(bool canceled) {
     if (!more) flush_build_running_ = false;
     ScheduleMergesLocked();
     flush_cv_.notify_all();
+  }
+  if (arbiter_reg_ != nullptr) {
+    // Sealed accounting releases only now, when the memory is truly traded
+    // for a durable component (approximate_bytes is lock-free once sealed).
+    opts_.arbiter->OnFlushInstalled(arbiter_reg_, work.mem->approximate_bytes(),
+                                    phys);
   }
   // The generation is durable as a component; its WAL segment can go.
   if (!work.wal_path.empty()) {

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/memory_arbiter.h"
 #include "common/status.h"
 #include "common/task_pool.h"
 #include "lsm/btree_component.h"
@@ -125,6 +126,16 @@ struct LsmTreeOptions {
   /// sealed generations await their component build (clamped to >= 1;
   /// irrelevant without a pool).
   size_t max_pending_flush_builds = kDefaultMaxPendingFlushBuilds;
+  /// Node-level memory arbiter (not owned; must outlive the tree). When set,
+  /// flush triggering is GLOBAL: the tree registers on Open, reports its
+  /// live/sealed generation bytes, and flushes when the arbiter picks it as
+  /// the victim — `memtable_budget_bytes` is ignored. Null = the historical
+  /// per-tree threshold.
+  MemoryArbiter* arbiter = nullptr;
+  /// Smallest live-generation size the arbiter may flush of this tree
+  /// (victims below their floor are skipped, so one tree's pressure cannot
+  /// shred another's memtable into page-sized components).
+  size_t arbiter_floor_bytes = 64 * 1024;
 };
 
 struct LsmStats {
@@ -323,6 +334,19 @@ class LsmTree {
   /// Deletes by key (inserts an anti-matter entry).
   Status Delete(const BtreeKey& key, std::optional<Buffer>* old_out = nullptr);
 
+  /// Batched upsert: ONE writer-lock acquisition and ONE group-committed WAL
+  /// append for the whole batch (the InsertBatch amortization), then the
+  /// per-record old-version capture of Upsert. `old_out`, if non-null, is
+  /// resized to ops.size(); slot i follows Upsert's old_out contract for
+  /// ops[i] (assigned only when an old version existed).
+  Status UpsertBatch(Span<const MemPutOp> ops,
+                     std::vector<std::optional<Buffer>>* old_out = nullptr);
+
+  /// Batched delete; slot i of `old_out` follows Delete's contract for
+  /// keys[i] (always assigned on the memtable-miss path, nullopt included).
+  Status DeleteBatch(Span<const BtreeKey> keys,
+                     std::vector<std::optional<Buffer>>* old_out = nullptr);
+
   /// Point lookup through a fresh snapshot (thin wrapper over ReadView::Get).
   Result<std::optional<Buffer>> Get(const BtreeKey& key);
 
@@ -443,6 +467,16 @@ class LsmTree {
 
   std::string ComponentPath(uint64_t cid_min, uint64_t cid_max) const;
   std::string WalSegmentPath(uint64_t seq) const;
+  // Writer-side (write_mu_ held), after every committed write: consults the
+  // arbiter (global victim selection) when one is attached, else the
+  // per-tree memtable_budget_bytes threshold, and flushes when told to.
+  Status MaybeFlushPostWrite();
+  // The arbiter's flush_fn: called on ANOTHER tree's writer thread when this
+  // tree is the global flush victim. Never blocks — try-locks write_mu_ and
+  // bails when the writer is busy, the flush queue is full, or an error is
+  // latched. Returns whether a generation was sealed; its own flush errors
+  // latch into background_error_ (there is no caller to report to).
+  bool TryArbiterFlush();
   Status RecoverComponents();
   Status ReplayWal();
   // Writer-side (write_mu_ held): flush + merge dispatch — inline builds
@@ -540,6 +574,9 @@ class LsmTree {
 
   std::shared_ptr<ComponentReclaimer> reclaimer_;
   std::shared_ptr<LsmReadCounters> counters_;
+  // Live from Open (after WAL replay) until the destructor unregisters; the
+  // arbiter keeps it valid while any TryArbiterFlush dispatch is in flight.
+  MemoryArbiter::Registration* arbiter_reg_ = nullptr;
   // Batch→WAL op conversion scratch, reused across batches (writer-side,
   // guarded by write_mu_).
   std::vector<WalAppendOp> wal_batch_;

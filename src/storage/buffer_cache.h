@@ -97,6 +97,13 @@ class BufferCache {
   /// component is deleted or its last handle closes).
   void InvalidateFile(uint64_t file_id);
 
+  /// Rebudgets the cache at runtime (the MemoryArbiter's write/read split):
+  /// shrinking evicts LRU-tail pages down to the new capacity under the
+  /// existing lock; pinned pages stay exempt, exactly as in steady-state
+  /// eviction. In-flight PageRefs keep their buffers alive regardless.
+  void SetCapacity(size_t capacity_pages);
+  size_t capacity_pages() const;
+
   uint64_t hits() const { return hits_.load(); }
   uint64_t misses() const { return misses_.load(); }
   size_t page_size() const { return page_size_; }

@@ -304,6 +304,102 @@ TEST(Dataset, InsertBatchSurvivesFlushAndPartitioning) {
   }
 }
 
+TEST(Dataset, UpsertBatchOverwritesAndInsertsAcrossPartitions) {
+  DatasetFixture fx;
+  DatasetOptions o = SmallOptions(SchemaMode::kInferred, /*memtable_kb=*/16);
+  o.primary_key_index = true;  // exercise the pk-index leg of the batch path
+  ASSERT_TRUE(fx.Open(std::move(o), 3).ok());
+  std::vector<AdmValue> batch;
+  for (int64_t k = 0; k < 100; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(k) + R"(, "v": "old"})"));
+  }
+  ASSERT_TRUE(fx.dataset->InsertBatch(batch).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  // 0-99 overwrite, 100-149 are fresh inserts through the same batch.
+  batch.clear();
+  for (int64_t k = 0; k < 150; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(k) + R"(, "v": "new"})"));
+  }
+  ASSERT_TRUE(fx.dataset->UpsertBatch(batch).ok());
+  for (int64_t k = 0; k < 150; ++k) {
+    auto got = fx.dataset->Get(k).ValueOrDie();
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(got->FindField("v")->string_value(), "new") << k;
+  }
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  for (int64_t k = 0; k < 150; ++k) {
+    ASSERT_TRUE(fx.dataset->Get(k).ValueOrDie().has_value()) << k;
+  }
+}
+
+TEST(Dataset, UpsertBatchReportsBadRecordsAndAppliesRest) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 2).ok());
+  ASSERT_TRUE(fx.dataset->Insert(R(R"({"id": 1, "v": "a"})")).ok());
+  std::vector<AdmValue> batch = {
+      R(R"({"id": 1, "v": "b"})"),
+      R(R"({"name": "nopk"})"),  // index 1: no primary key
+      R(R"({"id": 2, "v": "c"})"),
+  };
+  BatchErrors errors;
+  EXPECT_FALSE(fx.dataset->UpsertBatch(batch, &errors).ok());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].first, 1u);
+  EXPECT_EQ(fx.dataset->Get(1).ValueOrDie()->FindField("v")->string_value(), "b");
+  EXPECT_TRUE(fx.dataset->Get(2).ValueOrDie().has_value());
+}
+
+TEST(Dataset, UpsertBatchMovesSecondaryIndexEntries) {
+  DatasetFixture fx;
+  DatasetOptions o = SmallOptions(SchemaMode::kInferred);
+  o.secondary_index_field = "ts";
+  ASSERT_TRUE(fx.Open(std::move(o), 2).ok());
+  std::vector<AdmValue> batch;
+  for (int64_t k = 0; k < 20; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(k) + R"(, "ts": )" +
+                      std::to_string(100 + k) + "}"));
+  }
+  ASSERT_TRUE(fx.dataset->InsertBatch(batch).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  batch.clear();
+  for (int64_t k = 0; k < 20; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(k) + R"(, "ts": )" +
+                      std::to_string(900 + k) + "}"));
+  }
+  ASSERT_TRUE(fx.dataset->UpsertBatch(batch).ok());
+  // Every entry moved: the old key range is empty, the new one is full.
+  EXPECT_TRUE(fx.dataset->SecondaryRangeScan(100, 119).ValueOrDie().empty());
+  EXPECT_EQ(fx.dataset->SecondaryRangeScan(900, 919).ValueOrDie().size(), 20u);
+}
+
+TEST(Dataset, DeleteBatchRemovesRecordsAndIndexEntries) {
+  DatasetFixture fx;
+  DatasetOptions o = SmallOptions(SchemaMode::kInferred);
+  o.secondary_index_field = "ts";
+  o.primary_key_index = true;
+  ASSERT_TRUE(fx.Open(std::move(o), 3).ok());
+  std::vector<AdmValue> batch;
+  for (int64_t k = 0; k < 30; ++k) {
+    batch.push_back(R(R"({"id": )" + std::to_string(k) + R"(, "ts": )" +
+                      std::to_string(100 + k) + "}"));
+  }
+  ASSERT_TRUE(fx.dataset->InsertBatch(batch).ok());
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  std::vector<int64_t> evens;
+  for (int64_t k = 0; k < 30; k += 2) evens.push_back(k);
+  ASSERT_TRUE(fx.dataset->DeleteBatch(evens).ok());
+  for (int64_t k = 0; k < 30; ++k) {
+    EXPECT_EQ(fx.dataset->Get(k).ValueOrDie().has_value(), k % 2 == 1) << k;
+  }
+  auto pks = fx.dataset->SecondaryRangeScan(100, 129).ValueOrDie();
+  ASSERT_EQ(pks.size(), 15u);  // only the odd keys' entries survive
+  for (int64_t pk : pks) EXPECT_EQ(pk % 2, 1) << pk;
+  ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  for (int64_t k = 0; k < 30; k += 2) {
+    EXPECT_FALSE(fx.dataset->Get(k).ValueOrDie().has_value()) << k;
+  }
+}
+
 /// Filesystem wrapper that (once armed) fails component creation for the
 /// pk-index tree only — forces a batch-level pk-index failure while the
 /// primary keeps working.
