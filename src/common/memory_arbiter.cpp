@@ -22,6 +22,7 @@ MemoryArbiter::Options MemoryArbiter::FromEnv(BufferCache* cache) {
   o.victim = EnvString("TC_MEMORY_VICTIM", "largest") == "coldest"
                  ? VictimPolicy::kColdest
                  : VictimPolicy::kLargest;
+  o.traffic_adapt_interval_ms = EnvInt64("TC_MEMORY_ADAPT_MS", 1000);
   o.cache = cache;
   return o;
 }
@@ -206,6 +207,10 @@ void MemoryArbiter::AdaptLocked() {
   } else if (traffic < 64 || avg_flush < static_share / 2) {
     pct += 5;  // idle cache or tiny flushes: write memory is starved
   }
+  ApplyWritePctLocked(pct);
+}
+
+void MemoryArbiter::ApplyWritePctLocked(int pct) {
   pct = ClampPct(pct, opts_.min_write_pct, opts_.max_write_pct);
   if (pct == write_pct_) return;
   write_pct_ = pct;
@@ -217,6 +222,50 @@ void MemoryArbiter::AdaptLocked() {
   if (split_history_.size() < 256) {
     split_history_.push_back(SplitEvent{flushes_installed_, pct});
   }
+}
+
+void MemoryArbiter::MaybeAdaptFromTraffic() {
+  if (!opts_.adaptive || opts_.cache == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto now = std::chrono::steady_clock::now();
+  if (opts_.traffic_adapt_interval_ms > 0 &&
+      last_traffic_adapt_.time_since_epoch().count() != 0 &&
+      now - last_traffic_adapt_ <
+          std::chrono::milliseconds(opts_.traffic_adapt_interval_ms)) {
+    return;
+  }
+  uint64_t hits = opts_.cache->hits();
+  uint64_t misses = opts_.cache->misses();
+  uint64_t dh = hits - last_cache_hits_;
+  uint64_t dm = misses - last_cache_misses_;
+  uint64_t traffic = dh + dm;
+  // Below the signal floor the window is left UNCONSUMED — a flush-driven
+  // AdaptLocked may still read the accumulating deltas, and a later tick
+  // gets the full picture. Only a real decision consumes hit/miss state.
+  if (traffic < 64) return;
+  last_traffic_adapt_ = now;
+  last_cache_hits_ = hits;
+  last_cache_misses_ = misses;
+  ++traffic_adapt_ticks_;
+  // Only the toward-the-cache signal: tiny-flush/idle-cache starvation is
+  // judged from flush samples, which this flush-free path has none of.
+  if (dm * 5 >= traffic * 2) ApplyWritePctLocked(write_pct_ - 5);
+}
+
+bool MemoryArbiter::TryChargeQuery(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t read_share = opts_.total_budget_bytes - write_share_bytes_;
+  if (query_bytes_charged_ + bytes > read_share) {
+    ++query_charge_denials_;
+    return false;
+  }
+  query_bytes_charged_ += bytes;
+  return true;
+}
+
+void MemoryArbiter::ReleaseQuery(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  query_bytes_charged_ -= std::min(query_bytes_charged_, bytes);
 }
 
 MemoryArbiter::Stats MemoryArbiter::stats() const {
@@ -239,6 +288,9 @@ MemoryArbiter::Stats MemoryArbiter::stats() const {
   s.self_flushes_triggered = self_flushes_;
   s.victim_skips = victim_skips_;
   s.adapt_shifts = adapt_shifts_;
+  s.query_bytes_charged = query_bytes_charged_;
+  s.query_charge_denials = query_charge_denials_;
+  s.traffic_adapt_ticks = traffic_adapt_ticks_;
   s.split_history = split_history_;
   return s;
 }
@@ -246,6 +298,11 @@ MemoryArbiter::Stats MemoryArbiter::stats() const {
 size_t MemoryArbiter::write_share_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return write_share_bytes_;
+}
+
+size_t MemoryArbiter::read_share_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_.total_budget_bytes - write_share_bytes_;
 }
 
 }  // namespace tc

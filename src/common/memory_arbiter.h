@@ -53,6 +53,7 @@
 #ifndef TC_COMMON_MEMORY_ARBITER_H_
 #define TC_COMMON_MEMORY_ARBITER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -89,6 +90,10 @@ class MemoryArbiter {
     int max_write_pct = 80;
     /// Installed flushes between adaptation decisions.
     size_t adapt_interval_flushes = 8;
+    /// Minimum wall time between traffic-driven adaptation ticks
+    /// (MaybeAdaptFromTraffic); <= 0 disables the time gate (every call may
+    /// decide — tests use this).
+    int64_t traffic_adapt_interval_ms = 1000;
   };
 
   /// TC_MEMORY_BUDGET (bytes; 0 or unset = disabled — callers check
@@ -142,6 +147,11 @@ class MemoryArbiter {
     /// Victim dispatches that bailed (busy writer, full queue, error).
     uint64_t victim_skips = 0;
     uint64_t adapt_shifts = 0;
+    /// Query scratch currently charged against the read share (join builds).
+    size_t query_bytes_charged = 0;
+    uint64_t query_charge_denials = 0;
+    /// MaybeAdaptFromTraffic calls that got past the time gate and decided.
+    uint64_t traffic_adapt_ticks = 0;
     std::vector<SplitEvent> split_history;  // first entry = initial split
   };
 
@@ -178,13 +188,37 @@ class MemoryArbiter {
   /// selection property tests; OnPostWrite uses the same selection.
   Registration* SuggestFlushVictim();
 
+  /// Query-side adaptation tick (ROADMAP "time/traffic-based adapt tick"):
+  /// the flush-count window above never fires during a query-heavy interval
+  /// with no flushes, so memory can never shift TOWARD the cache exactly when
+  /// reads need it. Queries call this at completion; at most once per
+  /// traffic_adapt_interval_ms it re-reads the cache's hit/miss deltas and,
+  /// on a miss rate >= 40% over enough traffic, shifts the split toward the
+  /// cache. It only ever shifts in that direction — the write-starvation
+  /// signals need flush samples, which this path by definition lacks.
+  void MaybeAdaptFromTraffic();
+
+  /// Query-scratch accounting against the READ share (hash-join build tables,
+  /// grace-style spill thresholds): TryChargeQuery admits `bytes` unless the
+  /// total charged scratch would exceed the read share (then it returns false
+  /// and the caller must spill/stage instead of growing). Charges bound the
+  /// query scratch by the read share's SIZE; the buffer cache itself is not
+  /// shrunk mid-query, so the envelope is approximate while a charge is held.
+  bool TryChargeQuery(size_t bytes);
+  void ReleaseQuery(size_t bytes);
+
   Stats stats() const;
   size_t write_share_bytes() const;
+  /// total - write share: what TryChargeQuery admits against.
+  size_t read_share_bytes() const;
   size_t total_budget_bytes() const { return opts_.total_budget_bytes; }
 
  private:
   Registration* PickVictimLocked();
   void AdaptLocked();
+  /// Clamps and applies a new write pct: recomputes the share, resizes the
+  /// cache, and records the shift. No-op when the clamped pct is unchanged.
+  void ApplyWritePctLocked(int pct);
 
   Options opts_;
   mutable std::mutex mu_;
@@ -198,9 +232,13 @@ class MemoryArbiter {
   uint64_t self_flushes_ = 0;
   uint64_t victim_skips_ = 0;
   uint64_t adapt_shifts_ = 0;
+  size_t query_bytes_charged_ = 0;
+  uint64_t query_charge_denials_ = 0;
+  uint64_t traffic_adapt_ticks_ = 0;
   std::vector<size_t> flush_samples_;  // sealed bytes per installed flush
   uint64_t last_cache_hits_ = 0;
   uint64_t last_cache_misses_ = 0;
+  std::chrono::steady_clock::time_point last_traffic_adapt_{};
   std::vector<SplitEvent> split_history_;
 };
 

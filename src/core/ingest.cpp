@@ -62,7 +62,7 @@ void IngestFrontEnd::CompleteChunk(
   if (--state->outstanding_chunks == 0) state->cv.notify_all();
 }
 
-IngestTicket IngestFrontEnd::Submit(std::vector<AdmValue> records) {
+IngestTicket IngestFrontEnd::Submit(std::vector<AdmValue> records, IngestOp op) {
   IngestTicket ticket;
   ticket.state_ = std::make_shared<IngestTicket::State>();
   // Move the records behind a shared_ptr FIRST, then encode: the
@@ -70,6 +70,7 @@ IngestTicket IngestFrontEnd::Submit(std::vector<AdmValue> records) {
   // resting place.
   auto owned = std::make_shared<std::vector<AdmValue>>(std::move(records));
   std::vector<Chunk> chunks(queues_.size());
+  for (Chunk& c : chunks) c.op = op;
   for (size_t i = 0; i < owned->size(); ++i) {
     const AdmValue& rec = (*owned)[i];
     EncodedWrite w;
@@ -81,7 +82,12 @@ IngestTicket IngestFrontEnd::Submit(std::vector<AdmValue> records) {
     if (st.ok()) {
       w.pk = pk.value();
       p = dataset_->PartitionOf(w.pk);
-      st = dataset_->partition(p)->EncodeRecord(rec, &w.payload);
+      if (op == IngestOp::kDelete) {
+        // Deletes carry no payload; only the pk travels.
+        w.record = nullptr;
+      } else {
+        st = dataset_->partition(p)->EncodeRecord(rec, &w.payload);
+      }
     }
     if (!st.ok()) {
       // Rejected before it ever reaches a queue: report on the ticket now.
@@ -91,7 +97,7 @@ IngestTicket IngestFrontEnd::Submit(std::vector<AdmValue> records) {
       continue;
     }
     Chunk& c = chunks[p];
-    c.payload_bytes += w.payload.size();
+    c.payload_bytes += op == IngestOp::kDelete ? sizeof(int64_t) : w.payload.size();
     c.writes.push_back(std::move(w));
   }
   size_t outstanding = 0;
@@ -153,6 +159,15 @@ void IngestFrontEnd::WriterLoop(size_t partition) {
       }
     }
     if (got) {
+      // Ops never mix within a commit group: a different op closes the open
+      // group first, preserving per-partition operation order.
+      if (!group.empty() && c.op != group.front().op) {
+        CommitGroup(partition, &group);
+        group_records = 0;
+        group_bytes = 0;
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(config_.max_usecs);
+      }
       group_records += c.writes.size();
       group_bytes += c.payload_bytes;
       group.push_back(std::move(c));
@@ -191,8 +206,27 @@ void IngestFrontEnd::CommitGroup(size_t partition, std::vector<Chunk>* group) {
   }
   BatchErrors errors;
   bool batch_failed = false;
-  Status st = dataset_->partition(partition)->InsertEncodedBatch(
-      *writes, &errors, &batch_failed);
+  Status st;
+  switch ((*group)[0].op) {
+    case IngestOp::kInsert:
+      st = dataset_->partition(partition)->InsertEncodedBatch(*writes, &errors,
+                                                              &batch_failed);
+      break;
+    case IngestOp::kUpsert:
+      st = dataset_->partition(partition)->UpsertEncodedBatch(*writes, &errors,
+                                                              &batch_failed);
+      break;
+    case IngestOp::kDelete: {
+      std::vector<int64_t> pks;
+      pks.reserve(writes->size());
+      for (const EncodedWrite& w : *writes) pks.push_back(w.pk);
+      // DeleteBatch error positions index into pks, which is position-aligned
+      // with `writes` — the attribution loop below works unchanged.
+      st = dataset_->partition(partition)->DeleteBatch(pks, &errors,
+                                                       &batch_failed);
+      break;
+    }
+  }
   // Attribute per-record errors back to their tickets (positions are into the
   // combined span; EncodedWrite::index is the ticket-local submission index).
   std::vector<std::vector<std::pair<size_t, Status>>> per_chunk(group->size());

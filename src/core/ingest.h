@@ -77,6 +77,12 @@ class IngestTicket {
   std::shared_ptr<State> state_;
 };
 
+/// Operation carried by one Submit call. A feed can interleave all three on
+/// one front end; chunks of different ops never share a commit group (the
+/// writer closes the open group when the op changes), so within a partition
+/// the submitted operation order is preserved.
+enum class IngestOp : uint8_t { kInsert, kUpsert, kDelete };
+
 class IngestFrontEnd {
  public:
   /// `queue_capacity` bounds the chunks queued per partition before Submit
@@ -95,7 +101,10 @@ class IngestFrontEnd {
   /// threads parallelize the CPU-bound encode), enqueues one chunk per
   /// touched partition, and returns the completion token. Blocks only when a
   /// target partition's queue is full (backpressure). Thread-safe.
-  IngestTicket Submit(std::vector<AdmValue> records);
+  /// For IngestOp::kDelete each record only needs its primary-key field; no
+  /// payload is encoded.
+  IngestTicket Submit(std::vector<AdmValue> records,
+                      IngestOp op = IngestOp::kInsert);
 
   /// Blocks until every submitted chunk has been applied (the front end
   /// stays usable). Returns the first batch-level commit failure ever hit by
@@ -112,6 +121,7 @@ class IngestFrontEnd {
     std::shared_ptr<std::vector<AdmValue>> owned;
     std::vector<EncodedWrite> writes;
     size_t payload_bytes = 0;
+    IngestOp op = IngestOp::kInsert;
     std::shared_ptr<IngestTicket::State> ticket;
   };
 

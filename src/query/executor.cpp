@@ -5,7 +5,31 @@
 #include <thread>
 #include <vector>
 
+#include "common/memory_arbiter.h"
+#include "query/vec/vec_operator.h"
+
 namespace tc {
+
+bool DefaultVectorizedQueries() { return VecEnabledFromEnv(); }
+
+void MergeVecCounters(const VecCounterSet& partition_counters, QueryStats* stats) {
+  for (const auto& e : partition_counters.entries()) {
+    QueryOpCounters* cell = nullptr;
+    for (QueryOpCounters& c : stats->operators) {
+      if (c.name == e->first) {
+        cell = &c;
+        break;
+      }
+    }
+    if (cell == nullptr) {
+      stats->operators.push_back(QueryOpCounters{e->first, 0, 0, 0});
+      cell = &stats->operators.back();
+    }
+    cell->batches += e->second.batches;
+    cell->rows += e->second.rows;
+    cell->bytes += e->second.bytes;
+  }
+}
 
 Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
                                   const PipelineFactory& make_pipeline,
@@ -38,6 +62,7 @@ Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
 
   size_t max_threads = options.max_threads == 0 ? n : options.max_threads;
   std::vector<Status> statuses(n, Status::OK());
+  std::vector<VecCounterSet> vec_counters(n);
   std::atomic<size_t> next{0};
 
   auto worker = [&]() {
@@ -50,6 +75,8 @@ Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
       ctx.counters = &counters[i];
       ctx.registry = &registry;
       ctx.view = &views[i];
+      ctx.options = &options;
+      ctx.vec_counters = &vec_counters[i];
       auto pipeline = make_pipeline(ctx);
       if (!pipeline.ok()) {
         statuses[i] = pipeline.status();
@@ -99,7 +126,15 @@ Result<QueryStats> RunPartitioned(Dataset* dataset, const QueryOptions& options,
     stats.bytes_scanned += c.bytes;
     stats.rows_filtered_pre_assembly += c.filtered_pre_assembly;
   }
+  for (const auto& vc : vec_counters) MergeVecCounters(vc, &stats);
   stats.schema_broadcast_bytes = registry.broadcast_bytes();
+  // Query-side adaptation tick: queries are exactly the traffic the
+  // flush-count adapt window can't see (see MaybeAdaptFromTraffic).
+  if (n > 0) {
+    if (MemoryArbiter* arb = dataset->partition(0)->options().arbiter) {
+      arb->MaybeAdaptFromTraffic();
+    }
+  }
   return stats;
 }
 

@@ -8,11 +8,17 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "query/operators.h"
 #include "query/schema_broadcast.h"
+#include "query/vec/vec_counters.h"
 
 namespace tc {
+
+/// Env default behind QueryOptions::vectorized (defined in executor.cpp, so
+/// the header stays free of env plumbing).
+bool DefaultVectorizedQueries();
 
 struct QueryOptions {
   /// The §3.4.2 consolidation + pushdown optimization; Figure 23 disables it.
@@ -27,6 +33,21 @@ struct QueryOptions {
   bool has_nonlocal_exchange = false;
   /// Cap on executor threads (0 = one per partition).
   size_t max_threads = 0;
+  /// Route eligible scans through the vectorized engine (batched columnar
+  /// extraction behind a VecToRowBridge, so plans and sinks are unchanged).
+  /// Default from TC_VEC_ENABLE (on); fig27's row arm disables it.
+  bool vectorized = DefaultVectorizedQueries();
+  /// Rows per ColumnBatch; 0 = TC_VEC_BATCH_ROWS (default 1024).
+  size_t vec_batch_rows = 0;
+};
+
+/// Aggregated per-operator counters of one query (merged across partitions by
+/// operator name).
+struct QueryOpCounters {
+  std::string name;
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
 };
 
 struct QueryStats {
@@ -39,7 +60,17 @@ struct QueryStats {
   uint64_t bytes_scanned = 0;
   uint64_t rows_filtered_pre_assembly = 0;
   size_t schema_broadcast_bytes = 0;
+  /// Access path the plan picker chose ("" when the query ran unplanned) and
+  /// its selectivity estimate — see query/planner.h.
+  std::string plan;
+  double plan_selectivity = 0;
+  /// Per-operator batch/row/byte counters of the vectorized engine.
+  std::vector<QueryOpCounters> operators;
 };
+
+/// Folds one partition's VecCounterSet into `stats->operators` (match by
+/// operator name, append new names).
+void MergeVecCounters(const VecCounterSet& partition_counters, QueryStats* stats);
 
 /// Everything a per-partition pipeline factory gets to work with.
 struct PartitionContext {
@@ -52,6 +83,10 @@ struct PartitionContext {
   /// see the same LSM state, and concurrent flush/merge never blocks (or is
   /// observed by) the query. Pass to Scan/LookupOperator.
   const PartitionReadView* view = nullptr;
+  /// The query's options (vectorization routing inside pipeline factories).
+  const QueryOptions* options = nullptr;
+  /// This partition's per-operator counter registry (vectorized pipelines).
+  VecCounterSet* vec_counters = nullptr;
 };
 
 using PipelineFactory =

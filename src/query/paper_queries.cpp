@@ -7,6 +7,9 @@
 #include <set>
 
 #include "query/scan_predicate.h"
+#include "query/planner.h"
+#include "query/vec/hash_join.h"
+#include "query/vec/vec_operator.h"
 
 namespace tc {
 namespace {
@@ -44,6 +47,26 @@ std::string RenderTopK(const std::vector<std::pair<std::string, AggCell>>& top,
   return s;
 }
 
+// Builds the scan every eager plan shares: routed through the vectorized
+// engine (batched columnar extraction behind a VecToRowBridge) when the
+// options ask for it, so plans and sinks stay row-shaped either way.
+Result<std::unique_ptr<Operator>> MakeScan(const PartitionContext& ctx,
+                                           ScanSpec spec) {
+  if (ctx.options != nullptr && ctx.options->vectorized &&
+      ctx.vec_counters != nullptr) {
+    size_t batch_rows = ctx.options->vec_batch_rows > 0
+                            ? ctx.options->vec_batch_rows
+                            : VecBatchRowsFromEnv();
+    std::unique_ptr<VecOperator> scan(new VecScanOperator(
+        ctx.partition, ctx.accessor, std::move(spec), batch_rows, ctx.counters,
+        ctx.view, ctx.vec_counters->For("scan")));
+    return std::unique_ptr<Operator>(
+        new VecToRowBridge(std::move(scan), ctx.vec_counters->For("bridge")));
+  }
+  return std::unique_ptr<Operator>(new ScanOperator(
+      ctx.partition, ctx.accessor, std::move(spec), ctx.counters, ctx.view));
+}
+
 // COUNT(*) over the primary index: a scan with no field extraction.
 Result<PaperQueryResult> CountStar(Dataset* ds, const QueryOptions& opt) {
   size_t n = ds->partition_count();
@@ -53,8 +76,7 @@ Result<PaperQueryResult> CountStar(Dataset* ds, const QueryOptions& opt) {
       RunPartitioned(
           ds, opt,
           [](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(ctx.partition, ctx.accessor,
-                                                   ScanSpec{}, ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{});
           },
           [&](int pid) -> RowSink {
             return [&counts, pid](Row&&) -> Status {
@@ -91,8 +113,7 @@ Result<PaperQueryResult> TwitterQ2(Dataset* ds, const QueryOptions& opt) {
       RunPartitioned(
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{paths, false, nullptr});
           },
           [&](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -145,8 +166,7 @@ Result<PaperQueryResult> TwitterQ3(Dataset* ds, const QueryOptions& opt) {
             // The sink re-applies the hashtag check, so formats that cannot
             // lower the predicate (BSON) just run the plain scan.
             if (ctx.accessor->SupportsScanPredicate()) spec.predicate = pred;
-            return {std::make_unique<ScanOperator>(ctx.partition, ctx.accessor,
-                                                   std::move(spec), ctx.counters, ctx.view)};
+            return MakeScan(ctx, std::move(spec));
           },
           [&, push](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -195,9 +215,7 @@ Result<PaperQueryResult> TwitterQ4(Dataset* ds, const QueryOptions& opt) {
       RunPartitioned(
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, /*attach=*/true, nullptr},
-                ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{paths, /*attach=*/true, nullptr});
           },
           [&](int pid) -> RowSink {
             auto* out = &rows[static_cast<size_t>(pid)];
@@ -279,8 +297,7 @@ Result<PaperQueryResult> WosQ2(Dataset* ds, const QueryOptions& opt) {
       RunPartitioned(
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{paths, false, nullptr});
           },
           [&](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -318,8 +335,7 @@ Result<PaperQueryResult> WosCollaboration(Dataset* ds, const QueryOptions& opt,
       RunPartitioned(
           ds, o,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{paths, false, nullptr}, ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{paths, false, nullptr});
           },
           [&, pairs](int pid) -> RowSink {
             GroupMap* map = &maps[static_cast<size_t>(pid)];
@@ -408,9 +424,7 @@ Result<PaperQueryResult> SensorsQ1(Dataset* ds, const QueryOptions& opt) {
       RunPartitioned(
           ds, opt,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{plan.paths, false, nullptr},
-                ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{plan.paths, false, nullptr});
           },
           [&](int pid) -> RowSink {
             uint64_t* count = &counts[static_cast<size_t>(pid)];
@@ -434,9 +448,7 @@ Result<PaperQueryResult> SensorsQ2(Dataset* ds, const QueryOptions& opt) {
       RunPartitioned(
           ds, opt,
           [&](const PartitionContext& ctx) -> Result<std::unique_ptr<Operator>> {
-            return {std::make_unique<ScanOperator>(
-                ctx.partition, ctx.accessor, ScanSpec{plan.paths, false, nullptr},
-                ctx.counters, ctx.view)};
+            return MakeScan(ctx, ScanSpec{plan.paths, false, nullptr});
           },
           [&](int pid) -> RowSink {
             AggCell* cell = &cells[static_cast<size_t>(pid)];
@@ -491,17 +503,14 @@ Result<PaperQueryResult> SensorsTopAvg(Dataset* ds, const QueryOptions& opt,
               ScanSpec spec;
               spec.paths = plan.paths;
               spec.predicate = window_pred;
-              return {std::make_unique<ScanOperator>(
-                  ctx.partition, ctx.accessor, std::move(spec), ctx.counters, ctx.view)};
+              return MakeScan(ctx, std::move(spec));
             }
             // With the optimization disabled (and for ADM datasets), the
             // selective filter is evaluated before the reading access: the
             // scan extracts only scalar columns and the readings subtree is
             // fetched in a post-filter map over the raw record.
             if (plan.pushed || !with_window) {
-              return {std::make_unique<ScanOperator>(
-                  ctx.partition, ctx.accessor, ScanSpec{plan.paths, false, nullptr},
-                  ctx.counters, ctx.view)};
+              return MakeScan(ctx, ScanSpec{plan.paths, false, nullptr});
             }
             std::vector<FieldPath> scan_paths = {FieldPath::Parse("sensor_id"),
                                                  FieldPath::Parse("report_time")};
@@ -568,6 +577,86 @@ Result<PaperQueryResult> SensorsQ3(Dataset* ds, const QueryOptions& opt) {
 
 Result<PaperQueryResult> SensorsQ4(Dataset* ds, const QueryOptions& opt) {
   return SensorsTopAvg(ds, opt, /*with_window=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-dataset join + planned scans (the vectorized-engine tier)
+// ---------------------------------------------------------------------------
+
+Result<PaperQueryResult> TwitterJoinTopCountries(Dataset* users,
+                                                 Dataset* tweets,
+                                                 const QueryOptions& opt) {
+  // SELECT u.country, count(*) FROM Tweets t JOIN Users u ON t.user.id = u.id
+  // GROUP BY u.country ORDER BY count DESC LIMIT 10 — the first cross-dataset
+  // plan: a partitioned hash join (users build, tweets probe), group-by over
+  // the joined batches, global merge.
+  JoinSpec spec;
+  spec.build_key = "id";
+  spec.probe_key = "user.id";
+  spec.build_paths = {"country"};
+  spec.vectorized = opt.vectorized;
+  spec.batch_rows = opt.vec_batch_rows;
+  spec.max_threads = opt.max_threads;
+  spec.consolidate_field_access = opt.consolidate_field_access;
+  spec.pushdown_scan_predicates = opt.pushdown_scan_predicates;
+
+  size_t pn = tweets->partition_count();
+  std::vector<GroupMap> maps(pn);
+  // Output layout: [u.id, u.country, t.user.id]; country is column 1.
+  TC_ASSIGN_OR_RETURN(
+      JoinStats jstats,
+      HashJoinDatasets(users, tweets, spec, [&](int pid) -> JoinBatchSink {
+        GroupMap* map = &maps[static_cast<size_t>(pid)];
+        return [map](const ColumnBatch& batch) -> Status {
+          const ColumnVector& country = batch.cols[1];
+          batch.ForEachActive([&](size_t r) {
+            if (!country.HasValueAt(r) || country.TagAt(r) != AdmTag::kString) {
+              return;
+            }
+            if (country.kind() == ColumnVector::Kind::kString) {
+              map->Cell(std::string(country.StringAt(r))).AddCount();
+            } else {
+              map->Cell(country.ValueAt(r).string_value()).AddCount();
+            }
+          });
+          return Status::OK();
+        };
+      }));
+  GroupMap merged;
+  for (const auto& m : maps) merged.Merge(m);
+  auto score = [](const AggCell& c) { return static_cast<double>(c.count); };
+
+  QueryStats stats;
+  stats.wall_seconds = jstats.wall_seconds;
+  stats.rows_scanned = jstats.build_rows + jstats.probe_rows;
+  stats.operators = std::move(jstats.operators);
+  stats.plan = "hash-join";
+  return Summarize(stats, RenderTopK(merged.TopK(10, score), score));
+}
+
+Result<PaperQueryResult> TwitterWindowCount(Dataset* ds, int64_t lo, int64_t hi,
+                                            const QueryOptions& opt) {
+  // SELECT count(*) WHERE lo < timestamp_ms < hi, access path chosen by the
+  // cost-based planner — full scan, lowered filtered scan, or a secondary-
+  // index probe when the dataset indexes timestamp_ms and the window is
+  // narrow. The count is plan-invariant; the chosen plan lands in stats.plan.
+  auto pred = ScanPredicate::And(
+      {ScanPredicate::Term("timestamp_ms", CompareOp::kGt, AdmValue::BigInt(lo)),
+       ScanPredicate::Term("timestamp_ms", CompareOp::kLt, AdmValue::BigInt(hi))});
+  size_t n = ds->partition_count();
+  std::vector<uint64_t> counts(n, 0);
+  TC_ASSIGN_OR_RETURN(
+      QueryStats stats,
+      RunPlannedScan(ds, opt, /*paths=*/{}, pred, [&](int pid) -> RowSink {
+        uint64_t* count = &counts[static_cast<size_t>(pid)];
+        return [count](Row&&) -> Status {
+          ++*count;
+          return Status::OK();
+        };
+      }));
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return Summarize(stats, "count=" + std::to_string(total));
 }
 
 Result<PaperQueryResult> RunPaperQuery(const std::string& dataset, int q,

@@ -45,6 +45,18 @@ Result<PaperQueryResult> SensorsQ4(Dataset* ds, const QueryOptions& opt);
 Result<PaperQueryResult> RunPaperQuery(const std::string& dataset, int q,
                                        Dataset* ds, const QueryOptions& opt);
 
+/// Cross-dataset join: tweets-per-country via users ⋈ tweets on user id
+/// (users build side, tweets probe side; see query/vec/hash_join.h).
+/// QueryOptions::vectorized picks the probe arm.
+Result<PaperQueryResult> TwitterJoinTopCountries(Dataset* users,
+                                                 Dataset* tweets,
+                                                 const QueryOptions& opt);
+
+/// COUNT(*) over a timestamp_ms window, access path chosen by the cost-based
+/// planner (query/planner.h); the decision is recorded in stats.plan.
+Result<PaperQueryResult> TwitterWindowCount(Dataset* ds, int64_t lo, int64_t hi,
+                                            const QueryOptions& opt);
+
 /// The time window used by SensorsQ4 (matches the generator's report_time
 /// range so selectivity is ~0.1%).
 struct SensorsQ4Window {

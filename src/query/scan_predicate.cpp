@@ -9,20 +9,27 @@ std::vector<FieldPath> ScanPredicate::Paths() const {
   return paths;
 }
 
+bool TermScalarSatisfies(const AdmValue& v, const PredicateTerm& term) {
+  if (term.in_list.empty()) {
+    return AdmScalarSatisfies(v, term.op, term.literal, term.fold_case);
+  }
+  for (const AdmValue& l : term.in_list) {
+    if (AdmScalarSatisfies(v, term.op, l, term.fold_case)) return true;
+  }
+  return false;
+}
+
 bool EvalPredicateTerm(const AdmValue& extracted, const PredicateTerm& term) {
   if (term.path.HasWildcard()) {
     // Wildcard extraction yields a (possibly empty) array; the term holds iff
     // SOME matched item satisfies the comparison. Nested items never do.
     if (!extracted.is_collection()) return false;
     for (size_t i = 0; i < extracted.size(); ++i) {
-      if (AdmScalarSatisfies(extracted.item(i), term.op, term.literal,
-                             term.fold_case)) {
-        return true;
-      }
+      if (TermScalarSatisfies(extracted.item(i), term)) return true;
     }
     return false;
   }
-  return AdmScalarSatisfies(extracted, term.op, term.literal, term.fold_case);
+  return TermScalarSatisfies(extracted, term);
 }
 
 bool EvalPredicateRow(const std::vector<AdmValue>& cols, const ScanPredicate& pred,
@@ -57,6 +64,35 @@ FilterOperator::Predicate MakeRowPredicate(
 // ScanPredicateMatcher so a scan evaluating millions of records reuses the
 // same capacity instead of reallocating the stack per row.
 // ---------------------------------------------------------------------------
+
+namespace {
+
+// IN-list-aware wrappers over the packed-leaf kernels: the per-leaf cost of a
+// k-literal term is k kernel calls on the (rare) leaves that reach a terminal,
+// matching TermScalarSatisfies semantics exactly.
+bool PackedTermLeafSatisfies(const VectorRecordWalker::Item& item,
+                             const PredicateTerm& term) {
+  if (term.in_list.empty()) {
+    return PackedLeafSatisfies(item, term.op, term.literal, term.fold_case);
+  }
+  for (const AdmValue& l : term.in_list) {
+    if (PackedLeafSatisfies(item, term.op, l, term.fold_case)) return true;
+  }
+  return false;
+}
+
+bool AnyPackedFixedTermSatisfies(AdmTag tag, const uint8_t* base, size_t count,
+                                 const PredicateTerm& term) {
+  if (term.in_list.empty()) {
+    return AnyPackedFixedSatisfies(tag, base, count, term.op, term.literal);
+  }
+  for (const AdmValue& l : term.in_list) {
+    if (AnyPackedFixedSatisfies(tag, base, count, term.op, l)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 ScanPredicateMatcher::Scope& ScanPredicateMatcher::PushScope() {
   if (depth_ == scopes_.size()) scopes_.emplace_back();
@@ -123,8 +159,8 @@ Result<bool> ScanPredicateMatcher::MatchVector(const VectorRecordView& view,
         if (run > 0) {
           for (const Active& a : scope.actives) {
             if (satisfied_[a.term]) continue;
-            if (AnyPackedFixedSatisfies(run_tag, run_base, run, terms[a.term].op,
-                                        terms[a.term].literal)) {
+            if (AnyPackedFixedTermSatisfies(run_tag, run_base, run,
+                                            terms[a.term])) {
               satisfied_[a.term] = 1;
               if (--undecided == 0) return true;
             }
@@ -168,7 +204,7 @@ Result<bool> ScanPredicateMatcher::MatchVector(const VectorRecordView& view,
       if (term.path.HasWildcard()) {
         // Existential: a miss on one item is not a decision.
         if (!satisfied_[a.term] && !IsNested(it.tag) &&
-            PackedLeafSatisfies(it, term.op, term.literal, term.fold_case)) {
+            PackedTermLeafSatisfies(it, term)) {
           satisfied_[a.term] = 1;
           if (--undecided == 0) return true;
         }
@@ -178,8 +214,7 @@ Result<bool> ScanPredicateMatcher::MatchVector(const VectorRecordView& view,
         // unique-field-name contract take first-occurrence-wins here; don't
         // let a duplicate re-decrement undecided or flip the verdict.
         if (satisfied_[a.term]) continue;
-        if (IsNested(it.tag) ||
-            !PackedLeafSatisfies(it, term.op, term.literal, term.fold_case)) {
+        if (IsNested(it.tag) || !PackedTermLeafSatisfies(it, term)) {
           return false;
         }
         satisfied_[a.term] = 1;

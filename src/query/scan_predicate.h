@@ -36,10 +36,18 @@ namespace tc {
 /// One comparison: `value-at-path op literal`. Missing, null, nested, and
 /// cross-family values never satisfy (see AdmScalarSatisfies). A path with a
 /// [*] step makes the term existential over the matched items.
+///
+/// With a non-empty `in_list`, the list REPLACES `literal` and the term is a
+/// disjunction over it: the value satisfies the term iff `value op l` holds
+/// for ANY listed literal. With op = kEq that is SQL's IN; other operators
+/// give "matches any bound" semantics. This keeps OR/IN predicates inside the
+/// conjunction-of-terms shape the lowered matcher and the planner's
+/// selectivity model both understand.
 struct PredicateTerm {
   FieldPath path;
   CompareOp op = CompareOp::kEq;
   AdmValue literal;
+  std::vector<AdmValue> in_list;  // non-empty: disjunction of literals
   bool fold_case = false;  // ASCII-case-insensitive string comparison
 };
 
@@ -49,7 +57,14 @@ struct ScanPredicate {
 
   static PredicateTerm Term(const std::string& path, CompareOp op,
                             AdmValue literal, bool fold_case = false) {
-    return PredicateTerm{FieldPath::Parse(path), op, std::move(literal), fold_case};
+    return PredicateTerm{FieldPath::Parse(path), op, std::move(literal), {},
+                         fold_case};
+  }
+  /// IN-list term: `value-at-path = any of literals`.
+  static PredicateTerm In(const std::string& path, std::vector<AdmValue> literals,
+                          bool fold_case = false) {
+    return PredicateTerm{FieldPath::Parse(path), CompareOp::kEq, AdmValue(),
+                         std::move(literals), fold_case};
   }
   static std::shared_ptr<const ScanPredicate> And(std::vector<PredicateTerm> terms) {
     auto p = std::make_shared<ScanPredicate>();
@@ -61,6 +76,11 @@ struct ScanPredicate {
   /// extract for row-level evaluation.
   std::vector<FieldPath> Paths() const;
 };
+
+/// Scalar-vs-term comparison honoring the IN-list extension: the single
+/// AdmScalarSatisfies call for plain terms, any-literal-satisfies for IN-list
+/// terms.
+bool TermScalarSatisfies(const AdmValue& v, const PredicateTerm& term);
 
 /// Row-level semantics of one term over its extracted column: existential
 /// any-item compare for wildcard paths, scalar compare otherwise. The single

@@ -1,0 +1,347 @@
+#include "query/vec/hash_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/env_config.h"
+#include "common/memory_arbiter.h"
+#include "query/vec/vec_operator.h"
+
+namespace tc {
+
+size_t JoinBuildBudgetFromEnv() {
+  int64_t v = EnvInt64("TC_JOIN_BUILD_BUDGET", 32ll << 20);
+  if (v < 1) v = 1;
+  return static_cast<size_t>(v);
+}
+
+namespace {
+
+/// The int64 join key of row `r`, or false: missing/null/non-integer keys
+/// never match (equi-join null semantics). Booleans are int-STORED but not
+/// int-FAMILY, so they correctly fall out here.
+bool Int64KeyAt(const ColumnVector& col, size_t r, int64_t* out) {
+  if (!col.HasValueAt(r)) return false;
+  if (!IsIntFamily(col.TagAt(r))) return false;
+  if (col.kind() == ColumnVector::Kind::kInt64) {
+    *out = col.Int64At(r);
+  } else {
+    *out = col.ValueAt(r).int_value();
+  }
+  return true;
+}
+
+/// One build partition's table: duplicate keys chain through `next` (both
+/// head and next store row index + 1; 0 = end), rows live in a ColumnBatch
+/// store with columns [key, build_paths...].
+struct BuildTable {
+  std::unordered_map<int64_t, uint32_t> head;
+  std::vector<uint32_t> next;
+  ColumnBatch store;
+  bool in_wave = false;
+
+  size_t ByteSize() const {
+    return store.ByteSize() + next.capacity() * sizeof(uint32_t) +
+           head.size() * (sizeof(int64_t) + 2 * sizeof(uint32_t) + sizeof(void*));
+  }
+};
+
+std::vector<FieldPath> ParseJoinPaths(const std::string& key,
+                                      const std::vector<std::string>& extra) {
+  std::vector<FieldPath> out;
+  out.reserve(1 + extra.size());
+  out.push_back(FieldPath::Parse(key));
+  for (const std::string& p : extra) out.push_back(FieldPath::Parse(p));
+  return out;
+}
+
+/// Builds one side's scan pipeline over a pinned view. With pushdown the
+/// predicate lowers into the scan; without it, predicate paths ride as extra
+/// trailing columns, a VecFilterOperator tests them, and a project drops them
+/// — so the sink-visible layout is the same either way. With `vectorized`
+/// off (fig27's baseline arm), the whole side runs as row operators — a
+/// virtual Next() and fresh AdmValues per tuple — and a RowToVecBridge feeds
+/// the shared batch join core.
+Result<std::unique_ptr<VecOperator>> MakeSideScan(
+    DatasetPartition* partition, const RecordAccessor* accessor,
+    const std::vector<FieldPath>& carried,
+    const std::shared_ptr<const ScanPredicate>& pred, bool pushdown,
+    bool vectorized, size_t batch_rows, ScanCounters* counters,
+    const PartitionReadView* view, VecCounterSet* vc, const char* scan_name) {
+  ScanSpec spec;
+  spec.paths = carried;
+  size_t first_pred_col = carried.size();
+  if (!vectorized) {
+    std::unique_ptr<Operator> op;
+    if (pred != nullptr && pushdown) {
+      spec.predicate = pred;
+      op = std::make_unique<ScanOperator>(partition, accessor, std::move(spec),
+                                          counters, view);
+    } else {
+      if (pred != nullptr) {
+        for (const FieldPath& p : pred->Paths()) spec.paths.push_back(p);
+      }
+      op = std::make_unique<ScanOperator>(partition, accessor, std::move(spec),
+                                          counters, view);
+      if (pred != nullptr) {
+        op = std::make_unique<FilterOperator>(
+            std::move(op), MakeRowPredicate(pred, first_pred_col));
+      }
+    }
+    // The bridge copies only the carried columns, so trailing predicate
+    // columns drop here just as the project drops them in the batch pipeline.
+    return std::unique_ptr<VecOperator>(new RowToVecBridge(
+        std::move(op), carried.size(), batch_rows, vc->For(scan_name)));
+  }
+  if (pred != nullptr && pushdown) {
+    spec.predicate = pred;
+    return std::unique_ptr<VecOperator>(
+        new VecScanOperator(partition, accessor, std::move(spec), batch_rows,
+                            counters, view, vc->For(scan_name)));
+  }
+  if (pred != nullptr) {
+    for (const FieldPath& p : pred->Paths()) spec.paths.push_back(p);
+  }
+  std::unique_ptr<VecOperator> op(
+      new VecScanOperator(partition, accessor, std::move(spec), batch_rows,
+                          counters, view, vc->For(scan_name)));
+  if (pred != nullptr) {
+    op.reset(new VecFilterOperator(std::move(op), pred, first_pred_col,
+                                   vc->For("join_filter")));
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < first_pred_col; ++i) keep.push_back(i);
+    op.reset(new VecProjectOperator(std::move(op), std::move(keep)));
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<JoinStats> HashJoinDatasets(Dataset* build, Dataset* probe,
+                                   const JoinSpec& spec,
+                                   const JoinSinkFactory& make_sink) {
+  auto start = std::chrono::steady_clock::now();
+  const size_t bn = build->partition_count();
+  const size_t pn = probe->partition_count();
+  const size_t batch_rows =
+      spec.batch_rows > 0 ? spec.batch_rows : VecBatchRowsFromEnv();
+  const size_t budget = spec.build_budget_bytes > 0 ? spec.build_budget_bytes
+                                                    : JoinBuildBudgetFromEnv();
+  MemoryArbiter* arbiter = build->options().arbiter != nullptr
+                               ? build->options().arbiter
+                               : probe->options().arbiter;
+
+  const std::vector<FieldPath> build_cols =
+      ParseJoinPaths(spec.build_key, spec.build_paths);
+  const std::vector<FieldPath> probe_cols =
+      ParseJoinPaths(spec.probe_key, spec.probe_paths);
+  const size_t nb = build_cols.size();
+  const size_t out_width = nb + probe_cols.size();
+
+  // Pin every partition of both sides for the join's whole lifetime: later
+  // waves re-scan the probe side (and load remaining build partitions) from
+  // the SAME snapshot, so concurrent ingest never skews cross-wave results.
+  std::vector<PartitionReadView> build_views(bn), probe_views(pn);
+  std::vector<std::unique_ptr<RecordAccessor>> build_acc, probe_acc;
+  build_acc.reserve(bn);
+  probe_acc.reserve(pn);
+  for (size_t i = 0; i < bn; ++i) {
+    build_views[i] = build->partition(i)->AcquireReadView();
+    DatasetPartition* p = build->partition(i);
+    build_acc.push_back(std::make_unique<RecordAccessor>(
+        p->options().mode, &p->options().type, p->SchemaSnapshot(),
+        spec.consolidate_field_access));
+  }
+  for (size_t i = 0; i < pn; ++i) {
+    probe_views[i] = probe->partition(i)->AcquireReadView();
+    DatasetPartition* p = probe->partition(i);
+    probe_acc.push_back(std::make_unique<RecordAccessor>(
+        p->options().mode, &p->options().type, p->SchemaSnapshot(),
+        spec.consolidate_field_access));
+  }
+
+  JoinStats stats;
+  std::vector<ScanCounters> build_sc(bn), probe_sc(pn);
+  VecCounterSet build_vc;
+  std::vector<VecCounterSet> probe_vc(pn);
+  std::vector<char> built(bn, 0);
+  size_t remaining = bn;
+
+  while (remaining > 0) {
+    ++stats.passes;
+    std::vector<BuildTable> tables(bn);
+    size_t wave_bytes = 0;
+    size_t charged = 0;
+    size_t in_wave = 0;
+    bool wave_full = false;
+
+    // ---- build: load as many remaining partitions as the budget admits ----
+    for (size_t bp = 0; bp < bn && !wave_full; ++bp) {
+      if (built[bp]) continue;
+      BuildTable& t = tables[bp];
+      t.store.Reset(nb);
+      TC_ASSIGN_OR_RETURN(
+          std::unique_ptr<VecOperator> op,
+          MakeSideScan(build->partition(bp), build_acc[bp].get(), build_cols,
+                       spec.build_predicate, spec.pushdown_scan_predicates,
+                       spec.vectorized, batch_rows, &build_sc[bp],
+                       &build_views[bp], &build_vc, "join_build_scan"));
+      TC_RETURN_IF_ERROR(op->Open());
+      ColumnBatch batch;
+      while (true) {
+        TC_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+        if (!more) break;
+        batch.ForEachActive([&](size_t r) {
+          int64_t key;
+          if (!Int64KeyAt(batch.cols[0], r, &key)) return;
+          uint32_t idx = static_cast<uint32_t>(t.store.rows);
+          for (size_t c = 0; c < nb; ++c) {
+            t.store.cols[c].AppendFrom(batch.cols[c], r);
+          }
+          ++t.store.rows;
+          uint32_t& h = t.head[key];
+          t.next.push_back(h);
+          h = idx + 1;
+        });
+      }
+
+      // Admission: the wave's FIRST partition always stays (progress
+      // guarantee), later ones stay only if both the explicit budget and the
+      // arbiter's read share admit them; a rejected partition is dropped and
+      // reloaded next wave.
+      size_t tbytes = t.ByteSize();
+      bool arb_ok = true;
+      if (arbiter != nullptr) {
+        arb_ok = arbiter->TryChargeQuery(tbytes);
+        if (!arb_ok) ++stats.build_budget_denials;
+      }
+      bool fits = wave_bytes + tbytes <= budget;
+      if (in_wave > 0 && (!fits || !arb_ok)) {
+        if (arb_ok && arbiter != nullptr) arbiter->ReleaseQuery(tbytes);
+        t = BuildTable{};
+        wave_full = true;
+        continue;
+      }
+      if (arb_ok && arbiter != nullptr) charged += tbytes;
+      wave_bytes += tbytes;
+      t.in_wave = true;
+      built[bp] = 1;
+      ++in_wave;
+      --remaining;
+      if (wave_bytes >= budget) wave_full = true;
+    }
+    if (wave_bytes > stats.build_bytes_peak) stats.build_bytes_peak = wave_bytes;
+
+    // ---- probe: one full pass, parallel over probe partitions -------------
+    std::vector<Status> statuses(pn, Status::OK());
+    std::atomic<size_t> next_part{0};
+    auto worker = [&]() {
+      while (true) {
+        size_t i = next_part.fetch_add(1);
+        if (i >= pn) return;
+        JoinBatchSink sink = make_sink(static_cast<int>(i));
+        ColumnBatch out;
+        out.Reset(out_width);
+        out.partition = static_cast<int32_t>(i);
+        uint64_t emitted = 0;
+
+        auto flush = [&]() -> Status {
+          if (out.rows == 0) return Status::OK();
+          TC_RETURN_IF_ERROR(sink(out));
+          emitted += out.rows;
+          out.Reset(out_width);
+          return Status::OK();
+        };
+        // Emits every build match of (probe key, probe row materializer).
+        auto emit_matches = [&](int64_t key,
+                                const std::function<void()>& add_probe_cols)
+            -> Status {
+          const BuildTable& t = tables[build->PartitionOf(key)];
+          if (!t.in_wave) return Status::OK();  // a later wave's partition
+          auto it = t.head.find(key);
+          if (it == t.head.end()) return Status::OK();
+          for (uint32_t link = it->second; link != 0; link = t.next[link - 1]) {
+            size_t b = link - 1;
+            for (size_t c = 0; c < nb; ++c) {
+              out.cols[c].AppendFrom(t.store.cols[c], b);
+            }
+            add_probe_cols();
+            ++out.rows;
+            if (out.rows >= batch_rows) TC_RETURN_IF_ERROR(flush());
+          }
+          return Status::OK();
+        };
+
+        auto made = MakeSideScan(
+            probe->partition(i), probe_acc[i].get(), probe_cols,
+            spec.probe_predicate, spec.pushdown_scan_predicates,
+            spec.vectorized, batch_rows, &probe_sc[i], &probe_views[i],
+            &probe_vc[i], "join_probe_scan");
+        if (!made.ok()) {
+          statuses[i] = made.status();
+          return;
+        }
+        std::unique_ptr<VecOperator> op = std::move(made).value();
+        Status st = op->Open();
+        ColumnBatch batch;
+        while (st.ok()) {
+          auto more = op->Next(&batch);
+          if (!more.ok()) {
+            st = more.status();
+            break;
+          }
+          if (!more.value()) break;
+          batch.ForEachActive([&](size_t r) {
+            if (!st.ok()) return;
+            int64_t key;
+            if (!Int64KeyAt(batch.cols[0], r, &key)) return;
+            st = emit_matches(key, [&]() {
+              for (size_t c = 0; c < probe_cols.size(); ++c) {
+                out.cols[nb + c].AppendFrom(batch.cols[c], r);
+              }
+            });
+          });
+        }
+        if (st.ok()) st = flush();
+        if (!st.ok()) {
+          statuses[i] = st;
+          return;
+        }
+        VecOpCounters* jc = probe_vc[i].For("join_probe");
+        jc->batches += 1;
+        jc->rows += emitted;
+      }
+    };
+
+    size_t n_threads = spec.max_threads == 0 ? pn : spec.max_threads;
+    n_threads = std::min(n_threads, pn);
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+    if (arbiter != nullptr && charged > 0) arbiter->ReleaseQuery(charged);
+    for (const Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& c : build_sc) stats.build_rows += c.rows;
+  for (const auto& c : probe_sc) stats.probe_rows += c.rows;
+  QueryStats merged;
+  MergeVecCounters(build_vc, &merged);
+  for (const auto& vc : probe_vc) MergeVecCounters(vc, &merged);
+  stats.operators = std::move(merged.operators);
+  for (const QueryOpCounters& oc : stats.operators) {
+    if (oc.name == "join_probe") stats.output_rows = oc.rows;
+  }
+  if (arbiter != nullptr) arbiter->MaybeAdaptFromTraffic();
+  return stats;
+}
+
+}  // namespace tc

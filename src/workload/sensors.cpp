@@ -117,6 +117,7 @@ std::unique_ptr<WorkloadGenerator> MakeSensorsGenerator(uint64_t seed) {
 std::unique_ptr<WorkloadGenerator> MakeGenerator(const std::string& dataset,
                                                  uint64_t seed) {
   if (dataset == "twitter") return MakeTwitterGenerator(seed);
+  if (dataset == "twitter_users") return MakeTwitterUsersGenerator(seed);
   if (dataset == "wos") return MakeWosGenerator(seed);
   if (dataset == "sensors") return MakeSensorsGenerator(seed);
   TC_CHECK(false);

@@ -290,10 +290,72 @@ class TwitterGenerator final : public WorkloadGenerator {
   int64_t ts_ms_ = 1556496000000;  // 2019-04-29
 };
 
+const std::array<const char*, 12> kCountries = {
+    "United States", "Brazil", "Japan",   "United Kingdom",
+    "Spain",         "France", "Germany", "Mexico",
+    "India",         "Turkey", "Canada",  "Australia"};
+
+class TwitterUsersGenerator final : public WorkloadGenerator {
+ public:
+  explicit TwitterUsersGenerator(uint64_t seed) : WorkloadGenerator(seed) {}
+
+  const char* name() const override { return "twitter_users"; }
+
+  AdmValue NextRecord() override {
+    int64_t id = static_cast<int64_t>(next_id_++);
+    AdmValue u = AdmValue::Object();
+    u.AddField("id", AdmValue::BigInt(id));
+    u.AddField("name", AdmValue::String("user_" + rng_.AlphaString(8)));
+    u.AddField("screen_name", AdmValue::String(rng_.AlphaString(10)));
+    u.AddField("country",
+               AdmValue::String(kCountries[rng_.Uniform(kCountries.size())]));
+    u.AddField("verified", AdmValue::Boolean(rng_.Bernoulli(0.02)));
+    u.AddField("followers_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(100000))));
+    u.AddField("statuses_count",
+               AdmValue::BigInt(static_cast<int64_t>(rng_.Uniform(200000))));
+    u.AddField("lang", AdmValue::String(kLangs[rng_.Uniform(kLangs.size())]));
+    return u;
+  }
+
+  DatasetType ClosedType() const override {
+    DatasetType d;
+    d.primary_key_field = "id";
+    auto root = TypeDescriptor::Object(/*open=*/false);
+    root->AddField("id", TypeDescriptor::Scalar(AdmTag::kBigInt));
+    root->AddField("name", TypeDescriptor::Scalar(AdmTag::kString));
+    root->AddField("screen_name", TypeDescriptor::Scalar(AdmTag::kString));
+    root->AddField("country", TypeDescriptor::Scalar(AdmTag::kString));
+    root->AddField("verified", TypeDescriptor::Scalar(AdmTag::kBoolean));
+    root->AddField("followers_count", TypeDescriptor::Scalar(AdmTag::kBigInt));
+    root->AddField("statuses_count", TypeDescriptor::Scalar(AdmTag::kBigInt));
+    root->AddField("lang", TypeDescriptor::Scalar(AdmTag::kString));
+    d.root = root;
+    return d;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<WorkloadGenerator> MakeTwitterGenerator(uint64_t seed) {
   return std::make_unique<TwitterGenerator>(seed);
+}
+
+std::unique_ptr<WorkloadGenerator> MakeTwitterUsersGenerator(uint64_t seed) {
+  return std::make_unique<TwitterUsersGenerator>(seed);
+}
+
+void RemapTweetUserId(AdmValue* tweet, int64_t uid) {
+  for (size_t i = 0; i < tweet->field_count(); ++i) {
+    if (tweet->field_name(i) != "user") continue;
+    AdmValue& user = tweet->field_value(i);
+    for (size_t j = 0; j < user.field_count(); ++j) {
+      if (user.field_name(j) == "id") {
+        user.field_value(j) = AdmValue::BigInt(uid);
+        return;
+      }
+    }
+  }
 }
 
 }  // namespace tc

@@ -45,6 +45,16 @@ class WorkloadGenerator {
 /// depth 8, strings dominant, no unions).
 std::unique_ptr<WorkloadGenerator> MakeTwitterGenerator(uint64_t seed);
 
+/// Twitter user profiles: flat records with dense ids [0, produced) and a
+/// low-cardinality `country` field — the build side of the users ⋈ tweets
+/// cross-dataset join (group-by-country fan-in stays small).
+std::unique_ptr<WorkloadGenerator> MakeTwitterUsersGenerator(uint64_t seed);
+
+/// Rewrites `tweet`'s user.id in place to `uid`. Tweets natively draw user
+/// ids from a 5M universe; joins against a small users dataset remap them to
+/// [0, n_users) so every tweet finds its author.
+void RemapTweetUserId(AdmValue* tweet, int64_t uid);
+
 /// Web of Science publications (paper: 253 GB, ~6.2 KB/record, deeply nested,
 /// strings dominant, WITH union-typed fields from XML-to-JSON conversion).
 std::unique_ptr<WorkloadGenerator> MakeWosGenerator(uint64_t seed);

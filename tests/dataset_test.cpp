@@ -515,6 +515,51 @@ TEST(Dataset, IngestFrontEndSurfacesPkIndexBatchFailure) {
   EXPECT_FALSE(front_end.Drain().ok());  // batch-level failures latch
 }
 
+// A feed interleaving inserts, upserts, and deletes through one front end:
+// groups never mix operations and per-partition submission order is
+// preserved, so the final state is exactly what the sequential ops dictate.
+TEST(Dataset, IngestFrontEndMixedOperations) {
+  DatasetFixture fx;
+  ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred, 256), 2).ok());
+  GroupCommitConfig gc;
+  gc.max_records = 64;  // small groups: op boundaries + caps both close groups
+  gc.max_usecs = 500;
+  IngestFrontEnd fe(fx.dataset.get(), gc, /*queue_capacity=*/4);
+
+  auto rec = [](int64_t id, int v) {
+    return R(R"({"id": )" + std::to_string(id) + R"(, "v": )" +
+             std::to_string(v) + "}");
+  };
+  std::vector<AdmValue> inserts;
+  for (int64_t id = 0; id < 100; ++id) inserts.push_back(rec(id, 1));
+  std::vector<AdmValue> upserts;
+  for (int64_t id = 50; id < 150; ++id) upserts.push_back(rec(id, 2));
+  std::vector<AdmValue> deletes;  // pk only: kDelete encodes no payload
+  for (int64_t id = 0; id < 25; ++id) {
+    deletes.push_back(R(R"({"id": )" + std::to_string(id) + "}"));
+  }
+  IngestTicket t1 = fe.Submit(std::move(inserts), IngestOp::kInsert);
+  IngestTicket t2 = fe.Submit(std::move(upserts), IngestOp::kUpsert);
+  IngestTicket t3 = fe.Submit(std::move(deletes), IngestOp::kDelete);
+  EXPECT_TRUE(t1.Wait().ok());
+  EXPECT_TRUE(t2.Wait().ok());
+  EXPECT_TRUE(t3.Wait().ok());
+  ASSERT_TRUE(fe.Drain().ok());
+
+  for (int64_t id = 0; id < 150; ++id) {
+    auto got = fx.dataset->Get(id);
+    ASSERT_TRUE(got.ok()) << "id " << id;
+    if (id < 25) {
+      EXPECT_FALSE(got.value().has_value()) << "id " << id << " not deleted";
+      continue;
+    }
+    ASSERT_TRUE(got.value().has_value()) << "id " << id;
+    const AdmValue* v = got.value()->FindField("v");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->int_value(), id < 50 ? 1 : 2) << "id " << id;
+  }
+}
+
 TEST(Dataset, InsertJsonBatchOffsetLocatesBadRecord) {
   DatasetFixture fx;
   ASSERT_TRUE(fx.Open(SmallOptions(SchemaMode::kInferred), 1).ok());

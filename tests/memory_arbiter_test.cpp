@@ -333,5 +333,127 @@ TEST(MemoryArbiter, PooledFlushBuildsComposeWithGlobalVictims) {
   trees.clear();
 }
 
+// --- Flush-free traffic adaptation (MaybeAdaptFromTraffic) -----------------
+
+TEST(MemoryArbiter, TrafficTickShiftsTowardCacheOnMissStorm) {
+  auto fs = MakeMemFileSystem();
+  const size_t kPage = 4096;
+  auto pf = PagedFile::Create(fs, "adapt", kPage, nullptr).ValueOrDie();
+  Buffer page(kPage);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(pf->AppendPage(page.data()).ok());
+  ASSERT_TRUE(pf->Finish().ok());
+
+  BufferCache cache(kPage, 1024);
+  MemoryArbiter::Options o;
+  o.total_budget_bytes = 1 << 20;
+  o.write_pct = 50;
+  o.adaptive = true;
+  o.traffic_adapt_interval_ms = 0;  // no time gate: deltas alone decide
+  o.cache = &cache;
+  MemoryArbiter arb(o);
+  size_t before = cache.capacity_pages();
+
+  // Query-only workload, no flushes at all: 100 cold reads are 100 misses,
+  // the miss share trips the shift-toward-cache signal.
+  for (uint32_t i = 0; i < 100; ++i) (void)cache.GetPage(pf.get(), i).ValueOrDie();
+  arb.MaybeAdaptFromTraffic();
+  MemoryArbiter::Stats s = arb.stats();
+  EXPECT_EQ(s.traffic_adapt_ticks, 1u);
+  EXPECT_EQ(s.write_pct, 45);
+  EXPECT_GT(cache.capacity_pages(), before);
+
+  // No new traffic: below the signal floor, no decision, no tick consumed.
+  arb.MaybeAdaptFromTraffic();
+  s = arb.stats();
+  EXPECT_EQ(s.traffic_adapt_ticks, 1u);
+  EXPECT_EQ(s.write_pct, 45);
+}
+
+TEST(MemoryArbiter, TrafficTickLeavesSplitAloneWhenHitsDominate) {
+  auto fs = MakeMemFileSystem();
+  const size_t kPage = 4096;
+  auto pf = PagedFile::Create(fs, "adapt2", kPage, nullptr).ValueOrDie();
+  Buffer page(kPage);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(pf->AppendPage(page.data()).ok());
+  ASSERT_TRUE(pf->Finish().ok());
+
+  BufferCache cache(kPage, 1024);
+  MemoryArbiter::Options o;
+  o.total_budget_bytes = 1 << 20;
+  o.write_pct = 50;
+  o.adaptive = true;
+  o.traffic_adapt_interval_ms = 0;
+  o.cache = &cache;
+  MemoryArbiter arb(o);
+
+  // 8 cold misses then 92 hits on the resident pages: miss share 8% is far
+  // below the 40% shift threshold.
+  for (int round = 0; round < 100; ++round) {
+    (void)cache.GetPage(pf.get(), round % 8).ValueOrDie();
+  }
+  arb.MaybeAdaptFromTraffic();
+  MemoryArbiter::Stats s = arb.stats();
+  EXPECT_EQ(s.traffic_adapt_ticks, 1u);  // decided, but no shift warranted
+  EXPECT_EQ(s.write_pct, 50);
+  EXPECT_EQ(s.adapt_shifts, 0u);
+}
+
+TEST(MemoryArbiter, TrafficTickIsTimeGated) {
+  auto fs = MakeMemFileSystem();
+  const size_t kPage = 4096;
+  auto pf = PagedFile::Create(fs, "adapt3", kPage, nullptr).ValueOrDie();
+  Buffer page(kPage);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(pf->AppendPage(page.data()).ok());
+  ASSERT_TRUE(pf->Finish().ok());
+
+  BufferCache cache(kPage, 1024);
+  MemoryArbiter::Options o;
+  o.total_budget_bytes = 1 << 20;
+  o.write_pct = 50;
+  o.adaptive = true;
+  o.traffic_adapt_interval_ms = 60 * 1000;  // far beyond the test's runtime
+  o.cache = &cache;
+  MemoryArbiter arb(o);
+
+  for (uint32_t i = 0; i < 100; ++i) (void)cache.GetPage(pf.get(), i).ValueOrDie();
+  arb.MaybeAdaptFromTraffic();
+  EXPECT_EQ(arb.stats().traffic_adapt_ticks, 1u);
+  // Another miss storm inside the window: gated, regardless of traffic.
+  for (uint32_t i = 0; i < 100; ++i) (void)cache.GetPage(pf.get(), i).ValueOrDie();
+  arb.MaybeAdaptFromTraffic();
+  EXPECT_EQ(arb.stats().traffic_adapt_ticks, 1u);
+  EXPECT_EQ(arb.stats().write_pct, 45);  // only the first tick shifted
+}
+
+// --- Query scratch charging (TryChargeQuery / ReleaseQuery) ----------------
+
+TEST(MemoryArbiter, QueryChargesBoundedByReadShare) {
+  MemoryArbiter::Options o;
+  o.total_budget_bytes = 100 * 1024;
+  o.write_pct = 60;  // read share = 40 KiB
+  o.adaptive = false;
+  MemoryArbiter arb(o);
+  ASSERT_EQ(arb.read_share_bytes(), 40 * 1024u);
+
+  EXPECT_TRUE(arb.TryChargeQuery(30 * 1024));
+  EXPECT_EQ(arb.stats().query_bytes_charged, 30 * 1024u);
+  // 30 + 20 > 40: denied and counted, charge unchanged.
+  EXPECT_FALSE(arb.TryChargeQuery(20 * 1024));
+  EXPECT_EQ(arb.stats().query_bytes_charged, 30 * 1024u);
+  EXPECT_EQ(arb.stats().query_charge_denials, 1u);
+  // Exactly to the cap is fine.
+  EXPECT_TRUE(arb.TryChargeQuery(10 * 1024));
+  EXPECT_FALSE(arb.TryChargeQuery(1));
+  EXPECT_EQ(arb.stats().query_charge_denials, 2u);
+
+  arb.ReleaseQuery(20 * 1024);
+  EXPECT_EQ(arb.stats().query_bytes_charged, 20 * 1024u);
+  EXPECT_TRUE(arb.TryChargeQuery(20 * 1024));
+  // Saturating release: over-release clamps to zero instead of wrapping.
+  arb.ReleaseQuery(1 << 30);
+  EXPECT_EQ(arb.stats().query_bytes_charged, 0u);
+  EXPECT_TRUE(arb.TryChargeQuery(40 * 1024));
+}
+
 }  // namespace
 }  // namespace tc

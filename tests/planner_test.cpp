@@ -1,0 +1,286 @@
+// Tests for the cost-based plan picker: ChooseAccessPath decisions on rigged
+// PlannerInputs (pure cost-model unit tests), and end-to-end plan switching
+// on a live secondary-indexed dataset where the chosen access path must be
+// visible in QueryStats and invariant in its results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/paper_queries.h"
+#include "query/planner.h"
+#include "tests/test_util.h"
+#include "workload/workload.h"
+
+namespace tc {
+namespace {
+
+using testutil::DatasetFixture;
+using testutil::SmallOptions;
+
+PlannerInputs Rigged() {
+  PlannerInputs in;
+  in.rows = 100000;
+  in.physical_bytes = 1u << 26;
+  in.primary_components = 4;
+  in.secondary_components = 3;
+  in.has_secondary = true;
+  in.sk_min = 0;
+  in.sk_max = 999999;
+  in.sk_bounds_valid = true;
+  in.partitions = 2;
+  in.can_lower_predicate = true;
+  return in;
+}
+
+std::shared_ptr<const ScanPredicate> Window(int64_t lo, int64_t hi) {
+  return ScanPredicate::And(
+      {ScanPredicate::Term("ts", CompareOp::kGe, AdmValue::BigInt(lo)),
+       ScanPredicate::Term("ts", CompareOp::kLe, AdmValue::BigInt(hi))});
+}
+
+TEST(ChooseAccessPath, NoPredicateIsFullScan) {
+  PlanDecision d = ChooseAccessPath(Rigged(), nullptr, "ts");
+  EXPECT_EQ(d.path, AccessPath::kFullScan);
+  EXPECT_DOUBLE_EQ(d.selectivity, 1.0);
+  EXPECT_TRUE(d.ranges.empty());
+}
+
+TEST(ChooseAccessPath, NarrowWindowProbesIndex) {
+  auto pred = Window(0, 999);  // 0.1% of the fence-key domain
+  PlanDecision d = ChooseAccessPath(Rigged(), pred.get(), "ts");
+  EXPECT_EQ(d.path, AccessPath::kIndexProbe);
+  ASSERT_EQ(d.ranges.size(), 1u);
+  EXPECT_EQ(d.ranges[0].first, 0);
+  EXPECT_EQ(d.ranges[0].second, 999);
+  EXPECT_LT(d.probe_cost, d.scan_cost);
+  EXPECT_LT(d.selectivity, 0.01);
+}
+
+TEST(ChooseAccessPath, WideWindowScansFiltered) {
+  auto pred = Window(0, 899999);  // 90% of the domain
+  PlanDecision d = ChooseAccessPath(Rigged(), pred.get(), "ts");
+  EXPECT_EQ(d.path, AccessPath::kFilteredScan);
+  EXPECT_GT(d.probe_cost, d.scan_cost);
+}
+
+TEST(ChooseAccessPath, LoweringDisabledFallsBackToFullScan) {
+  PlannerInputs in = Rigged();
+  in.can_lower_predicate = false;
+  auto pred = Window(0, 899999);
+  PlanDecision d = ChooseAccessPath(in, pred.get(), "ts");
+  EXPECT_EQ(d.path, AccessPath::kFullScan);
+  // ...but a narrow window still probes: lowering is irrelevant to the index.
+  auto narrow = Window(0, 999);
+  EXPECT_EQ(ChooseAccessPath(in, narrow.get(), "ts").path,
+            AccessPath::kIndexProbe);
+}
+
+TEST(ChooseAccessPath, NoSecondaryIndexNeverProbes) {
+  PlannerInputs in = Rigged();
+  in.has_secondary = false;
+  auto pred = Window(0, 9);
+  PlanDecision d = ChooseAccessPath(in, pred.get(), "");
+  EXPECT_EQ(d.path, AccessPath::kFilteredScan);
+  EXPECT_TRUE(d.ranges.empty());
+}
+
+TEST(ChooseAccessPath, InListBecomesPointRanges) {
+  auto pred = ScanPredicate::And({ScanPredicate::In(
+      "ts", {AdmValue::BigInt(5), AdmValue::BigInt(1), AdmValue::BigInt(5),
+             AdmValue::BigInt(9)})});
+  PlanDecision d = ChooseAccessPath(Rigged(), pred.get(), "ts");
+  EXPECT_EQ(d.path, AccessPath::kIndexProbe);
+  ASSERT_EQ(d.ranges.size(), 3u);  // sorted, deduplicated points
+  EXPECT_EQ(d.ranges[0], (std::pair<int64_t, int64_t>{1, 1}));
+  EXPECT_EQ(d.ranges[1], (std::pair<int64_t, int64_t>{5, 5}));
+  EXPECT_EQ(d.ranges[2], (std::pair<int64_t, int64_t>{9, 9}));
+}
+
+TEST(ChooseAccessPath, InListPointsClippedByConjunctRange) {
+  auto pred = ScanPredicate::And(
+      {ScanPredicate::In("ts", {AdmValue::BigInt(5), AdmValue::BigInt(500)}),
+       ScanPredicate::Term("ts", CompareOp::kLt, AdmValue::BigInt(100))});
+  PlanDecision d = ChooseAccessPath(Rigged(), pred.get(), "ts");
+  ASSERT_EQ(d.ranges.size(), 1u);
+  EXPECT_EQ(d.ranges[0], (std::pair<int64_t, int64_t>{5, 5}));
+}
+
+TEST(ChooseAccessPath, ProvablyEmptyRangeProbesNothing) {
+  auto pred = ScanPredicate::And(
+      {ScanPredicate::Term("ts", CompareOp::kGt, AdmValue::BigInt(100)),
+       ScanPredicate::Term("ts", CompareOp::kLt, AdmValue::BigInt(50))});
+  PlanDecision d = ChooseAccessPath(Rigged(), pred.get(), "ts");
+  EXPECT_EQ(d.path, AccessPath::kIndexProbe);
+  EXPECT_TRUE(d.ranges.empty());
+  EXPECT_DOUBLE_EQ(d.probe_cost, 0.0);
+}
+
+TEST(ChooseAccessPath, NonSargablePredicateScans) {
+  auto pred = ScanPredicate::And({ScanPredicate::Term(
+      "other_field", CompareOp::kEq, AdmValue::BigInt(3))});
+  PlanDecision d = ChooseAccessPath(Rigged(), pred.get(), "ts");
+  EXPECT_EQ(d.path, AccessPath::kFilteredScan);
+  EXPECT_TRUE(d.ranges.empty());
+}
+
+// Widening the window must flip the decision probe -> scan exactly once.
+TEST(ChooseAccessPath, CrossoverIsMonotone) {
+  PlannerInputs in = Rigged();
+  bool seen_scan = false;
+  int flips = 0;
+  AccessPath prev = AccessPath::kIndexProbe;
+  for (int64_t width : {100ll, 1000ll, 10000ll, 50000ll, 100000ll, 300000ll,
+                        600000ll, 1000000ll}) {
+    auto pred = Window(0, width - 1);
+    PlanDecision d = ChooseAccessPath(in, pred.get(), "ts");
+    if (d.path != prev) ++flips;
+    if (d.path != AccessPath::kIndexProbe) seen_scan = true;
+    else EXPECT_FALSE(seen_scan) << "probe after scan at width " << width;
+    prev = d.path;
+  }
+  EXPECT_TRUE(seen_scan);
+  EXPECT_EQ(flips, 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a live dataset with secondary_index_field = timestamp_ms.
+// ---------------------------------------------------------------------------
+
+struct PlannedFixture {
+  DatasetFixture fx;
+  std::vector<int64_t> timestamps;  // per inserted record
+
+  void Load(int n, size_t partitions) {
+    DatasetOptions o = SmallOptions(SchemaMode::kInferred, 128);
+    o.secondary_index_field = "timestamp_ms";
+    ASSERT_TRUE(fx.Open(std::move(o), partitions).ok());
+    auto gen = MakeGenerator("twitter", 77);
+    for (int i = 0; i < n; ++i) {
+      AdmValue r = gen->NextRecord();
+      timestamps.push_back(r.FindField("timestamp_ms")->int_value());
+      ASSERT_TRUE(fx.dataset->Insert(r).ok());
+    }
+    // Flush so the secondary index has components -> fence-key domain bounds.
+    ASSERT_TRUE(fx.dataset->FlushAll().ok());
+  }
+
+  uint64_t CountIn(int64_t lo, int64_t hi) const {  // exclusive bounds
+    uint64_t n = 0;
+    for (int64_t ts : timestamps) {
+      if (ts > lo && ts < hi) ++n;
+    }
+    return n;
+  }
+};
+
+TEST(PlannedScan, WindowCountSwitchesPlanWithSelectivity) {
+  PlannedFixture pf;
+  pf.Load(300, 2);
+  // Timestamps are monotone; a window over the first ~8 records is ~3% of
+  // the fence-key domain, far below the ~8% crossover.
+  int64_t narrow_lo = pf.timestamps.front() - 1;
+  int64_t narrow_hi = pf.timestamps[8];
+  int64_t wide_lo = narrow_lo;
+  int64_t wide_hi = pf.timestamps.back() + 1;
+
+  QueryOptions opt;
+  auto narrow = TwitterWindowCount(pf.fx.dataset.get(), narrow_lo, narrow_hi, opt);
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  EXPECT_EQ(narrow.value().stats.plan, "index-probe");
+  EXPECT_EQ(narrow.value().summary,
+            "count=" + std::to_string(pf.CountIn(narrow_lo, narrow_hi)));
+  EXPECT_GT(narrow.value().stats.plan_selectivity, 0.0);
+  EXPECT_LT(narrow.value().stats.plan_selectivity, 0.1);
+
+  auto wide = TwitterWindowCount(pf.fx.dataset.get(), wide_lo, wide_hi, opt);
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(wide.value().stats.plan, "filtered-scan");
+  EXPECT_EQ(wide.value().summary, "count=300");
+
+  // Lowering off: the wide window must run as full-scan with a row filter,
+  // same count.
+  QueryOptions no_push;
+  no_push.pushdown_scan_predicates = false;
+  auto full = TwitterWindowCount(pf.fx.dataset.get(), wide_lo, wide_hi, no_push);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().stats.plan, "full-scan");
+  EXPECT_EQ(full.value().summary, "count=300");
+}
+
+// All three access paths deliver rows with identical column layout and
+// identical contents for the same predicate.
+TEST(PlannedScan, AccessPathsAgreeOnRowsAndLayout) {
+  PlannedFixture pf;
+  pf.Load(200, 2);
+  int64_t lo = pf.timestamps.front() - 1;
+  int64_t hi = pf.timestamps[10];
+  auto pred = ScanPredicate::And(
+      {ScanPredicate::Term("timestamp_ms", CompareOp::kGt, AdmValue::BigInt(lo)),
+       ScanPredicate::Term("timestamp_ms", CompareOp::kLt, AdmValue::BigInt(hi))});
+  std::vector<std::string> paths = {"id", "user.id"};
+
+  struct RunResult {
+    std::string plan;
+    std::set<std::pair<int64_t, int64_t>> rows;
+  };
+  auto run = [&](const QueryOptions& opt,
+                 std::shared_ptr<const ScanPredicate> p) -> RunResult {
+    RunResult out;
+    std::vector<std::set<std::pair<int64_t, int64_t>>> per(2);
+    auto sink = [&](int pid) {
+      auto* mine = &per[pid];
+      return [mine](Row&& row) -> Status {
+        EXPECT_EQ(row.cols.size(), 2u);
+        mine->emplace(row.cols[0].int_value(), row.cols[1].int_value());
+        return Status::OK();
+      };
+    };
+    auto stats = RunPlannedScan(pf.fx.dataset.get(), opt, paths, p, sink);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats.ok()) out.plan = stats.value().plan;
+    for (auto& s : per) out.rows.insert(s.begin(), s.end());
+    return out;
+  };
+
+  QueryOptions dflt;
+  RunResult probe = run(dflt, pred);
+  EXPECT_EQ(probe.plan, "index-probe");
+  EXPECT_EQ(probe.rows.size(), pf.CountIn(lo, hi));
+  ASSERT_FALSE(probe.rows.empty());
+
+  QueryOptions no_push;
+  no_push.pushdown_scan_predicates = false;
+  // Wide window under no-push: full scan. Use the narrow pred but force the
+  // path comparison by disabling pushdown (probe still wins -> must compare
+  // against a scan). To pin each path, rig via a non-sargable extra term.
+  auto non_sarg = ScanPredicate::And(
+      {ScanPredicate::Term("timestamp_ms", CompareOp::kGt, AdmValue::BigInt(lo)),
+       ScanPredicate::Term("timestamp_ms", CompareOp::kLt, AdmValue::BigInt(hi)),
+       ScanPredicate::Term("id", CompareOp::kGe, AdmValue::BigInt(0))});
+  RunResult filtered = run(dflt, non_sarg);
+  // The extra id-term's default selectivity shrinks the estimate further, so
+  // the planner still probes — but results must not change either way.
+  EXPECT_EQ(filtered.rows, probe.rows);
+
+  RunResult full = run(no_push, non_sarg);
+  EXPECT_EQ(full.rows, probe.rows);
+}
+
+TEST(PlannedScan, CollectPlannerInputsSeesLsmShape) {
+  PlannedFixture pf;
+  pf.Load(150, 2);
+  PlannerInputs in = CollectPlannerInputs(pf.fx.dataset.get());
+  EXPECT_EQ(in.rows, 150u);
+  EXPECT_TRUE(in.has_secondary);
+  EXPECT_GT(in.secondary_components, 0u);
+  ASSERT_TRUE(in.sk_bounds_valid);
+  EXPECT_EQ(in.sk_min, *std::min_element(pf.timestamps.begin(), pf.timestamps.end()));
+  EXPECT_EQ(in.sk_max, *std::max_element(pf.timestamps.begin(), pf.timestamps.end()));
+  EXPECT_EQ(in.partitions, 2u);
+}
+
+}  // namespace
+}  // namespace tc

@@ -64,6 +64,31 @@ TEST(AdmScalarSatisfies, StringsAndBooleans) {
 // Packed kernels == decoded semantics, per tag and operator.
 // ---------------------------------------------------------------------------
 
+TEST(TermScalarSatisfies, InListIsAnyLiteralDisjunction) {
+  PredicateTerm in = ScanPredicate::In(
+      "x", {AdmValue::BigInt(3), AdmValue::BigInt(7), AdmValue::String("a")});
+  EXPECT_TRUE(TermScalarSatisfies(AdmValue::BigInt(3), in));
+  EXPECT_TRUE(TermScalarSatisfies(AdmValue::BigInt(7), in));
+  EXPECT_TRUE(TermScalarSatisfies(AdmValue::String("a"), in));
+  EXPECT_FALSE(TermScalarSatisfies(AdmValue::BigInt(4), in));
+  // Cross-family comparisons never satisfy, as for plain terms.
+  EXPECT_FALSE(TermScalarSatisfies(AdmValue::String("3"), in));
+  EXPECT_FALSE(TermScalarSatisfies(AdmValue::Null(), in));
+
+  // Non-kEq ops give "matches any bound" semantics.
+  PredicateTerm lt_any = ScanPredicate::In(
+      "x", {AdmValue::BigInt(5), AdmValue::BigInt(10)});
+  lt_any.op = CompareOp::kLt;
+  EXPECT_TRUE(TermScalarSatisfies(AdmValue::BigInt(7), lt_any));   // < 10
+  EXPECT_FALSE(TermScalarSatisfies(AdmValue::BigInt(12), lt_any));
+
+  // Case folding applies per listed literal.
+  PredicateTerm folded = ScanPredicate::In(
+      "x", {AdmValue::String("ABC")}, /*fold_case=*/true);
+  EXPECT_TRUE(TermScalarSatisfies(AdmValue::String("abc"), folded));
+  EXPECT_FALSE(TermScalarSatisfies(AdmValue::String("abd"), folded));
+}
+
 TEST(PackedKernels, LeafCompareMatchesDecodedCompare) {
   Rng rng(7);
   DatasetType type = DatasetType::OpenWithPk("id");
@@ -234,6 +259,16 @@ std::shared_ptr<const ScanPredicate> RandomPredicate(Rng* rng) {
   std::vector<PredicateTerm> terms;
   size_t n = 1 + rng->Uniform(2);
   for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(0.25)) {
+      // IN-list term (any-literal disjunction): mixed-type lists included —
+      // non-matching families must fall out identically on both paths.
+      std::vector<AdmValue> literals;
+      size_t k = 1 + rng->Uniform(4);
+      for (size_t j = 0; j < k; ++j) literals.push_back(pick_literal());
+      terms.push_back(
+          ScanPredicate::In(pick_path(), std::move(literals), rng->Bernoulli(0.2)));
+      continue;
+    }
     terms.push_back(ScanPredicate::Term(pick_path(),
                                         static_cast<CompareOp>(rng->Uniform(6)),
                                         pick_literal(), rng->Bernoulli(0.2)));
