@@ -255,7 +255,10 @@ void MemoryArbiter::MaybeAdaptFromTraffic() {
 bool MemoryArbiter::TryChargeQuery(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t read_share = opts_.total_budget_bytes - write_share_bytes_;
-  if (query_bytes_charged_ + bytes > read_share) {
+  // Background rewrite scratch occupies real memory right now: query scratch
+  // only gets what's left of the read share.
+  size_t occupied = query_bytes_charged_ + background_bytes_charged_;
+  if (occupied + bytes > read_share) {
     ++query_charge_denials_;
     return false;
   }
@@ -266,6 +269,17 @@ bool MemoryArbiter::TryChargeQuery(size_t bytes) {
 void MemoryArbiter::ReleaseQuery(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   query_bytes_charged_ -= std::min(query_bytes_charged_, bytes);
+}
+
+void MemoryArbiter::ChargeBackground(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  background_bytes_charged_ += bytes;
+  ++background_charges_;
+}
+
+void MemoryArbiter::ReleaseBackground(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  background_bytes_charged_ -= std::min(background_bytes_charged_, bytes);
 }
 
 MemoryArbiter::Stats MemoryArbiter::stats() const {
@@ -290,6 +304,8 @@ MemoryArbiter::Stats MemoryArbiter::stats() const {
   s.adapt_shifts = adapt_shifts_;
   s.query_bytes_charged = query_bytes_charged_;
   s.query_charge_denials = query_charge_denials_;
+  s.background_bytes_charged = background_bytes_charged_;
+  s.background_charges = background_charges_;
   s.traffic_adapt_ticks = traffic_adapt_ticks_;
   s.split_history = split_history_;
   return s;

@@ -150,6 +150,10 @@ class MemoryArbiter {
     /// Query scratch currently charged against the read share (join builds).
     size_t query_bytes_charged = 0;
     uint64_t query_charge_denials = 0;
+    /// Flush-build / merge-rewrite scratch (builder pages + bloom filter bits)
+    /// currently charged against the read share.
+    size_t background_bytes_charged = 0;
+    uint64_t background_charges = 0;
     /// MaybeAdaptFromTraffic calls that got past the time gate and decided.
     uint64_t traffic_adapt_ticks = 0;
     std::vector<SplitEvent> split_history;  // first entry = initial split
@@ -207,6 +211,17 @@ class MemoryArbiter {
   bool TryChargeQuery(size_t bytes);
   void ReleaseQuery(size_t bytes);
 
+  /// Background-rewrite scratch accounting (flush builds, merge rewrites:
+  /// builder page buffers + the bloom filter under construction), also
+  /// against the READ share. Unlike query charges these always admit —
+  /// flushes and merges are mandatory for the engine to make progress, so
+  /// denial would deadlock the write path — but while held they shrink what
+  /// TryChargeQuery can admit, keeping TC_MEMORY_BUDGET an honest
+  /// approximation of the node's RSS. Charges are released when the build
+  /// finishes (success or failure).
+  void ChargeBackground(size_t bytes);
+  void ReleaseBackground(size_t bytes);
+
   Stats stats() const;
   size_t write_share_bytes() const;
   /// total - write share: what TryChargeQuery admits against.
@@ -234,6 +249,8 @@ class MemoryArbiter {
   uint64_t adapt_shifts_ = 0;
   size_t query_bytes_charged_ = 0;
   uint64_t query_charge_denials_ = 0;
+  size_t background_bytes_charged_ = 0;
+  uint64_t background_charges_ = 0;
   uint64_t traffic_adapt_ticks_ = 0;
   std::vector<size_t> flush_samples_;  // sealed bytes per installed flush
   uint64_t last_cache_hits_ = 0;

@@ -24,10 +24,14 @@ TaskPool::~TaskPool() {
   for (auto& w : workers_) w.join();
 }
 
-void TaskPool::Submit(std::function<void()> fn) {
+void TaskPool::Submit(std::function<void()> fn, TaskPriority priority) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    if (priority == TaskPriority::kHigh) {
+      high_queue_.push_back(std::move(fn));
+    } else {
+      queue_.push_back(std::move(fn));
+    }
   }
   work_cv_.notify_one();
 }
@@ -35,12 +39,16 @@ void TaskPool::Submit(std::function<void()> fn) {
 void TaskPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    // Drain the queue even when stopping: a discarded task would leave its
+    work_cv_.wait(lock, [this] {
+      return stop_ || !high_queue_.empty() || !queue_.empty();
+    });
+    // Drain both queues even when stopping: a discarded task would leave its
     // owner's TaskGroup outstanding count nonzero forever.
-    if (queue_.empty()) return;
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
+    std::deque<std::function<void()>>& q =
+        !high_queue_.empty() ? high_queue_ : queue_;
+    if (q.empty()) return;
+    std::function<void()> task = std::move(q.front());
+    q.pop_front();
     lock.unlock();
     task();
     lock.lock();
@@ -52,26 +60,28 @@ TaskGroup::TaskGroup(TaskPool* pool)
 
 TaskGroup::~TaskGroup() { Wait(); }
 
-void TaskGroup::Submit(std::function<void(bool)> fn) {
+void TaskGroup::Submit(std::function<void(bool)> fn, TaskPriority priority) {
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
     ++shared_->outstanding;
   }
-  pool_->Submit([shared = shared_, fn = std::move(fn)] {
-    bool canceled;
-    {
-      std::lock_guard<std::mutex> lock(shared->mu);
-      canceled = shared->canceled;
-    }
-    fn(canceled);
-    // Decrement AFTER the task body: Wait() returning guarantees no task is
-    // still touching the state it captured.
-    {
-      std::lock_guard<std::mutex> lock(shared->mu);
-      --shared->outstanding;
-    }
-    shared->cv.notify_all();
-  });
+  pool_->Submit(
+      [shared = shared_, fn = std::move(fn)] {
+        bool canceled;
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          canceled = shared->canceled;
+        }
+        fn(canceled);
+        // Decrement AFTER the task body: Wait() returning guarantees no task
+        // is still touching the state it captured.
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          --shared->outstanding;
+        }
+        shared->cv.notify_all();
+      },
+      priority);
 }
 
 void TaskGroup::Cancel() {

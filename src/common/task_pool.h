@@ -22,6 +22,14 @@
 
 namespace tc {
 
+/// Two-lane scheduling: every worker drains the high lane before touching the
+/// normal lane. Flush builds ride high (they gate writer admission — a full
+/// memtable backlog stalls every ingest thread behind TC_FLUSH_PENDING);
+/// merges ride normal (they only amortize read cost). Starvation the other way
+/// is not a concern: flush builds are short and bounded by the pending cap,
+/// so the high lane always drains.
+enum class TaskPriority { kNormal = 0, kHigh = 1 };
+
 class TaskPool {
  public:
   /// `threads == 0` sizes the pool to the hardware (DefaultThreadCount).
@@ -38,7 +46,8 @@ class TaskPool {
   /// Enqueues `fn` for execution on some worker thread. Quiescence is the
   /// submitter's concern: owners track their own in-flight work (LsmTree
   /// submits through a TaskGroup), so the pool needs no idle tracking.
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn,
+              TaskPriority priority = TaskPriority::kNormal);
 
   size_t thread_count() const { return workers_.size(); }
 
@@ -50,7 +59,8 @@ class TaskPool {
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for tasks
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;       // normal lane
+  std::deque<std::function<void()>> high_queue_;  // drained first
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
@@ -76,7 +86,8 @@ class TaskGroup {
 
   /// Enqueues `fn` on the pool; `fn(true)` is invoked if the group was
   /// canceled before the task started.
-  void Submit(std::function<void(bool canceled)> fn);
+  void Submit(std::function<void(bool canceled)> fn,
+              TaskPriority priority = TaskPriority::kNormal);
 
   /// Marks the group canceled: tasks not yet started run as cancel-skips.
   /// Sticky; meant for owner teardown.

@@ -65,6 +65,14 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.use_wal = opts->use_wal;
   lsm.wal_sync_every = opts->wal_sync_every;
   lsm.transformer = p->compactor_.get();
+  // Merge transformation pipeline: inferred-mode partitions re-compact
+  // surviving records during merges (the compactor doubles as the tree's
+  // MergeTransformer); every tree may recompress bottom-level merge outputs
+  // and schedule merges by rewrite value.
+  lsm.merge_transformer =
+      opts->merge_transform ? p->compactor_.get() : nullptr;
+  lsm.merge_recompress = opts->merge_recompress;
+  lsm.value_ordered_merges = opts->value_ordered_merges;
   lsm.capture_old_versions = opts->mode == SchemaMode::kInferred ||
                              !opts->secondary_index_field.empty();
   lsm.arbiter = opts->arbiter;
@@ -75,6 +83,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
     LsmTreeOptions pk = lsm;
     pk.name = opts->name + part_suffix + ".pkidx";
     pk.transformer = nullptr;
+    pk.merge_transformer = nullptr;  // key-only payloads: nothing to re-encode
     pk.capture_old_versions = false;
     pk.use_wal = false;  // rebuilt through primary WAL replay on recovery
     pk.memtable_budget_bytes = pk_carve;
@@ -101,6 +110,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
                                        : CompressionKind::kNone;
     sk.filter = opts->filter;
     sk.merge_policy = MakeMergePolicy(opts->merge);
+    sk.merge_recompress = opts->merge_recompress;
+    sk.value_ordered_merges = opts->value_ordered_merges;
     sk.merge_pool = opts->merge_pool;
     sk.max_concurrent_merges = lsm.max_concurrent_merges;
     sk.max_pending_flush_builds = lsm.max_pending_flush_builds;
@@ -738,6 +749,14 @@ LsmStats Dataset::AggregateStats() const {
     agg.filter_negatives += s.filter_negatives;
     agg.filter_false_positives += s.filter_false_positives;
     agg.lookup_pages_read += s.lookup_pages_read;
+    agg.merge_read_usecs += s.merge_read_usecs;
+    agg.merge_transform_usecs += s.merge_transform_usecs;
+    agg.merge_compress_usecs += s.merge_compress_usecs;
+    agg.merge_write_usecs += s.merge_write_usecs;
+    agg.merge_records_recompacted += s.merge_records_recompacted;
+    agg.merge_bytes_recompacted += s.merge_bytes_recompacted;
+    agg.merge_components_recompressed += s.merge_components_recompressed;
+    agg.merge_bytes_recompressed += s.merge_bytes_recompressed;
     // The high-water marks are per-tree costs/levels, not additive: report
     // the worst partition.
     agg.component_count_high_water =

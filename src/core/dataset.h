@@ -94,6 +94,21 @@ struct DatasetOptions {
   /// Bloom-filter + lookup fast-path policy for every tree of a partition.
   /// Defaults honor TC_BLOOM_BITS_PER_KEY / TC_FILTER_CACHE.
   BloomFilterConfig filter = BloomFilterConfig::FromEnv();
+  /// Merge transformation pipeline knobs (all honor environment overrides so
+  /// benches and cluster nodes flip them without recompiling):
+  ///  * merge_transform (TC_MERGE_TRANSFORM, default on): inferred-mode
+  ///    partitions re-compact surviving records against the newest schema
+  ///    during merge rewrites instead of splicing bytes through.
+  ///  * merge_recompress (TC_MERGE_RECOMPRESS: none|snappy|heavy|zstd|lz4,
+  ///    default none): bottom-level merge outputs switch to this heavier
+  ///    codec; unavailable codecs fall back to the built-in heavy tier.
+  ///  * value_ordered_merges (TC_MERGE_ORDER: value|fifo, default value):
+  ///    schedule merge candidates by estimated rewrite value instead of
+  ///    policy proposal order.
+  bool merge_transform = EnvInt64("TC_MERGE_TRANSFORM", 1) != 0;
+  CompressionKind merge_recompress =
+      CompressionKindFromEnv("TC_MERGE_RECOMPRESS", CompressionKind::kNone);
+  bool value_ordered_merges = EnvString("TC_MERGE_ORDER", "value") != "fifo";
   bool use_wal = true;
   size_t wal_sync_every = 64;
   /// Primary-key index for upsert existence checks (paper §3.2.2, Fig. 17b).

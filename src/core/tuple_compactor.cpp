@@ -26,6 +26,41 @@ Status TupleCompactor::OnRecoveredSchema(const Buffer& blob) {
   return LoadSchema(blob);
 }
 
+Status TupleCompactor::TransformMerged(std::string_view payload, Buffer* out,
+                                       bool* rewritten) {
+  return ReEncode(payload, out, rewritten);
+}
+
+Status TupleCompactor::ReEncode(std::string_view payload, Buffer* out,
+                                bool* rewritten) {
+  VectorRecordView view(reinterpret_cast<const uint8_t*>(payload.data()),
+                        payload.size());
+  if (view.compacted()) {
+    // Already on dictionary IDs. IDs are globally stable once assigned
+    // (never reused, never renumbered), so the bytes are correct under every
+    // future schema — pass through without decoding.
+    out->assign(payload.begin(), payload.end());
+    if (rewritten != nullptr) *rewritten = false;
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  TC_RETURN_IF_ERROR(InferAndCompactVectorRecord(view, *type_, &schema_, out));
+  if (rewritten != nullptr) *rewritten = true;
+  return Status::OK();
+}
+
+Status TupleCompactor::OnMergeEnd(const Buffer& newest_input_blob,
+                                  Buffer* schema_blob) {
+  // Persist the LIVE schema, not the newest input's: merge-time inference
+  // above may have assigned fresh FieldNameIDs that the merged component's
+  // records reference, and those assignments must be durable with them.
+  (void)newest_input_blob;
+  std::lock_guard<std::mutex> lock(mu_);
+  SerializeSchema(schema_, schema_blob);
+  return Status::OK();
+}
+
 Status TupleCompactor::LoadSchema(const Buffer& blob) {
   if (blob.empty()) return Status::OK();
   size_t consumed = 0;

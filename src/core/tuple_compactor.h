@@ -17,7 +17,7 @@
 
 namespace tc {
 
-class TupleCompactor final : public FlushTransformer {
+class TupleCompactor final : public FlushTransformer, public MergeTransformer {
  public:
   /// `type` must outlive the compactor (it lives in DatasetOptions).
   explicit TupleCompactor(const DatasetType* type) : type_(type) {}
@@ -31,6 +31,23 @@ class TupleCompactor final : public FlushTransformer {
   Status OnRemovedVersion(std::string_view old_payload) override;
   Status OnFlushEnd(Buffer* schema_blob) override;
   Status OnRecoveredSchema(const Buffer& blob) override;
+
+  // MergeTransformer side (paper §3.1.1 extended to merges): surviving
+  // records are re-encoded against the newest inferred schema while the
+  // merge rewrites them anyway, so a dataset that ingested schemaless (or
+  // evolved mid-stream) converges to fully-compacted storage without a
+  // dedicated rewrite pass.
+  Status TransformMerged(std::string_view payload, Buffer* out,
+                         bool* rewritten) override;
+  Status OnMergeEnd(const Buffer& newest_input_blob,
+                    Buffer* schema_blob) override;
+
+  /// The merge pipeline's re-encode entry point: compacted records pass
+  /// through byte-identical (FieldNameIDs are globally stable, so no decode
+  /// is needed); uncompacted records are inferred into the live schema and
+  /// compacted, with `*rewritten` set. Thread-safe — concurrent merges and
+  /// flush builds serialize on the schema mutex per record.
+  Status ReEncode(std::string_view payload, Buffer* out, bool* rewritten);
 
   /// Crash recovery (paper §3.1.2): reload the newest valid component's
   /// persisted schema as the in-memory schema.

@@ -71,6 +71,9 @@ class BtreeComponentBuilder {
   Status MarkValid();
 
   uint64_t added() const { return n_entries_ + n_anti_; }
+  /// Codec CPU spent by page writes so far (the merge pipeline's compress
+  /// stage; subtracted from wall-clock write time for the write stage).
+  uint64_t compress_nanos() const { return file_->compress_nanos(); }
 
  private:
   BtreeComponentBuilder() = default;
@@ -183,6 +186,10 @@ class BtreeComponent {
 
   const ComponentMeta& meta() const { return meta_; }
   uint64_t physical_bytes() const { return file_->physical_bytes(); }
+  /// The codec this component's pages are stored with (self-described by the
+  /// LAF v2 sidecar) — what the merge scheduler's recompressible-bytes
+  /// estimate keys on.
+  CompressionKind compression() const { return file_->compression(); }
   const std::string& path() const { return path_; }
   uint64_t file_id() const { return file_->file_id(); }
   uint32_t page_count() const { return file_->page_count(); }

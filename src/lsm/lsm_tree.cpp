@@ -1,6 +1,7 @@
 #include "lsm/lsm_tree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +10,42 @@ namespace tc {
 namespace {
 
 constexpr const char* kComponentSuffix = ".btree";
+
+inline uint64_t ElapsedUsecs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// RAII charge of a component build's scratch memory (builder page buffers +
+// the bloom filter under construction) against the arbiter's read share.
+// Background work always admits — denial would wedge the write path — but
+// while the build runs, query scratch admission shrinks correspondingly, so
+// TC_MEMORY_BUDGET tracks the node's real RSS.
+class ScopedBackgroundCharge {
+ public:
+  ScopedBackgroundCharge(MemoryArbiter* arbiter, size_t bytes)
+      : arbiter_(arbiter), bytes_(bytes) {
+    if (arbiter_ != nullptr) arbiter_->ChargeBackground(bytes_);
+  }
+  ~ScopedBackgroundCharge() {
+    if (arbiter_ != nullptr) arbiter_->ReleaseBackground(bytes_);
+  }
+  ScopedBackgroundCharge(const ScopedBackgroundCharge&) = delete;
+  ScopedBackgroundCharge& operator=(const ScopedBackgroundCharge&) = delete;
+
+ private:
+  MemoryArbiter* arbiter_;
+  size_t bytes_;
+};
+
+// Scratch estimate for building a component over `entries` keyed records:
+// one page buffer plus the filter bits accumulated across every added key.
+size_t EstimateBuildScratch(size_t page_size, uint64_t entries,
+                            size_t bits_per_key) {
+  return page_size + static_cast<size_t>(entries) * bits_per_key / 8;
+}
 
 std::string JoinPath(const std::string& dir, const std::string& name) {
   if (dir.empty()) return name;
@@ -211,6 +248,15 @@ Result<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   tree->compressor_ = GetCompressor(tree->opts_.compression);
   tree->transformer_ = tree->opts_.transformer != nullptr ? tree->opts_.transformer
                                                           : &tree->identity_;
+  tree->merge_transformer_ = tree->opts_.merge_transformer != nullptr
+                                 ? tree->opts_.merge_transformer
+                                 : &tree->identity_merge_;
+  if (tree->opts_.merge_recompress != CompressionKind::kNone &&
+      !CompressorAvailable(tree->opts_.merge_recompress)) {
+    return Status::NotSupported(
+        std::string("merge_recompress codec not compiled in: ") +
+        CompressionKindName(tree->opts_.merge_recompress));
+  }
   tree->mem_ = std::make_shared<MemTable>();
   tree->reclaimer_ = std::make_shared<ComponentReclaimer>(tree->opts_.fs,
                                                           tree->opts_.cache);
@@ -735,7 +781,10 @@ Status LsmTree::FlushLocked() {
       opts_.arbiter->OnSeal(arbiter_reg_, sealed_bytes);
     }
     if (submit) {
-      flush_jobs_->Submit([this](bool canceled) { FlushBuildJob(canceled); });
+      // High lane: a flush build gates writer admission (TC_FLUSH_PENDING
+      // backpressure), so it must never queue behind a storm of merges.
+      flush_jobs_->Submit([this](bool canceled) { FlushBuildJob(canceled); },
+                          TaskPriority::kHigh);
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -746,6 +795,10 @@ Status LsmTree::FlushLocked() {
 Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildFlushComponent(
     const MemTable& mem, uint64_t cid) {
   std::string path = ComponentPath(cid, cid);
+  ScopedBackgroundCharge charge(
+      opts_.arbiter,
+      EstimateBuildScratch(opts_.page_size, mem.entry_count(),
+                           opts_.filter.bits_per_key));
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
                                                     opts_.page_size, compressor_,
@@ -876,7 +929,8 @@ void LsmTree::FlushBuildJob(bool canceled) {
     }
   }
   if (more) {
-    flush_jobs_->Submit([this](bool c) { FlushBuildJob(c); });
+    flush_jobs_->Submit([this](bool c) { FlushBuildJob(c); },
+                        TaskPriority::kHigh);
   }
 }
 
@@ -930,15 +984,38 @@ Result<LsmTree::MergePlan> LsmTree::DecideMergeLocked() {
 }
 
 Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
-    const MergePlan& plan) {
+    const MergePlan& plan, MergePipelineCounters* counters) {
   std::string path = ComponentPath(plan.cid_min, plan.cid_max);
+  // Cold-level recompression: a bottom merge (tombstones dropping means this
+  // component has nothing beneath it) is the tree's coldest, most-read-stable
+  // data, so it can afford a heavier codec than the flush path. Readers are
+  // unaffected — the LAF v2 sidecar makes every component self-describing.
+  std::shared_ptr<const Compressor> codec = compressor_;
+  if (plan.drop_tombstones &&
+      opts_.merge_recompress != CompressionKind::kNone &&
+      opts_.merge_recompress != opts_.compression) {
+    codec = GetCompressor(opts_.merge_recompress);
+    TC_CHECK(codec != nullptr);  // validated at Open
+    counters->recompressed = true;
+  }
+  uint64_t input_entries = 0;
+  for (const auto& c : plan.inputs) {
+    input_entries += c->meta().n_entries + c->meta().n_anti;
+  }
+  ScopedBackgroundCharge charge(
+      opts_.arbiter, EstimateBuildScratch(opts_.page_size, input_entries,
+                                          opts_.filter.bits_per_key));
   TC_ASSIGN_OR_RETURN(auto builder,
                       BtreeComponentBuilder::Create(opts_.fs, path,
-                                                    opts_.page_size, compressor_,
+                                                    opts_.page_size, codec,
                                                     opts_.filter));
-  // K-way merge, newest component wins on key ties. The merge does not touch
-  // the in-memory schema (paper §3.1.1: merges and flushes need no
-  // synchronization); the newest component's schema covers the merged set.
+  // Staged transformation pipeline over the k-way merge, newest component
+  // winning on key ties: READ (cursor selection/advance) -> TRANSFORM (the
+  // merge transformer re-compacts each surviving live record against the
+  // newest inferred schema, §3.1.1) -> COMPRESS/WRITE (builder; the codec
+  // share is the builder's compress_nanos, subtracted from write wall time).
+  // Per-stage wall time feeds LsmStats so the merge-pipeline CPU share is
+  // observable (paper fig. 17's compaction-overhead axis).
   struct Cursor {
     std::unique_ptr<BtreeComponent::Iterator> it;
     size_t rank;  // lower == newer
@@ -949,7 +1026,10 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
     TC_RETURN_IF_ERROR(it->SeekToFirst());
     if (it->Valid()) cursors.push_back({std::move(it), i});
   }
+  Buffer transformed;
+  uint64_t write_wall_usecs = 0;
   while (!cursors.empty()) {
+    auto read_t0 = std::chrono::steady_clock::now();
     // Find the minimal key; among equals, the lowest rank (newest) wins.
     size_t best = 0;
     for (size_t i = 1; i < cursors.size(); ++i) {
@@ -960,11 +1040,32 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
     BtreeKey key = cursors[best].it->key();
     bool anti = cursors[best].it->anti();
     std::string_view payload = cursors[best].it->payload();
+    counters->read_usecs += ElapsedUsecs(read_t0);
     if (anti && plan.drop_tombstones) {
       // Annihilated: the anti-matter entry and any older record both vanish.
+    } else if (anti) {
+      auto write_t0 = std::chrono::steady_clock::now();
+      TC_RETURN_IF_ERROR(builder->Add(key, true, {}));
+      write_wall_usecs += ElapsedUsecs(write_t0);
     } else {
-      TC_RETURN_IF_ERROR(builder->Add(key, anti, payload));
+      auto transform_t0 = std::chrono::steady_clock::now();
+      bool rewritten = false;
+      TC_RETURN_IF_ERROR(
+          merge_transformer_->TransformMerged(payload, &transformed,
+                                              &rewritten));
+      counters->transform_usecs += ElapsedUsecs(transform_t0);
+      if (rewritten) {
+        ++counters->records_recompacted;
+        counters->bytes_recompacted += payload.size();
+      }
+      auto write_t0 = std::chrono::steady_clock::now();
+      TC_RETURN_IF_ERROR(builder->Add(
+          key, false,
+          std::string_view(reinterpret_cast<const char*>(transformed.data()),
+                           transformed.size())));
+      write_wall_usecs += ElapsedUsecs(write_t0);
     }
+    auto adv_t0 = std::chrono::steady_clock::now();
     // Advance every cursor positioned at this key.
     for (size_t i = 0; i < cursors.size();) {
       if (cursors[i].it->key() == key) {
@@ -976,13 +1077,27 @@ Result<std::shared_ptr<BtreeComponent>> LsmTree::BuildMergedComponent(
       }
       ++i;
     }
+    counters->read_usecs += ElapsedUsecs(adv_t0);
   }
-  // Persist the newest (superset) schema in the merged component (§3.1.1).
-  TC_RETURN_IF_ERROR(builder->Finish(plan.cid_min, plan.cid_max,
-                                     plan.inputs.front()->meta().schema_blob));
+  // Persist the schema covering the merged set: by default the newest input's
+  // (superset) blob, but a live transformer substitutes its current in-memory
+  // schema so a full cascade leaves every component on the final schema even
+  // when the newest INPUT predates the last evolution (§3.1.1).
+  Buffer schema_blob;
+  TC_RETURN_IF_ERROR(merge_transformer_->OnMergeEnd(
+      plan.inputs.front()->meta().schema_blob, &schema_blob));
+  auto finish_t0 = std::chrono::steady_clock::now();
+  TC_RETURN_IF_ERROR(builder->Finish(plan.cid_min, plan.cid_max, schema_blob));
   TC_RETURN_IF_ERROR(builder->MarkValid());
+  write_wall_usecs += ElapsedUsecs(finish_t0);
+  // Split the builder's wall time into its codec share and the rest.
+  counters->compress_usecs = builder->compress_nanos() / 1000;
+  counters->write_usecs +=
+      write_wall_usecs > counters->compress_usecs
+          ? write_wall_usecs - counters->compress_usecs
+          : 0;
   return BtreeComponent::Open(opts_.fs, opts_.cache, path, opts_.page_size,
-                              compressor_, opts_.filter);
+                              codec, opts_.filter);
 }
 
 void LsmTree::InstallMergedLocked(const MergePlan& plan,
@@ -1017,10 +1132,70 @@ void LsmTree::InstallMergedLocked(const MergePlan& plan,
   for (const auto& c : plan.inputs) reclaimer_->Retire(c);
 }
 
+void LsmTree::FoldMergeCountersLocked(const MergePipelineCounters& counters,
+                                      uint64_t merged_physical_bytes) {
+  stats_.merge_read_usecs += counters.read_usecs;
+  stats_.merge_transform_usecs += counters.transform_usecs;
+  stats_.merge_compress_usecs += counters.compress_usecs;
+  stats_.merge_write_usecs += counters.write_usecs;
+  stats_.merge_records_recompacted += counters.records_recompacted;
+  stats_.merge_bytes_recompacted += counters.bytes_recompacted;
+  if (counters.recompressed) {
+    ++stats_.merge_components_recompressed;
+    stats_.merge_bytes_recompressed += merged_physical_bytes;
+  }
+}
+
 void LsmTree::ReleaseMergePlanLocked(const MergePlan& plan) {
   for (const auto& c : plan.inputs) claimed_.erase(c.get());
   TC_CHECK(merges_inflight_ > 0);
   --merges_inflight_;
+}
+
+double EstimateMergeRewriteValue(uint64_t total_bytes,
+                                 uint64_t stale_schema_bytes,
+                                 uint64_t recompressible_bytes, size_t fan_in) {
+  if (total_bytes == 0 || fan_in == 0) return 0.0;
+  // Each term is the fraction of the rewritten bytes that the merge improves:
+  // bytes re-encoded onto the newest schema, bytes moved to the heavier
+  // codec, and the read-amplification payoff of collapsing fan_in components
+  // into one (a 2-way merge halves the lookups over those bytes; an 8-way
+  // merge nearly eliminates them). Summing deliberately over-weights plans
+  // that win on several axes at once.
+  double total = static_cast<double>(total_bytes);
+  double stale = static_cast<double>(stale_schema_bytes);
+  double recomp = static_cast<double>(recompressible_bytes);
+  double collapse =
+      total * (static_cast<double>(fan_in - 1) / static_cast<double>(fan_in));
+  return (stale + recomp + collapse) / total;
+}
+
+double LsmTree::ScoreMergePlanLocked(const MergePlan& plan) const {
+  uint64_t total = 0;
+  uint64_t stale = 0;
+  uint64_t recompressible = 0;
+  // "Newest schema" = the newest component in the whole tree, not the plan:
+  // a merge whose inputs agree with each other but lag the tree still
+  // rewrites onto the in-memory schema via OnMergeEnd.
+  const Buffer* newest_schema = components_.empty()
+                                    ? nullptr
+                                    : &components_.front()->meta().schema_blob;
+  bool transforming = merge_transformer_ != &identity_merge_;
+  bool recompressing = plan.drop_tombstones &&
+                       opts_.merge_recompress != CompressionKind::kNone;
+  for (const auto& c : plan.inputs) {
+    uint64_t phys = c->physical_bytes();
+    total += phys;
+    if (transforming && newest_schema != nullptr &&
+        c->meta().schema_blob != *newest_schema) {
+      stale += phys;
+    }
+    if (recompressing && c->compression() != opts_.merge_recompress) {
+      recompressible += phys;
+    }
+  }
+  return EstimateMergeRewriteValue(total, stale, recompressible,
+                                   plan.inputs.size());
 }
 
 void LsmTree::ScheduleMergesLocked() {
@@ -1028,18 +1203,49 @@ void LsmTree::ScheduleMergesLocked() {
   // Once an error is latched every further merge is doomed work; stop
   // cascading (the sticky error already gates writers).
   if (!background_error_.ok()) return;
-  while (merges_inflight_ < opts_.max_concurrent_merges) {
+  // Collect EVERY disjoint plan the policy proposes (claiming as we go so
+  // each successive decision sees the previous ranges as taken), then order
+  // by estimated rewrite value instead of proposal (FIFO) order. Plans past
+  // the concurrency cap are unclaimed again — the cascade re-proposes (and
+  // re-scores) them when a slot frees, so scoring stays fresh.
+  std::vector<MergePlan> plans;
+  while (true) {
     Result<MergePlan> plan_or = DecideMergeLocked();
     if (!plan_or.ok()) {
+      for (auto& p : plans) {
+        for (const auto& c : p.inputs) claimed_.erase(c.get());
+      }
       background_error_ = plan_or.status();
       flush_cv_.notify_all();
       return;
     }
     MergePlan plan = std::move(plan_or).value();
-    if (plan.inputs.empty()) return;
-    // Claim the inputs so the next loop iteration (and every concurrent
-    // decision until this merge completes) proposes only disjoint ranges.
+    if (plan.inputs.empty()) break;
     for (const auto& c : plan.inputs) claimed_.insert(c.get());
+    plans.push_back(std::move(plan));
+  }
+  if (opts_.value_ordered_merges && plans.size() > 1) {
+    std::vector<double> scores;
+    scores.reserve(plans.size());
+    for (const auto& p : plans) scores.push_back(ScoreMergePlanLocked(p));
+    std::vector<size_t> order(plans.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    // Stable on ties so equal-value plans keep the policy's proposal order.
+    std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+    std::vector<MergePlan> sorted;
+    sorted.reserve(plans.size());
+    for (size_t i : order) sorted.push_back(std::move(plans[i]));
+    plans.swap(sorted);
+  }
+  for (auto& plan : plans) {
+    if (merges_inflight_ >= opts_.max_concurrent_merges) {
+      // Over the cap: give the claim back. The next install's cascade will
+      // re-decide, so nothing is lost — only deferred.
+      for (const auto& c : plan.inputs) claimed_.erase(c.get());
+      continue;
+    }
     ++merges_inflight_;
     merge_jobs_->Submit([this, plan = std::move(plan)](bool canceled) mutable {
       MergeJob(std::move(plan), canceled);
@@ -1057,10 +1263,13 @@ Status LsmTree::MaybeMergeInline() {
     TC_ASSIGN_OR_RETURN(plan, DecideMergeLocked());
   }
   if (plan.inputs.empty()) return Status::OK();
-  TC_ASSIGN_OR_RETURN(auto merged, BuildMergedComponent(plan));
+  MergePipelineCounters counters;
+  TC_ASSIGN_OR_RETURN(auto merged, BuildMergedComponent(plan, &counters));
+  uint64_t phys = merged->physical_bytes();
   {
     std::lock_guard<std::mutex> lock(mu_);
     InstallMergedLocked(plan, std::move(merged));
+    FoldMergeCountersLocked(counters, phys);
   }
   return reclaimer_->Drain();
 }
@@ -1081,7 +1290,10 @@ void LsmTree::MergeJob(MergePlan plan, bool canceled) {
     stats_.concurrent_merges_high_water = std::max<uint64_t>(
         stats_.concurrent_merges_high_water, merges_building_);
   }
-  Result<std::shared_ptr<BtreeComponent>> merged = BuildMergedComponent(plan);
+  MergePipelineCounters counters;
+  Result<std::shared_ptr<BtreeComponent>> merged =
+      BuildMergedComponent(plan, &counters);
+  uint64_t phys = merged.ok() ? merged.value()->physical_bytes() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --merges_building_;
@@ -1092,6 +1304,7 @@ void LsmTree::MergeJob(MergePlan plan, bool canceled) {
       return;
     }
     InstallMergedLocked(plan, std::move(merged).value());
+    FoldMergeCountersLocked(counters, phys);
     ReleaseMergePlanLocked(plan);
     // Cascade: the policy may want another merge on the new shape (e.g. a
     // tier completed by this rewrite) — and freeing a claim may unblock a

@@ -89,6 +89,40 @@ class FlushTransformer {
   virtual Status OnRecoveredSchema(const Buffer& /*blob*/) { return Status::OK(); }
 };
 
+/// Merge-lifecycle hook (FlushTransformer's sibling): lets the tuple
+/// compactor piggyback on the read+rewrite a merge already pays (ROADMAP
+/// "Transformation-embedded merges", after Mycelium) — surviving tuples are
+/// re-encoded against the NEWEST inferred schema instead of keeping whatever
+/// stale layout their source component flushed with. Implementations must be
+/// thread-safe: several merges (and flush builds) may transform concurrently.
+class MergeTransformer {
+ public:
+  virtual ~MergeTransformer() = default;
+  /// Rewrites one surviving record for the merged component. `*rewritten`
+  /// (when non-null) is set true iff `out` differs from `payload` — feeds the
+  /// bytes-recompacted stat. The default is splice semantics: bytes through,
+  /// untouched.
+  virtual Status TransformMerged(std::string_view payload, Buffer* out,
+                                 bool* rewritten) {
+    out->assign(payload.begin(), payload.end());
+    if (rewritten != nullptr) *rewritten = false;
+    return Status::OK();
+  }
+  /// Produces the merged component's schema blob. `newest_input_blob` is the
+  /// newest input component's blob (what a splice merge would persist); the
+  /// compactor overrides it with its LIVE schema so field-name IDs assigned
+  /// by merge-time inference are durable. A crash between this write and a
+  /// concurrently-inferring flush build's install can persist counters for
+  /// records that replay re-infers — pure counter inflation (pruning runs
+  /// later than ideal), never a decode error: queries resolve against the
+  /// partition-wide live schema.
+  virtual Status OnMergeEnd(const Buffer& newest_input_blob,
+                            Buffer* schema_blob) {
+    *schema_blob = newest_input_blob;
+    return Status::OK();
+  }
+};
+
 struct LsmTreeOptions {
   std::shared_ptr<FileSystem> fs;
   BufferCache* cache = nullptr;
@@ -106,6 +140,20 @@ struct LsmTreeOptions {
   size_t wal_sync_every = 0;
   /// Not owned; identity behaviour when null.
   FlushTransformer* transformer = nullptr;
+  /// Merge-time transformation hook (not owned; null = splice semantics,
+  /// payloads copied byte-for-byte as before).
+  MergeTransformer* merge_transformer = nullptr;
+  /// Cold-level recompression (TC_MERGE_RECOMPRESS): components produced by
+  /// BOTTOM merges — plans covering the oldest component, whose output is
+  /// read-mostly from then on — are written with this heavier codec instead
+  /// of `compression`. kNone disables; readers are unaffected either way
+  /// (components self-describe their codec via the LAF v2 sidecar).
+  CompressionKind merge_recompress = CompressionKind::kNone;
+  /// Order candidate merge plans by EstimateMergeRewriteValue (stale-schema
+  /// bytes + recompressible cold bytes + write-amp payoff) instead of the
+  /// policy's proposal order, so the most valuable rewrite runs first when
+  /// plans outnumber max_concurrent_merges.
+  bool value_ordered_merges = true;
   /// Optional fast existence filter (the primary-key index of §3.2.2): when it
   /// returns false the expensive old-version point lookup is skipped. Invoked
   /// on the writer thread; implementations read through snapshots, so they
@@ -175,6 +223,24 @@ struct LsmStats {
   /// (bounded by max_pending_flush_builds).
   uint64_t flush_queue_high_water = 0;
 
+  // Merge transformation pipeline (ISSUE 10): per-stage CPU inside the merge
+  // rewrite loop, attributable instead of one opaque number. read = cursor
+  // advance over the inputs; transform = MergeTransformer re-encoding;
+  // compress = codec time inside the builder's page writes; write = builder
+  // Add/Finish minus the codec time.
+  uint64_t merge_read_usecs = 0;
+  uint64_t merge_transform_usecs = 0;
+  uint64_t merge_compress_usecs = 0;
+  uint64_t merge_write_usecs = 0;
+  /// Surviving records whose payload the merge transformer actually rewrote
+  /// (re-compacted against a newer schema), and their input payload bytes.
+  uint64_t merge_records_recompacted = 0;
+  uint64_t merge_bytes_recompacted = 0;
+  /// Bottom-merge outputs written with the heavier recompression codec:
+  /// component count and their physical output bytes.
+  uint64_t merge_components_recompressed = 0;
+  uint64_t merge_bytes_recompressed = 0;
+
   /// (bytes_flushed + bytes_merged) / bytes_flushed — the fig17 policy-axis
   /// metric; 1.0 means the policy never rewrote a flushed byte. Bulk-loaded
   /// bytes are excluded on both sides.
@@ -183,7 +249,26 @@ struct LsmStats {
     return static_cast<double>(bytes_flushed + bytes_merged) /
            static_cast<double>(bytes_flushed);
   }
+
+  /// Share of merge-rewrite CPU spent on the transformation stages (transform
+  /// + compress) rather than data movement (read + write) — how much the
+  /// pipeline embeds on top of the splice it replaced. 0.0 when no merge ran.
+  double MergePipelineCpuShare() const {
+    uint64_t total = merge_read_usecs + merge_transform_usecs +
+                     merge_compress_usecs + merge_write_usecs;
+    if (total == 0) return 0.0;
+    return static_cast<double>(merge_transform_usecs + merge_compress_usecs) /
+           static_cast<double>(total);
+  }
 };
+
+/// Value score for ordering candidate merge plans (higher = scheduled
+/// first): rewards stale-schema bytes (re-compaction payoff), recompressible
+/// cold bytes, and the write-amp payoff of wide fan-in, normalized by the
+/// bytes the rewrite must move. Pure — unit-tested for monotonicity.
+double EstimateMergeRewriteValue(uint64_t total_bytes,
+                                 uint64_t stale_schema_bytes,
+                                 uint64_t recompressible_bytes, size_t fan_in);
 
 /// Deferred deletion of retired (merged-away or destroyed) components: files
 /// are physically deleted only once no ReadView pins the component. Shared by
@@ -456,6 +541,18 @@ class LsmTree {
     uint64_t cid_max = 0;
   };
 
+  /// Per-stage pipeline accounting accumulated lock-free during one merge
+  /// rewrite, folded into stats_ under mu_ at install.
+  struct MergePipelineCounters {
+    uint64_t read_usecs = 0;
+    uint64_t transform_usecs = 0;
+    uint64_t compress_usecs = 0;
+    uint64_t write_usecs = 0;
+    uint64_t records_recompacted = 0;
+    uint64_t bytes_recompacted = 0;
+    bool recompressed = false;  // output written with the heavy tier
+  };
+
   // A sealed generation whose component build is queued on the pool. The
   // generation stays readable (views pin it from this queue) and its WAL
   // segment stays on disk until the build installs.
@@ -525,10 +622,20 @@ class LsmTree {
   // always guarded by the key_may_exist filter (every point-lookup entry
   // point consults it; a false from the pk index proves absence).
   Result<std::optional<Buffer>> CaptureOldVersion(const BtreeKey& key);
-  // Rewrites the plan's pinned inputs into one component. Lock-free: inputs
-  // are immutable files read through the (thread-safe) buffer cache.
+  // Rewrites the plan's pinned inputs into one component through the staged
+  // transformation pipeline (read -> transform -> compress -> write), filling
+  // `counters`. Lock-free: inputs are immutable files read through the
+  // (thread-safe) buffer cache.
   Result<std::shared_ptr<BtreeComponent>> BuildMergedComponent(
-      const MergePlan& plan);
+      const MergePlan& plan, MergePipelineCounters* counters);
+  // Requires mu_: EstimateMergeRewriteValue over the plan's inputs, using the
+  // newest component's schema blob to spot stale-schema bytes.
+  double ScoreMergePlanLocked(const MergePlan& plan) const;
+  // Requires mu_: folds one rewrite's pipeline counters into stats_;
+  // `merged_physical_bytes` is the freshly installed component's on-disk size
+  // (the recompressed-bytes figure when the rewrite switched codecs).
+  void FoldMergeCountersLocked(const MergePipelineCounters& counters,
+                               uint64_t merged_physical_bytes);
   // Executes one scheduled merge on a pool thread, then re-decides
   // (cascade); short-circuits when canceled or an error is latched.
   void MergeJob(MergePlan plan, bool canceled);
@@ -537,6 +644,8 @@ class LsmTree {
   std::shared_ptr<const Compressor> compressor_;
   FlushTransformer identity_;
   FlushTransformer* transformer_ = nullptr;
+  MergeTransformer identity_merge_;
+  MergeTransformer* merge_transformer_ = nullptr;
 
   // Serializes writers (Insert/Upsert/Delete/Flush/BulkLoad/DestroyAll) end
   // to end: WAL append, memtable update, generation swaps. Readers and pool

@@ -1,6 +1,7 @@
 #include "storage/buffer_cache.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace tc {
 namespace {
@@ -42,11 +43,27 @@ Result<std::unique_ptr<PagedFile>> PagedFile::Open(
   pf->file_id_ = NextFileId();
   pf->finished_ = true;
   TC_ASSIGN_OR_RETURN(pf->file_, pf->fs_->Open(path));
-  if (pf->compressed()) {
-    TC_ASSIGN_OR_RETURN(pf->entries_, LoadLaf(pf->fs_.get(), LafPath(path)));
+  // The LAF's presence, not the caller's codec, decides whether the file is
+  // compressed: components may be recompressed at merge with a codec other
+  // than the tree's configured one.
+  if (pf->fs_->Exists(LafPath(path))) {
+    TC_ASSIGN_OR_RETURN(LafData laf, LoadLaf(pf->fs_.get(), LafPath(path)));
+    pf->entries_ = std::move(laf.entries);
+    if (laf.codec.has_value()) {  // v2: the sidecar names the codec
+      pf->compressor_ = GetCompressor(*laf.codec);
+      if (pf->compressor_ == nullptr) {
+        return Status::NotSupported(
+            std::string("paged file codec not compiled in: ") +
+            CompressionKindName(*laf.codec) + ": " + path);
+      }
+    } else if (!pf->compressed()) {
+      // v1 sidecar with no caller codec: snappy was the only v1-era codec.
+      pf->compressor_ = GetCompressor(CompressionKind::kSnappy);
+    }
     TC_ASSIGN_OR_RETURN(pf->laf_bytes_, pf->fs_->FileSize(LafPath(path)));
     pf->append_offset_ = pf->file_->Size();
   } else {
+    pf->compressor_ = GetCompressor(CompressionKind::kNone);
     uint64_t size = pf->file_->Size();
     if (size % page_size != 0) {
       return Status::Corruption("paged file size not page-aligned: " + path);
@@ -71,7 +88,12 @@ Status PagedFile::AppendPage(const uint8_t* data) {
   if (compressed()) {
     Buffer out;
     out.reserve(page_size_);
+    auto t0 = std::chrono::steady_clock::now();
     TC_RETURN_IF_ERROR(compressor_->Compress(data, page_size_, &out));
+    compress_nanos_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     TC_RETURN_IF_ERROR(file_->Write(append_offset_, out.data(), out.size()));
     entries_.push_back({append_offset_, static_cast<uint32_t>(out.size())});
     append_offset_ += out.size();
@@ -87,7 +109,8 @@ Status PagedFile::Finish() {
   TC_CHECK(!finished_);
   TC_RETURN_IF_ERROR(file_->Sync());
   if (compressed()) {
-    TC_RETURN_IF_ERROR(WriteLaf(fs_.get(), LafPath(path_), entries_));
+    TC_RETURN_IF_ERROR(
+        WriteLaf(fs_.get(), LafPath(path_), entries_, compressor_->kind()));
     TC_ASSIGN_OR_RETURN(laf_bytes_, fs_->FileSize(LafPath(path_)));
   }
   finished_ = true;

@@ -31,7 +31,13 @@ class PagedFile {
       std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
       std::shared_ptr<const Compressor> compressor);
 
-  /// Opens an existing, finished page file for reading.
+  /// Opens an existing, finished page file for reading. The file is
+  /// self-describing: a LAF sidecar means compressed (v2 LAFs carry the codec
+  /// the pages were written with, which overrides `compressor`; v1 LAFs fall
+  /// back to `compressor`, or the snappy tier when none was passed — snappy
+  /// was the only v1-era codec), no LAF means uncompressed. This is what lets
+  /// a merge recompress a component with a heavier codec than the tree's
+  /// configured one and still have every reader open it correctly.
   static Result<std::unique_ptr<PagedFile>> Open(
       std::shared_ptr<FileSystem> fs, const std::string& path, size_t page_size,
       std::shared_ptr<const Compressor> compressor);
@@ -56,6 +62,10 @@ class PagedFile {
   uint64_t file_id() const { return file_id_; }
   const std::string& path() const { return path_; }
   bool compressed() const { return compressor_->kind() != CompressionKind::kNone; }
+  CompressionKind compression() const { return compressor_->kind(); }
+  /// CPU nanoseconds spent inside the codec by AppendPage (write side only;
+  /// feeds the merge pipeline's per-stage compress counter).
+  uint64_t compress_nanos() const { return compress_nanos_; }
 
  private:
   PagedFile() = default;
@@ -68,6 +78,7 @@ class PagedFile {
   std::vector<LafEntry> entries_;  // kept for uncompressed files too (trivial)
   uint64_t append_offset_ = 0;
   uint64_t laf_bytes_ = 0;
+  uint64_t compress_nanos_ = 0;  // single-writer: only AppendPage touches it
   bool finished_ = false;
   uint64_t file_id_ = 0;
 };

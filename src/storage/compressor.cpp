@@ -1,6 +1,17 @@
 #include "storage/compressor.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
+
+#ifdef TC_HAVE_ZSTD
+#include <zstd.h>
+#endif
+#ifdef TC_HAVE_LZ4
+#include <lz4.h>
+#endif
 
 namespace tc {
 namespace {
@@ -29,20 +40,26 @@ class NoneCompressor final : public Compressor {
 };
 
 // ---------------------------------------------------------------------------
-// Snappy-like LZ77 codec.
+// Shared LZ77 stream layout (snappy + heavy codecs).
 //
 // Stream layout: varint(uncompressed_length) then a sequence of tagged ops:
-//   literal:  tag = (len-1) << 2 | 0 for len <= 60; tag 60<<2 means one extra
-//             length byte follows (len-1), tag 61<<2 means two bytes.
-//   copy:     tag = (len-4) << 2 | 2, followed by a 2-byte little-endian
-//             offset; 4 <= len <= 64, 1 <= offset < 65536.
+//   literal:   tag = (len-1) << 2 | 0 for len <= 60; tag 60<<2 means one extra
+//              length byte follows (len-1), tag 61<<2 means two bytes.
+//   copy:      tag = (len-4) << 2 | 2, followed by a 2-byte little-endian
+//              offset; 4 <= len <= 64, 1 <= offset < 65536.
+//   long copy: tag & 3 == 1 (heavy codec only): one extra length byte,
+//              len = (((tag >> 2) | (extra << 6)) + 4) up to 16387, then the
+//              same 2-byte offset. The heavy stream is a superset of the
+//              snappy stream, so one decoder serves both.
 // ---------------------------------------------------------------------------
 
 constexpr int kHashBits = 14;
 constexpr size_t kHashTableSize = 1u << kHashBits;
 constexpr size_t kMaxCopyLen = 64;
+constexpr size_t kMaxLongCopyLen = 16387;  // 14-bit (len-4) + 4
 constexpr size_t kMaxOffset = 65535;
 constexpr size_t kMinMatch = 4;
+constexpr size_t kBlock = 60 * 1024;  // positions + 1 fit in uint16_t
 
 inline uint32_t Load32(const uint8_t* p) {
   uint32_t v;
@@ -84,6 +101,86 @@ void EmitCopy(size_t offset, size_t len, Buffer* out) {
   }
 }
 
+// Heavy-codec copy emitter: short copies keep the 3-byte snappy op, longer
+// matches use the 4-byte long-copy op instead of a run of 64-byte ops.
+void EmitLongCopy(size_t offset, size_t len, Buffer* out) {
+  while (len >= kMinMatch) {
+    size_t chunk = len < kMaxLongCopyLen ? len : kMaxLongCopyLen;
+    if (len - chunk > 0 && len - chunk < kMinMatch) chunk = len - kMinMatch;
+    if (chunk <= kMaxCopyLen) {
+      out->push_back(static_cast<uint8_t>(((chunk - 4) << 2) | 2));
+    } else {
+      size_t v = chunk - 4;
+      out->push_back(static_cast<uint8_t>(((v & 0x3f) << 2) | 1));
+      out->push_back(static_cast<uint8_t>(v >> 6));
+    }
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    len -= chunk;
+  }
+}
+
+// One decoder for both homegrown streams; `allow_long` rejects the heavy
+// codec's long-copy op when decoding a snappy stream.
+Status DecodeLz77(const char* who, bool allow_long, const uint8_t* in, size_t n,
+                  uint8_t* out, size_t out_cap, size_t* out_size) {
+  const uint8_t* p = in;
+  const uint8_t* limit = in + n;
+  uint64_t expected = 0;
+  size_t consumed = GetVarint64(p, limit, &expected);
+  if (consumed == 0) return Status::Corruption(std::string(who) + ": bad length varint");
+  if (expected > out_cap) return Status::Corruption(std::string(who) + ": output too small");
+  p += consumed;
+  size_t pos = 0;
+  while (p < limit) {
+    uint8_t tag = *p++;
+    if ((tag & 3) == 0) {  // literal
+      size_t len = (tag >> 2) + 1;
+      if (len == 61) {
+        if (p >= limit) return Status::Corruption(std::string(who) + ": truncated literal len");
+        len = static_cast<size_t>(*p++) + 1;
+      } else if (len == 62) {
+        if (p + 2 > limit) return Status::Corruption(std::string(who) + ": truncated literal len");
+        len = static_cast<size_t>(p[0] | (p[1] << 8)) + 1;
+        p += 2;
+      }
+      if (p + len > limit || pos + len > expected) {
+        return Status::Corruption(std::string(who) + ": literal overruns buffer");
+      }
+      std::memcpy(out + pos, p, len);
+      p += len;
+      pos += len;
+    } else if ((tag & 3) == 2 || ((tag & 3) == 1 && allow_long)) {  // copy
+      size_t len;
+      if ((tag & 3) == 2) {
+        len = ((tag >> 2) & 0x3f) + 4;
+      } else {
+        if (p >= limit) return Status::Corruption(std::string(who) + ": truncated long copy");
+        len = (((tag >> 2) & 0x3f) | (static_cast<size_t>(*p++) << 6)) + 4;
+      }
+      if (p + 2 > limit) return Status::Corruption(std::string(who) + ": truncated copy");
+      size_t offset = static_cast<size_t>(p[0] | (p[1] << 8));
+      p += 2;
+      if (offset == 0 || offset > pos || pos + len > expected) {
+        return Status::Corruption(std::string(who) + ": bad copy");
+      }
+      for (size_t i = 0; i < len; ++i) {  // byte-wise: offsets may overlap
+        out[pos + i] = out[pos + i - offset];
+      }
+      pos += len;
+    } else {
+      return Status::Corruption(std::string(who) + ": unknown tag");
+    }
+  }
+  if (pos != expected) return Status::Corruption(std::string(who) + ": length mismatch");
+  *out_size = pos;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Snappy-like codec: single-probe hash table, greedy, short copies only.
+// ---------------------------------------------------------------------------
+
 class SnappyLikeCompressor final : public Compressor {
  public:
   CompressionKind kind() const override { return CompressionKind::kSnappy; }
@@ -102,7 +199,6 @@ class SnappyLikeCompressor final : public Compressor {
     // Positions are stored +1 so 0 means "empty"; works for inputs < 64 KiB.
     // For larger inputs we compress in 60 KiB blocks sharing the table.
     size_t block_start = 0;
-    const size_t kBlock = 60 * 1024;
     while (block_start < n) {
       size_t block_len = n - block_start < kBlock ? n - block_start : kBlock;
       CompressBlock(in + block_start, block_len, table, out);
@@ -114,51 +210,7 @@ class SnappyLikeCompressor final : public Compressor {
 
   Status Decompress(const uint8_t* in, size_t n, uint8_t* out, size_t out_cap,
                     size_t* out_size) const override {
-    const uint8_t* p = in;
-    const uint8_t* limit = in + n;
-    uint64_t expected = 0;
-    size_t consumed = GetVarint64(p, limit, &expected);
-    if (consumed == 0) return Status::Corruption("snappy: bad length varint");
-    if (expected > out_cap) return Status::Corruption("snappy: output too small");
-    p += consumed;
-    size_t pos = 0;
-    while (p < limit) {
-      uint8_t tag = *p++;
-      if ((tag & 3) == 0) {  // literal
-        size_t len = (tag >> 2) + 1;
-        if (len == 61) {
-          if (p >= limit) return Status::Corruption("snappy: truncated literal len");
-          len = static_cast<size_t>(*p++) + 1;
-        } else if (len == 62) {
-          if (p + 2 > limit) return Status::Corruption("snappy: truncated literal len");
-          len = static_cast<size_t>(p[0] | (p[1] << 8)) + 1;
-          p += 2;
-        }
-        if (p + len > limit || pos + len > expected) {
-          return Status::Corruption("snappy: literal overruns buffer");
-        }
-        std::memcpy(out + pos, p, len);
-        p += len;
-        pos += len;
-      } else if ((tag & 3) == 2) {  // copy
-        size_t len = ((tag >> 2) & 0x3f) + 4;
-        if (p + 2 > limit) return Status::Corruption("snappy: truncated copy");
-        size_t offset = static_cast<size_t>(p[0] | (p[1] << 8));
-        p += 2;
-        if (offset == 0 || offset > pos || pos + len > expected) {
-          return Status::Corruption("snappy: bad copy");
-        }
-        for (size_t i = 0; i < len; ++i) {  // byte-wise: offsets may overlap
-          out[pos + i] = out[pos + i - offset];
-        }
-        pos += len;
-      } else {
-        return Status::Corruption("snappy: unknown tag");
-      }
-    }
-    if (pos != expected) return Status::Corruption("snappy: length mismatch");
-    *out_size = pos;
-    return Status::OK();
+    return DecodeLz77("snappy", /*allow_long=*/false, in, n, out, out_cap, out_size);
   }
 
  private:
@@ -195,18 +247,268 @@ class SnappyLikeCompressor final : public Compressor {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Heavy codec: hash-chain matching (up to kMaxChain candidates per position,
+// longest wins), long-copy ops, every matched position inserted into the
+// chain. Several times slower than the snappy tier, noticeably smaller output
+// on structured data — which is exactly the trade the merge recompression
+// tier wants for cold bottom-level components that are written once and read
+// for a long time.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMaxChain = 16;
+
+class HeavyCompressor final : public Compressor {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kHeavy; }
+  std::string name() const override { return "heavy"; }
+
+  Status Compress(const uint8_t* in, size_t n, Buffer* out) const override {
+    PutVarint64(out, n);
+    if (n == 0) return Status::OK();
+    if (n < kMinMatch + 4) {
+      EmitLiteral(in, n, out);
+      return Status::OK();
+    }
+    std::vector<uint16_t> head(kHashTableSize, 0);
+    std::vector<uint16_t> prev(kBlock, 0);
+    size_t block_start = 0;
+    while (block_start < n) {
+      size_t block_len = n - block_start < kBlock ? n - block_start : kBlock;
+      CompressBlock(in + block_start, block_len, head.data(), prev.data(), out);
+      std::fill(head.begin(), head.end(), 0);
+      block_start += block_len;
+    }
+    return Status::OK();
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, uint8_t* out, size_t out_cap,
+                    size_t* out_size) const override {
+    return DecodeLz77("heavy", /*allow_long=*/true, in, n, out, out_cap, out_size);
+  }
+
+ private:
+  static void CompressBlock(const uint8_t* in, size_t n, uint16_t* head,
+                            uint16_t* prev, Buffer* out) {
+    size_t ip = 0;
+    size_t literal_start = 0;
+    while (ip + kMinMatch <= n && ip + 4 <= n) {
+      uint32_t h = HashOf(Load32(in + ip));
+      size_t best_len = 0;
+      size_t best_off = 0;
+      size_t candidate = head[h];
+      size_t chain = 0;
+      while (candidate != 0 && chain < kMaxChain) {
+        size_t cpos = candidate - 1;
+        size_t offset = ip - cpos;
+        if (offset == 0) break;  // stale self-entry; chain ends here
+        if (offset <= kMaxOffset && Load32(in + cpos) == Load32(in + ip)) {
+          size_t max_len = n - ip;
+          if (max_len > kMaxLongCopyLen) max_len = kMaxLongCopyLen;
+          size_t len = kMinMatch;
+          while (len < max_len && in[cpos + len] == in[ip + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_off = offset;
+          }
+        }
+        candidate = prev[cpos];
+        ++chain;
+      }
+      prev[ip] = head[h];
+      head[h] = static_cast<uint16_t>(ip + 1);
+      if (best_len >= kMinMatch) {
+        EmitLiteral(in + literal_start, ip - literal_start, out);
+        EmitLongCopy(best_off, best_len, out);
+        // Insert interior match positions so later data can reference them.
+        size_t stop = ip + best_len;
+        for (size_t j = ip + 1; j + 4 <= stop && j + 4 <= n; ++j) {
+          uint32_t hj = HashOf(Load32(in + j));
+          prev[j] = head[hj];
+          head[hj] = static_cast<uint16_t>(j + 1);
+        }
+        ip = stop;
+        literal_start = ip;
+      } else {
+        ++ip;
+      }
+    }
+    EmitLiteral(in + literal_start, n - literal_start, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Real-library wrappers, present only when CMake found the library.
+// ---------------------------------------------------------------------------
+
+#ifdef TC_HAVE_ZSTD
+class ZstdCompressor final : public Compressor {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kZstd; }
+  std::string name() const override { return "zstd"; }
+
+  Status Compress(const uint8_t* in, size_t n, Buffer* out) const override {
+    size_t bound = ZSTD_compressBound(n);
+    size_t old = out->size();
+    out->resize(old + bound);
+    size_t r = ZSTD_compress(out->data() + old, bound, in, n, /*level=*/3);
+    if (ZSTD_isError(r)) {
+      out->resize(old);
+      return Status::IOError(std::string("zstd: ") + ZSTD_getErrorName(r));
+    }
+    out->resize(old + r);
+    return Status::OK();
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, uint8_t* out, size_t out_cap,
+                    size_t* out_size) const override {
+    size_t r = ZSTD_decompress(out, out_cap, in, n);
+    if (ZSTD_isError(r)) {
+      return Status::Corruption(std::string("zstd: ") + ZSTD_getErrorName(r));
+    }
+    *out_size = r;
+    return Status::OK();
+  }
+};
+#endif  // TC_HAVE_ZSTD
+
+#ifdef TC_HAVE_LZ4
+// LZ4's block API does not carry the uncompressed length, so the stream gets
+// the same varint prefix as the homegrown codecs.
+class Lz4Compressor final : public Compressor {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kLz4; }
+  std::string name() const override { return "lz4"; }
+
+  Status Compress(const uint8_t* in, size_t n, Buffer* out) const override {
+    if (n > static_cast<size_t>(LZ4_MAX_INPUT_SIZE)) {
+      return Status::InvalidArgument("lz4: input too large");
+    }
+    PutVarint64(out, n);
+    int bound = LZ4_compressBound(static_cast<int>(n));
+    size_t old = out->size();
+    out->resize(old + static_cast<size_t>(bound));
+    int r = LZ4_compress_default(reinterpret_cast<const char*>(in),
+                                 reinterpret_cast<char*>(out->data() + old),
+                                 static_cast<int>(n), bound);
+    if (r <= 0 && n > 0) {
+      out->resize(old);
+      return Status::IOError("lz4: compress failed");
+    }
+    out->resize(old + static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Decompress(const uint8_t* in, size_t n, uint8_t* out, size_t out_cap,
+                    size_t* out_size) const override {
+    const uint8_t* p = in;
+    uint64_t expected = 0;
+    size_t consumed = GetVarint64(p, in + n, &expected);
+    if (consumed == 0) return Status::Corruption("lz4: bad length varint");
+    if (expected > out_cap) return Status::Corruption("lz4: output too small");
+    int r = LZ4_decompress_safe(reinterpret_cast<const char*>(in + consumed),
+                                reinterpret_cast<char*>(out),
+                                static_cast<int>(n - consumed),
+                                static_cast<int>(out_cap));
+    if (r < 0 || static_cast<uint64_t>(r) != expected) {
+      return Status::Corruption("lz4: decompress failed");
+    }
+    *out_size = static_cast<size_t>(r);
+    return Status::OK();
+  }
+};
+#endif  // TC_HAVE_LZ4
+
 }  // namespace
 
 std::shared_ptr<const Compressor> GetCompressor(CompressionKind kind) {
   static const auto none = std::make_shared<NoneCompressor>();
   static const auto snappy = std::make_shared<SnappyLikeCompressor>();
+  static const auto heavy = std::make_shared<HeavyCompressor>();
+#ifdef TC_HAVE_ZSTD
+  static const auto zstd = std::make_shared<ZstdCompressor>();
+#endif
+#ifdef TC_HAVE_LZ4
+  static const auto lz4 = std::make_shared<Lz4Compressor>();
+#endif
   switch (kind) {
     case CompressionKind::kNone:
       return none;
     case CompressionKind::kSnappy:
       return snappy;
+    case CompressionKind::kHeavy:
+      return heavy;
+    case CompressionKind::kZstd:
+#ifdef TC_HAVE_ZSTD
+      return zstd;
+#else
+      return nullptr;
+#endif
+    case CompressionKind::kLz4:
+#ifdef TC_HAVE_LZ4
+      return lz4;
+#else
+      return nullptr;
+#endif
   }
   return none;
+}
+
+bool CompressorAvailable(CompressionKind kind) {
+  return GetCompressor(kind) != nullptr;
+}
+
+const char* CompressionKindName(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kSnappy:
+      return "snappy";
+    case CompressionKind::kHeavy:
+      return "heavy";
+    case CompressionKind::kZstd:
+      return "zstd";
+    case CompressionKind::kLz4:
+      return "lz4";
+  }
+  return "unknown";
+}
+
+bool ParseCompressionKind(std::string_view text, CompressionKind* out) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "none" || lower == "off" || lower == "0") {
+    *out = CompressionKind::kNone;
+  } else if (lower == "snappy") {
+    *out = CompressionKind::kSnappy;
+  } else if (lower == "heavy") {
+    *out = CompressionKind::kHeavy;
+  } else if (lower == "zstd") {
+    *out = CompressionKind::kZstd;
+  } else if (lower == "lz4") {
+    *out = CompressionKind::kLz4;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CompressionKind CompressionKindFromEnv(const char* name, CompressionKind def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return def;
+  CompressionKind parsed;
+  if (!ParseCompressionKind(raw, &parsed)) {
+    std::fprintf(stderr, "[tc] %s=%s: unknown codec, keeping %s\n", name, raw,
+                 CompressionKindName(def));
+    return def;
+  }
+  if (!CompressorAvailable(parsed)) {
+    std::fprintf(stderr,
+                 "[tc] %s=%s: codec not compiled in, falling back to heavy\n",
+                 name, raw);
+    return CompressionKind::kHeavy;
+  }
+  return parsed;
 }
 
 }  // namespace tc

@@ -1,22 +1,33 @@
 // Block compressors for page-level compression (paper §2.4). The paper uses
 // Snappy; this repo implements a from-scratch LZ77 codec with Snappy-style
-// literal/copy tagging (offline environment, no third-party code) plus a noop
-// codec. Pages are compressed on write at the buffer-cache boundary and
-// decompressed to their fixed configured size on read.
+// literal/copy tagging (offline environment, no third-party code), a heavier
+// hash-chain variant of it for the cold-component recompression tier
+// (TC_MERGE_RECOMPRESS), and a noop codec. Real zstd / lz4 wrappers are
+// compiled in when CMake finds the libraries (TC_HAVE_ZSTD / TC_HAVE_LZ4) —
+// never a hard dependency. Pages are compressed on write at the buffer-cache
+// boundary and decompressed to their fixed configured size on read; the codec
+// a file was written with is persisted in its LAF sidecar (v2), so components
+// recompressed at merge stay readable by a tree configured with any codec.
 #ifndef TC_STORAGE_COMPRESSOR_H_
 #define TC_STORAGE_COMPRESSOR_H_
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.h"
 #include "common/status.h"
 
 namespace tc {
 
+/// Numeric values are persisted in LAF v2 sidecars — append only, never
+/// renumber.
 enum class CompressionKind {
   kNone = 0,
   kSnappy = 1,  // the from-scratch snappy-like codec
+  kHeavy = 2,   // hash-chain LZ77 with long copies: slower, smaller output
+  kZstd = 3,    // real zstd, only when built with TC_HAVE_ZSTD
+  kLz4 = 4,     // real lz4, only when built with TC_HAVE_LZ4
 };
 
 class Compressor {
@@ -34,8 +45,23 @@ class Compressor {
                             size_t out_cap, size_t* out_size) const = 0;
 };
 
-/// Returns a process-wide shared instance for `kind`.
+/// Returns a process-wide shared instance for `kind`, or null when the codec
+/// was not compiled in (zstd/lz4 without the library present).
 std::shared_ptr<const Compressor> GetCompressor(CompressionKind kind);
+
+/// Whether GetCompressor(kind) returns a real codec in this build.
+bool CompressorAvailable(CompressionKind kind);
+
+const char* CompressionKindName(CompressionKind kind);
+
+/// Parses "none", "snappy", "heavy", "zstd", "lz4" (case-insensitive).
+/// Returns false on unknown names.
+bool ParseCompressionKind(std::string_view text, CompressionKind* out);
+
+/// Reads env var `name` as a codec selection: unset keeps `def`; an unknown
+/// name warns on stderr and keeps `def`; a known but not-compiled-in codec
+/// warns and falls back to kHeavy (the always-available recompression tier).
+CompressionKind CompressionKindFromEnv(const char* name, CompressionKind def);
 
 }  // namespace tc
 

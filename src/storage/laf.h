@@ -2,13 +2,21 @@
 // pairs locating arbitrary-size compressed pages inside a data file, so the
 // engine's fixed-size page abstraction survives compression. Entries are 12
 // bytes (u64 offset + u32 length), exactly as in the paper.
+//
+// v2 adds the codec the data file was written with, making compressed files
+// self-describing: a component recompressed with the heavy tier at merge time
+// stays readable by a tree configured for any codec. v1 files (no codec
+// field) still load; their codec is reported as "unknown" and resolved by the
+// caller (snappy was the only v1-era codec).
 #ifndef TC_STORAGE_LAF_H_
 #define TC_STORAGE_LAF_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/compressor.h"
 #include "storage/file.h"
 
 namespace tc {
@@ -18,12 +26,20 @@ struct LafEntry {
   uint32_t length = 0;
 };
 
-/// Writes `entries` to `path` with a checksum trailer.
-Status WriteLaf(FileSystem* fs, const std::string& path,
-                const std::vector<LafEntry>& entries);
+struct LafData {
+  std::vector<LafEntry> entries;
+  /// Codec the data file's pages were compressed with; nullopt for v1 files,
+  /// which predate the field.
+  std::optional<CompressionKind> codec;
+};
 
-/// Loads a LAF written by WriteLaf; verifies the checksum.
-Result<std::vector<LafEntry>> LoadLaf(FileSystem* fs, const std::string& path);
+/// Writes `entries` plus the data file's codec to `path` (v2 format) with a
+/// checksum trailer.
+Status WriteLaf(FileSystem* fs, const std::string& path,
+                const std::vector<LafEntry>& entries, CompressionKind codec);
+
+/// Loads a v1 or v2 LAF; verifies the checksum.
+Result<LafData> LoadLaf(FileSystem* fs, const std::string& path);
 
 }  // namespace tc
 

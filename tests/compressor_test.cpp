@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "storage/compressor.h"
 
@@ -77,12 +80,26 @@ TEST_P(CompressorRoundTrip, PropertyRandomStructured) {
   }
 }
 
+std::vector<CompressionKind> AvailableKinds() {
+  std::vector<CompressionKind> kinds = {CompressionKind::kNone,
+                                        CompressionKind::kSnappy,
+                                        CompressionKind::kHeavy};
+  // The real-library codecs join the matrix only when compiled in.
+  if (CompressorAvailable(CompressionKind::kZstd)) {
+    kinds.push_back(CompressionKind::kZstd);
+  }
+  if (CompressorAvailable(CompressionKind::kLz4)) {
+    kinds.push_back(CompressionKind::kLz4);
+  }
+  return kinds;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllKinds, CompressorRoundTrip,
-                         ::testing::Values(CompressionKind::kNone,
-                                           CompressionKind::kSnappy),
+                         ::testing::ValuesIn(AvailableKinds()),
                          [](const auto& info) {
-                           return info.param == CompressionKind::kNone ? "None"
-                                                                       : "Snappy";
+                           std::string n = CompressionKindName(info.param);
+                           n[0] = static_cast<char>(std::toupper(n[0]));
+                           return n;
                          });
 
 TEST(Snappy, CompressesRedundantPages) {
@@ -129,6 +146,99 @@ TEST(Snappy, LargeInputCrossesBlockBoundaries) {
   }
   ASSERT_GT(input.size(), 128u * 1024);
   EXPECT_EQ(RoundTrip(*c, input), input);
+}
+
+TEST(Heavy, BeatsSnappyOnStructuredData) {
+  // The recompression tier's whole point: on record-shaped redundant data the
+  // hash-chain matcher with long copies must produce smaller output than the
+  // single-probe snappy tier.
+  auto heavy = GetCompressor(CompressionKind::kHeavy);
+  auto snappy = GetCompressor(CompressionKind::kSnappy);
+  Rng rng(17);
+  Buffer input;
+  for (int i = 0; i < 4000; ++i) {
+    std::string rec = "{\"sensor_id\":" + std::to_string(i % 50) +
+                      ",\"reading\":" + std::to_string(rng.Uniform(1000)) +
+                      ",\"status\":\"ok\"}";
+    input.insert(input.end(), rec.begin(), rec.end());
+  }
+  Buffer h, s;
+  ASSERT_TRUE(heavy->Compress(input.data(), input.size(), &h).ok());
+  ASSERT_TRUE(snappy->Compress(input.data(), input.size(), &s).ok());
+  EXPECT_LT(h.size(), s.size());
+  EXPECT_EQ(RoundTrip(*heavy, input), input);
+}
+
+TEST(Heavy, LongCopyOpsRoundTrip) {
+  // A long run of one repeated phrase exercises the 4-byte long-copy op
+  // (match lengths far past the 64-byte short-copy cap).
+  auto c = GetCompressor(CompressionKind::kHeavy);
+  Buffer input;
+  for (int i = 0; i < 3000; ++i) {
+    const char* w = "abcdefghij";
+    input.insert(input.end(), w, w + 10);
+  }
+  Buffer compressed;
+  ASSERT_TRUE(c->Compress(input.data(), input.size(), &compressed).ok());
+  // 30 KB of a 10-byte cycle must collapse to well under 1 KB with long copies.
+  EXPECT_LT(compressed.size(), 1024u);
+  EXPECT_EQ(RoundTrip(*c, input), input);
+}
+
+TEST(Heavy, SnappyDecoderRejectsLongCopyStreams) {
+  auto heavy = GetCompressor(CompressionKind::kHeavy);
+  auto snappy = GetCompressor(CompressionKind::kSnappy);
+  Buffer input;
+  for (int i = 0; i < 1000; ++i) {
+    const char* w = "0123456789abcdef";
+    input.insert(input.end(), w, w + 16);
+  }
+  Buffer compressed;
+  ASSERT_TRUE(heavy->Compress(input.data(), input.size(), &compressed).ok());
+  Buffer out(input.size());
+  size_t n = 0;
+  // The heavy stream uses tag&3==1 ops the snappy decoder must refuse.
+  EXPECT_FALSE(snappy
+                   ->Decompress(compressed.data(), compressed.size(),
+                                out.data(), out.size(), &n)
+                   .ok());
+}
+
+TEST(CompressionKindHelpers, ParseNameAvailable) {
+  CompressionKind k;
+  EXPECT_TRUE(ParseCompressionKind("heavy", &k));
+  EXPECT_EQ(k, CompressionKind::kHeavy);
+  EXPECT_TRUE(ParseCompressionKind("SNAPPY", &k));
+  EXPECT_EQ(k, CompressionKind::kSnappy);
+  EXPECT_TRUE(ParseCompressionKind("none", &k));
+  EXPECT_EQ(k, CompressionKind::kNone);
+  EXPECT_TRUE(ParseCompressionKind("zstd", &k));
+  EXPECT_EQ(k, CompressionKind::kZstd);
+  EXPECT_TRUE(ParseCompressionKind("lz4", &k));
+  EXPECT_EQ(k, CompressionKind::kLz4);
+  EXPECT_FALSE(ParseCompressionKind("gzip", &k));
+
+  EXPECT_STREQ(CompressionKindName(CompressionKind::kHeavy), "heavy");
+  EXPECT_TRUE(CompressorAvailable(CompressionKind::kNone));
+  EXPECT_TRUE(CompressorAvailable(CompressionKind::kSnappy));
+  EXPECT_TRUE(CompressorAvailable(CompressionKind::kHeavy));
+  // zstd/lz4 availability depends on the build; GetCompressor must agree.
+  EXPECT_EQ(CompressorAvailable(CompressionKind::kZstd),
+            GetCompressor(CompressionKind::kZstd) != nullptr);
+  EXPECT_EQ(CompressorAvailable(CompressionKind::kLz4),
+            GetCompressor(CompressionKind::kLz4) != nullptr);
+}
+
+TEST(CompressionKindHelpers, FromEnv) {
+  ::setenv("TC_TEST_CODEC", "heavy", 1);
+  EXPECT_EQ(CompressionKindFromEnv("TC_TEST_CODEC", CompressionKind::kSnappy),
+            CompressionKind::kHeavy);
+  ::setenv("TC_TEST_CODEC", "not-a-codec", 1);
+  EXPECT_EQ(CompressionKindFromEnv("TC_TEST_CODEC", CompressionKind::kSnappy),
+            CompressionKind::kSnappy);
+  ::unsetenv("TC_TEST_CODEC");
+  EXPECT_EQ(CompressionKindFromEnv("TC_TEST_CODEC", CompressionKind::kNone),
+            CompressionKind::kNone);
 }
 
 }  // namespace

@@ -455,5 +455,75 @@ TEST(MemoryArbiter, QueryChargesBoundedByReadShare) {
   EXPECT_TRUE(arb.TryChargeQuery(40 * 1024));
 }
 
+// Flush-build / merge-rewrite scratch always admits (denial would wedge the
+// write path) but occupies the read share, shrinking what query scratch can
+// take while a build runs.
+TEST(MemoryArbiter, BackgroundChargesAlwaysAdmitButShrinkQueryAdmission) {
+  MemoryArbiter::Options o;
+  o.total_budget_bytes = 100 * 1024;
+  o.write_pct = 60;  // read share = 40 KiB
+  o.adaptive = false;
+  MemoryArbiter arb(o);
+
+  // A background charge larger than the whole read share still admits.
+  arb.ChargeBackground(50 * 1024);
+  EXPECT_EQ(arb.stats().background_bytes_charged, 50 * 1024u);
+  EXPECT_EQ(arb.stats().background_charges, 1u);
+  // ...but queries now see zero headroom.
+  EXPECT_FALSE(arb.TryChargeQuery(1));
+  EXPECT_EQ(arb.stats().query_charge_denials, 1u);
+
+  arb.ReleaseBackground(50 * 1024);
+  EXPECT_EQ(arb.stats().background_bytes_charged, 0u);
+
+  // Partial occupancy: build scratch and query scratch share the 40 KiB.
+  arb.ChargeBackground(25 * 1024);
+  EXPECT_FALSE(arb.TryChargeQuery(20 * 1024));  // 25 + 20 > 40
+  EXPECT_TRUE(arb.TryChargeQuery(15 * 1024));   // exactly to the cap
+  EXPECT_FALSE(arb.TryChargeQuery(1));
+  arb.ReleaseBackground(10 * 1024);
+  EXPECT_TRUE(arb.TryChargeQuery(10 * 1024));
+
+  // Saturating release: over-release clamps to zero instead of wrapping.
+  arb.ReleaseBackground(1 << 30);
+  EXPECT_EQ(arb.stats().background_bytes_charged, 0u);
+}
+
+// An LSM tree attached to an arbiter charges its component-build scratch
+// while the build runs and releases it at install: observable as a nonzero
+// background_charges count after a flush, with no residual charged bytes.
+TEST(MemoryArbiter, TreeBuildsChargeBackgroundScratch) {
+  MemoryArbiter::Options o;
+  o.total_budget_bytes = 4 << 20;
+  o.adaptive = false;
+  MemoryArbiter arb(o);
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  {
+    LsmTreeOptions t;
+    t.fs = fs;
+    t.cache = &cache;
+    t.dir = "arb";
+    t.name = "t";
+    t.page_size = 4096;
+    t.memtable_budget_bytes = 1 << 20;
+    t.merge_policy = MakeConstantMergePolicy(1);
+    t.arbiter = &arb;
+    t.wal_sync_every = 0;
+    auto tree = LsmTree::Open(std::move(t)).ValueOrDie();
+    for (int64_t k = 0; k < 32; ++k) {
+      ASSERT_TRUE(tree->Insert(BtreeKey{k, 0}, "vvvv").ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+    for (int64_t k = 32; k < 64; ++k) {
+      ASSERT_TRUE(tree->Insert(BtreeKey{k, 0}, "vvvv").ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());  // flush build + inline merge rewrite
+  }
+  MemoryArbiter::Stats s = arb.stats();
+  EXPECT_GE(s.background_charges, 3u);  // two flush builds + one merge
+  EXPECT_EQ(s.background_bytes_charged, 0u);  // all released at build end
+}
+
 }  // namespace
 }  // namespace tc

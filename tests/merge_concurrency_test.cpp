@@ -534,5 +534,69 @@ TEST(MergeConcurrency, TeardownDrainsFlushBuildsOfWalLessTrees) {
   EXPECT_EQ(S(*reopened->Get(BtreeKey{1, 0}).ValueOrDie()), "must-survive");
 }
 
+// Flush builds must never starve behind queued merges: they ride the task
+// pool's HIGH lane because a stalled flush build is writer backpressure
+// (TC_FLUSH_PENDING). One worker thread makes the discrimination
+// deterministic — gate the FIRST flush build until the writer has queued
+// four flushes, then watch the drain order. With the priority lane the
+// worker builds every queued flush before touching the merge the second
+// install scheduled; a FIFO pool would interleave the merge after flush two.
+TEST(MergeConcurrency, FlushBuildsOutrankQueuedMergesUnderStorm) {
+  Fixture fx;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool writer_done = false;
+  std::vector<char> creates;  // 'f' = flush output, 'm' = merge output
+  fx.fs->create_hook = [&](const std::string& path) -> Status {
+    bool flush = IsFlushOutput(path);
+    bool merge = IsMergeOutput(path);
+    if (!flush && !merge) return Status::OK();
+    std::unique_lock<std::mutex> lock(mu);
+    if (flush && creates.empty()) {
+      // Hold the first build until the writer queued the whole storm, so
+      // the single worker then drains a fully-populated queue.
+      cv.wait_for(lock, std::chrono::seconds(30), [&] { return writer_done; });
+    }
+    creates.push_back(flush ? 'f' : 'm');
+    return Status::OK();
+  };
+  // Tiered(3, 2): the second install proposes a pair merge, which a FIFO
+  // queue would run before the third and fourth flush builds.
+  auto t = fx.Open(MakeTieredMergePolicy(3, 2), /*pool_threads=*/1,
+                   /*max_merges=*/2, /*max_pending=*/8);
+  std::string v(64, 'v');
+  for (int f = 0; f < 4; ++f) {
+    ASSERT_TRUE(fx.FlushBatch(t.get(), f * 8, 8, v).ok());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    writer_done = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(t->WaitForMerges().ok());
+
+  std::vector<char> order;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    order = creates;
+  }
+  ASSERT_GE(order.size(), 5u);
+  // Every flush build ran before the first merge rewrite.
+  size_t first_merge = order.size();
+  size_t last_flush = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 'm' && first_merge == order.size()) first_merge = i;
+    if (order[i] == 'f') last_flush = i;
+  }
+  EXPECT_LT(last_flush, first_merge)
+      << std::string(order.begin(), order.end());
+  LsmStats s = t->stats();
+  EXPECT_EQ(s.flush_count, 4u);
+  EXPECT_GE(s.merge_count, 1u);
+  for (int64_t k = 0; k < 32; ++k) {
+    EXPECT_TRUE(t->Get(BtreeKey{k, 0}).ValueOrDie().has_value()) << k;
+  }
+}
+
 }  // namespace
 }  // namespace tc

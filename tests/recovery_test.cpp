@@ -5,8 +5,11 @@
 #include <mutex>
 #include <thread>
 
+#include "adm/parser.h"
+#include "adm/printer.h"
 #include "common/bytes.h"
 #include "common/task_pool.h"
+#include "core/tuple_compactor.h"
 #include "lsm/lsm_tree.h"
 #include "schema/schema_io.h"
 #include "tests/test_util.h"
@@ -365,6 +368,100 @@ TEST(RecoveryFilterMatrix, CorruptedFooterFilterCrcFailsCleanly) {
   auto r = LsmTree::Open(BaseOptions(fs, &cache));
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+// Crash in the window after a transforming, recompressing merge installed its
+// output but before the merge inputs were deleted (the state the reclaimer's
+// deferred deletion leaves behind on power loss). Recovery must drop the
+// contained inputs, open the heavy-codec merged component through its
+// self-describing LAF, and reload the MERGE-inferred schema so the re-encoded
+// records decode losslessly.
+TEST(Recovery, CrashMidMergeRewriteRecoversTransformedHeavyComponent) {
+  auto fs = MakeMemFileSystem();
+  BufferCache cache(4096, 512);
+  DatasetType type = DatasetType::OpenWithPk("id");
+  std::vector<AdmValue> records;
+  auto payload_for = [&](int64_t id) {
+    AdmValue rec =
+        ParseAdm(R"({"id": )" + std::to_string(id) + R"(, "name": "user)" +
+                 std::to_string(id) + R"(", "score": )" +
+                 std::to_string(id * 7) + "}")
+            .ValueOrDie();
+    records.push_back(rec);
+    Buffer b;
+    TC_CHECK(EncodeVectorRecord(rec, type, &b).ok());
+    return b;
+  };
+  // Phase 1: two components of UNCOMPACTED vector records (schemaless
+  // ingest: no flush transformer), plain codec, no merging.
+  {
+    auto opts = BaseOptions(fs, &cache);
+    opts.merge_policy = MakeNoMergePolicy();
+    auto t = LsmTree::Open(std::move(opts)).ValueOrDie();
+    for (int64_t id = 0; id < 8; ++id) {
+      Buffer p = payload_for(id);
+      ASSERT_TRUE(t->Insert(BtreeKey{id, 0}, S(p)).ok());
+      if (id == 3) {
+        ASSERT_TRUE(t->Flush().ok());
+      }
+    }
+    ASSERT_TRUE(t->Flush().ok());
+  }
+  // Snapshot every component file (data, LAF sidecars, validity markers).
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> snapshot;
+  for (const auto& f : fs->List("rec", "t.c").ValueOrDie()) {
+    snapshot.emplace_back("rec/" + f, ReadFileBytes(fs.get(), "rec/" + f));
+  }
+  ASSERT_FALSE(snapshot.empty());
+  // Phase 2: one more flush triggers the full-cascade merge, with the tuple
+  // compactor as merge transformer and heavy recompression of the bottom
+  // output. The merge re-encodes every schemaless survivor.
+  {
+    TupleCompactor compactor(&type);
+    auto opts = BaseOptions(fs, &cache);
+    opts.merge_policy = MakeConstantMergePolicy(1);
+    opts.merge_transformer = &compactor;
+    opts.merge_recompress = CompressionKind::kHeavy;
+    auto t = LsmTree::Open(std::move(opts)).ValueOrDie();
+    Buffer p = payload_for(8);
+    ASSERT_TRUE(t->Insert(BtreeKey{8, 0}, S(p)).ok());
+    ASSERT_TRUE(t->Flush().ok());  // inline: flush then merge [0..8]
+    LsmStats s = t->stats();
+    ASSERT_EQ(s.merge_count, 1u);
+    EXPECT_EQ(s.merge_records_recompacted, 9u);
+    EXPECT_EQ(s.merge_components_recompressed, 1u);
+  }
+  // Simulate the crash: resurrect the (already deleted) merge inputs next to
+  // the installed merged component.
+  for (const auto& [path, bytes] : snapshot) {
+    if (fs->Exists(path)) continue;
+    auto f = fs->Create(path).ValueOrDie();
+    ASSERT_TRUE(f->Write(0, bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  // Recovery with a FRESH compactor: contained inputs are dropped, the heavy
+  // merged component opens via its LAF, and OnRecoveredSchema reloads the
+  // merge-inferred schema.
+  TupleCompactor fresh(&type);
+  auto opts = BaseOptions(fs, &cache);
+  opts.merge_policy = MakeNoMergePolicy();
+  opts.transformer = &fresh;
+  auto t = LsmTree::Open(std::move(opts)).ValueOrDie();
+  auto view = t->View();
+  ASSERT_EQ(view.component_count(), 1u);
+  EXPECT_EQ(view.components()[0]->meta().cid_min, 1u);
+  EXPECT_EQ(view.components()[0]->compression(), CompressionKind::kHeavy);
+  Schema schema = fresh.Snapshot();
+  for (const auto& rec : records) {
+    int64_t id = rec.FindField("id")->int_value();
+    auto got = t->Get(BtreeKey{id, 0}).ValueOrDie();
+    ASSERT_TRUE(got.has_value()) << id;
+    VectorRecordView rv(got->data(), got->size());
+    EXPECT_TRUE(rv.compacted()) << id;
+    AdmValue decoded;
+    ASSERT_TRUE(DecodeVectorRecord(rv, type, &schema, &decoded).ok()) << id;
+    EXPECT_EQ(PrintAdm(decoded), PrintAdm(rec)) << id;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "storage/buffer_cache.h"
 #include "storage/file.h"
@@ -69,13 +71,17 @@ TEST(PosixFileSystem, BasicOps) {
 TEST(Laf, RoundTripAndChecksum) {
   auto fs = MakeMemFileSystem();
   std::vector<LafEntry> entries = {{0, 100}, {100, 57}, {157, 4000}};
-  ASSERT_TRUE(WriteLaf(fs.get(), "x.laf", entries).ok());
+  ASSERT_TRUE(
+      WriteLaf(fs.get(), "x.laf", entries, CompressionKind::kHeavy).ok());
   auto loaded = LoadLaf(fs.get(), "x.laf").ValueOrDie();
-  ASSERT_EQ(loaded.size(), 3u);
-  EXPECT_EQ(loaded[1].offset, 100u);
-  EXPECT_EQ(loaded[1].length, 57u);
-  // Entries are 12 bytes each, exactly as the paper specifies (§2.4).
-  EXPECT_EQ(fs->FileSize("x.laf").ValueOrDie(), 8u + 3 * 12 + 4);
+  ASSERT_EQ(loaded.entries.size(), 3u);
+  EXPECT_EQ(loaded.entries[1].offset, 100u);
+  EXPECT_EQ(loaded.entries[1].length, 57u);
+  ASSERT_TRUE(loaded.codec.has_value());
+  EXPECT_EQ(*loaded.codec, CompressionKind::kHeavy);
+  // Entries are 12 bytes each, exactly as the paper specifies (§2.4); the v2
+  // header is magic + codec + count.
+  EXPECT_EQ(fs->FileSize("x.laf").ValueOrDie(), 12u + 3 * 12 + 4);
 
   // Corrupt one byte -> checksum failure.
   auto f = fs->Open("x.laf").ValueOrDie();
@@ -84,6 +90,26 @@ TEST(Laf, RoundTripAndChecksum) {
   b ^= 0xFF;
   ASSERT_TRUE(f->Write(9, &b, 1).ok());
   EXPECT_FALSE(LoadLaf(fs.get(), "x.laf").ok());
+}
+
+TEST(Laf, LoadsV1FilesWithoutCodec) {
+  // Hand-craft a v1 LAF (magic "TCLA", no codec field) and check it loads
+  // with codec reported absent.
+  auto fs = MakeMemFileSystem();
+  Buffer buf;
+  PutFixed32(&buf, 0x54434c41u);  // v1 magic
+  PutFixed32(&buf, 2u);           // count
+  PutFixed64(&buf, 0);
+  PutFixed32(&buf, 100);
+  PutFixed64(&buf, 100);
+  PutFixed32(&buf, 42);
+  PutFixed32(&buf, Crc32c(buf.data(), buf.size()));
+  auto f = fs->Create("v1.laf").ValueOrDie();
+  ASSERT_TRUE(f->Write(0, buf.data(), buf.size()).ok());
+  auto loaded = LoadLaf(fs.get(), "v1.laf").ValueOrDie();
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[1].length, 42u);
+  EXPECT_FALSE(loaded.codec.has_value());
 }
 
 class PagedFileTest : public ::testing::TestWithParam<CompressionKind> {};
@@ -127,7 +153,7 @@ TEST_P(PagedFileTest, PhysicalBytesReflectCompression) {
   Buffer page(kPage, 'z');  // highly compressible
   for (int i = 0; i < 8; ++i) ASSERT_TRUE(pf->AppendPage(page.data()).ok());
   ASSERT_TRUE(pf->Finish().ok());
-  if (GetParam() == CompressionKind::kSnappy) {
+  if (GetParam() != CompressionKind::kNone) {
     EXPECT_LT(pf->physical_bytes(), 8 * kPage / 4);
   } else {
     EXPECT_EQ(pf->physical_bytes(), 8 * kPage);
@@ -136,11 +162,61 @@ TEST_P(PagedFileTest, PhysicalBytesReflectCompression) {
 
 INSTANTIATE_TEST_SUITE_P(Codecs, PagedFileTest,
                          ::testing::Values(CompressionKind::kNone,
-                                           CompressionKind::kSnappy),
+                                           CompressionKind::kSnappy,
+                                           CompressionKind::kHeavy),
                          [](const auto& info) {
-                           return info.param == CompressionKind::kNone ? "None"
-                                                                       : "Snappy";
+                           return std::string(CompressionKindName(info.param)) ==
+                                          "snappy"
+                                      ? "Snappy"
+                                      : info.param == CompressionKind::kNone
+                                            ? "None"
+                                            : "Heavy";
                          });
+
+TEST(PagedFile, SelfDescribingOpenIgnoresCallerCodec) {
+  // A component written with the heavy codec must be readable by a reader
+  // configured with ANY codec (or none): the LAF v2 sidecar names the codec.
+  auto fs = MakeMemFileSystem();
+  const size_t kPage = 4096;
+  auto pf = PagedFile::Create(fs, "sd", kPage,
+                              GetCompressor(CompressionKind::kHeavy))
+                .ValueOrDie();
+  Buffer page(kPage);
+  for (size_t j = 0; j < page.size(); ++j) page[j] = static_cast<uint8_t>(j % 97);
+  ASSERT_TRUE(pf->AppendPage(page.data()).ok());
+  ASSERT_TRUE(pf->Finish().ok());
+
+  for (CompressionKind reader_kind :
+       {CompressionKind::kNone, CompressionKind::kSnappy,
+        CompressionKind::kHeavy}) {
+    auto rd =
+        PagedFile::Open(fs, "sd", kPage, GetCompressor(reader_kind)).ValueOrDie();
+    EXPECT_EQ(rd->compression(), CompressionKind::kHeavy);
+    Buffer out(kPage);
+    ASSERT_TRUE(rd->ReadPage(0, out.data()).ok());
+    EXPECT_EQ(out, page);
+  }
+  // And a nullptr compressor works too.
+  auto rd = PagedFile::Open(fs, "sd", kPage, nullptr).ValueOrDie();
+  EXPECT_EQ(rd->compression(), CompressionKind::kHeavy);
+}
+
+TEST(PagedFile, OpenWithoutLafIsUncompressedEvenIfCallerCompresses) {
+  auto fs = MakeMemFileSystem();
+  const size_t kPage = 4096;
+  auto pf = PagedFile::Create(fs, "plain", kPage, nullptr).ValueOrDie();
+  Buffer page(kPage, 3);
+  ASSERT_TRUE(pf->AppendPage(page.data()).ok());
+  ASSERT_TRUE(pf->Finish().ok());
+  // Reader passes snappy, but there is no LAF: the file must open uncompressed.
+  auto rd = PagedFile::Open(fs, "plain", kPage,
+                            GetCompressor(CompressionKind::kSnappy))
+                .ValueOrDie();
+  EXPECT_FALSE(rd->compressed());
+  Buffer out(kPage);
+  ASSERT_TRUE(rd->ReadPage(0, out.data()).ok());
+  EXPECT_EQ(out, page);
+}
 
 TEST(BufferCache, HitsMissesAndEviction) {
   auto fs = MakeMemFileSystem();

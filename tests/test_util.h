@@ -113,6 +113,10 @@ inline DatasetOptions SmallOptions(SchemaMode mode, size_t memtable_kb = 64) {
   o.merge = MergePolicyConfig();  // env-independent: tests pin the schedule
   o.merge.max_mergeable_bytes = 1 << 20;
   o.merge.max_tolerance_count = 4;
+  // Pin the merge-pipeline knobs too (their defaults read TC_MERGE_* env).
+  o.merge_transform = true;
+  o.merge_recompress = CompressionKind::kNone;
+  o.value_ordered_merges = true;
   o.wal_sync_every = 0;
   return o;
 }
